@@ -1,0 +1,139 @@
+// Table III reproduction: accuracy of task-signature matching on the
+// EC2-style VM startup experiment.
+//
+// Four VM images (three "Amazon AMI" variants sharing a base OS, one
+// "Ubuntu") are each booted 50 times to learn startup automata — once with
+// literal IPs (unmasked) and once with the VM masked as a positional
+// variable. True positives: fresh restarts of the same VM matched against
+// its own automaton. False positives: restarts of the *other* VMs matched
+// against it (only meaningful when masked; unmasked automata are bound to
+// the training VM's address).
+#include <cstdio>
+
+#include "flowdiff/task_mining.h"
+#include "util/table.h"
+#include "workload/tasks.h"
+
+namespace flowdiff {
+namespace {
+
+wl::ServiceCatalog ec2_services() {
+  wl::ServiceCatalog s;
+  s.dns = Ipv4(172, 16, 0, 23);
+  s.nfs = Ipv4(172, 16, 0, 10);
+  s.dhcp = Ipv4(172, 16, 0, 1);
+  s.ntp = Ipv4(172, 16, 0, 2);
+  s.netbios = Ipv4(172, 16, 0, 3);
+  s.metadata = Ipv4(169, 254, 169, 254);
+  s.apt_mirror = Ipv4(172, 16, 0, 80);
+  return s;
+}
+
+struct Vm {
+  const char* ami_name;
+  const char* kind;
+  int variant;
+  Ipv4 ip;
+  int restarts;  ///< Test restarts, as in the paper's TP columns.
+};
+
+int run() {
+  const auto services = ec2_services();
+  std::set<Ipv4> service_ips;
+  for (const Ipv4 ip : services.special_nodes()) service_ips.insert(ip);
+
+  const std::vector<Vm> vms = {
+      {"i-3486634d", "AMI", 0, Ipv4(10, 200, 1, 15), 20},
+      {"i-5d021f3b", "AMI", 1, Ipv4(10, 200, 2, 77), 20},
+      {"i-c5ebf1a3", "Ubuntu", 3, Ipv4(10, 200, 3, 42), 5},
+      {"i-d55066b3", "AMI", 2, Ipv4(10, 200, 4, 9), 20},
+  };
+  constexpr int kTrainingRuns = 50;
+
+  Rng rng(2013);
+  auto boot = [&](const Vm& vm, SimTime t0) {
+    return wl::expand_task(wl::vm_startup_profile(vm.variant), {vm.ip},
+                           services, rng, t0)
+        .flows;
+  };
+
+  // Learn both automata per VM from 50 boots.
+  std::vector<core::TaskAutomaton> unmasked;
+  std::vector<core::TaskAutomaton> masked;
+  for (const auto& vm : vms) {
+    std::vector<of::FlowSequence> runs;
+    for (int i = 0; i < kTrainingRuns; ++i) runs.push_back(boot(vm, 0));
+    core::MiningConfig config;
+    config.service_ips = service_ips;
+    config.mask_subjects = false;
+    unmasked.push_back(
+        core::mine_task(std::string("startup_") + vm.ami_name, runs, config)
+            .automaton);
+    config.mask_subjects = true;
+    masked.push_back(
+        core::mine_task(std::string("startup_") + vm.ami_name, runs, config)
+            .automaton);
+  }
+
+  core::DetectorConfig det_config;
+  det_config.service_ips = service_ips;
+
+  auto matches = [&](const core::TaskAutomaton& automaton,
+                     const of::FlowSequence& log) {
+    const core::TaskDetector detector({automaton}, det_config);
+    return !detector.detect(log).empty();
+  };
+
+  std::printf("=== Table III: Accuracy of task signature matching ===\n");
+  std::printf("(%d training boots per VM; TP over restarts of the same VM,\n"
+              " FP over restarts of every other VM, masked automata)\n\n",
+              kTrainingRuns);
+
+  TextTable table({"ID", "AMI name", "TP (not masked)", "TP (masked)",
+                   "FP (masked)"});
+  int id = 1;
+  for (std::size_t v = 0; v < vms.size(); ++v) {
+    int tp_unmasked = 0;
+    int tp_masked = 0;
+    for (int r = 0; r < vms[v].restarts; ++r) {
+      const auto log = boot(vms[v], 0);
+      if (matches(unmasked[v], log)) ++tp_unmasked;
+      if (matches(masked[v], log)) ++tp_masked;
+    }
+    int fp = 0;
+    int fp_trials = 0;
+    int fp_unmasked = 0;
+    for (std::size_t other = 0; other < vms.size(); ++other) {
+      if (other == v) continue;
+      for (int r = 0; r < vms[other].restarts; ++r) {
+        const auto log = boot(vms[other], 0);
+        ++fp_trials;
+        if (matches(masked[v], log)) ++fp;
+        if (matches(unmasked[v], log)) ++fp_unmasked;
+      }
+    }
+    table.add_row({std::to_string(id++),
+                   std::string(vms[v].ami_name) + " (" + vms[v].kind + ")",
+                   std::to_string(tp_unmasked) + "/" +
+                       std::to_string(vms[v].restarts),
+                   std::to_string(tp_masked) + "/" +
+                       std::to_string(vms[v].restarts),
+                   std::to_string(fp) + "/" + std::to_string(fp_trials)});
+    if (fp_unmasked != 0) {
+      std::printf("WARNING: unmasked automaton %zu matched another VM "
+                  "(%d times) — should never happen\n",
+                  v, fp_unmasked);
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Paper's shape: near-perfect TP; zero FP unmasked; low but nonzero\n"
+      "FP between masked AMI images (shared base OS); the Ubuntu image\n"
+      "never cross-matches an AMI automaton and vice versa.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace flowdiff
+
+int main() { return flowdiff::run(); }

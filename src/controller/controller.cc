@@ -1,0 +1,108 @@
+#include "controller/controller.h"
+
+#include <algorithm>
+
+namespace flowdiff::ctrl {
+
+Controller::Controller(sim::Network& net, ControllerId id,
+                       ControllerConfig config)
+    : net_(net), id_(id), config_(config), rng_(config.seed) {}
+
+void Controller::handle_packet_in(const of::PacketIn& msg) {
+  const SimTime arrival = net_.now();
+  log_.append(of::ControlEvent{arrival, id_, msg});
+
+  // Serial service queue: the response time FlowDiff measures (CRT) is
+  // queueing + processing.
+  double proc = static_cast<double>(config_.base_proc) * overload_factor_;
+  proc += std::max(0.0, rng_.normal(0.0, static_cast<double>(config_.proc_jitter)));
+  const SimTime start = std::max(arrival, busy_until_);
+  const SimTime done = start + static_cast<SimDuration>(proc);
+  busy_until_ = done;
+
+  net_.events().schedule(done, [this, msg] { decide(msg); });
+}
+
+void Controller::decide(const of::PacketIn& msg) {
+  const SimTime now = net_.now();
+  const auto& topo = net_.topology();
+  const auto dst = topo.host_by_ip(msg.key.dst_ip);
+  if (!dst) {
+    net_.drop_buffered(msg.flow_uid, msg.sw);
+    return;
+  }
+  // Deterministic routing (no per-flow ECMP): paths are stable across
+  // measurement windows, so the inferred physical topology only changes
+  // when the network actually does.
+  const auto next = topo.next_hop(msg.sw.value, dst->value);
+  if (!next) {
+    net_.drop_buffered(msg.flow_uid, msg.sw);
+    return;
+  }
+  const sim::Link* link = topo.link_between(msg.sw.value, *next);
+  if (link == nullptr) {
+    net_.drop_buffered(msg.flow_uid, msg.sw);
+    return;
+  }
+
+  of::FlowMod mod;
+  mod.sw = msg.sw;
+  mod.match = config_.granularity == RuleGranularity::kExact
+                  ? of::FlowMatch::exact(msg.key)
+                  : of::FlowMatch::host_pair(msg.key.src_ip, msg.key.dst_ip);
+  mod.out_port = link->port_on(msg.sw.value);
+  mod.idle_timeout = config_.idle_timeout.value_or(net_.config().idle_timeout);
+  mod.hard_timeout = config_.hard_timeout.value_or(net_.config().hard_timeout);
+  mod.key = msg.key;
+  mod.flow_uid = msg.flow_uid;
+
+  log_.append(of::ControlEvent{now, id_, mod});
+  log_.append(of::ControlEvent{
+      now, id_, of::PacketOut{msg.sw, mod.out_port, msg.key, msg.flow_uid}});
+  net_.send_flow_mod(mod);
+}
+
+void Controller::handle_flow_removed(const of::FlowRemoved& msg) {
+  log_.append(of::ControlEvent{net_.now(), id_, msg});
+}
+
+void Controller::start_stats_polling(SimDuration interval, SimTime until) {
+  if (interval <= 0 || net_.now() >= until) return;
+  net_.events().schedule_in(interval, [this, interval, until] {
+    for (const SwitchId sw : net_.topology().of_switches()) {
+      for (auto& reply : net_.read_stats(sw)) {
+        // Replies arrive one control-latency later.
+        log_.append(of::ControlEvent{
+            net_.now() + net_.config().control_latency, id_,
+            std::move(reply)});
+      }
+    }
+    start_stats_polling(interval, until);
+  });
+}
+
+void Controller::install_proactive_rules() {
+  const auto& topo = net_.topology();
+  const auto hosts = topo.hosts();
+  for (const HostId src : hosts) {
+    for (const HostId dst : hosts) {
+      if (src == dst) continue;
+      const auto path = topo.shortest_path(src.value, dst.value);
+      for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+        if (topo.node(path[i]).kind != sim::NodeKind::kOfSwitch) continue;
+        const sim::Link* link = topo.link_between(path[i], path[i + 1]);
+        if (link == nullptr) continue;
+        of::FlowEntry entry;
+        entry.match = of::FlowMatch::host_pair(topo.host(src).ip,
+                                               topo.host(dst).ip);
+        entry.out_port = link->port_on(path[i]);
+        entry.priority = 1;
+        entry.idle_timeout = 0;  // Permanent.
+        entry.hard_timeout = 0;
+        net_.install_entry_now(SwitchId{path[i]}, entry);
+      }
+    }
+  }
+}
+
+}  // namespace flowdiff::ctrl

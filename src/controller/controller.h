@@ -1,0 +1,73 @@
+// Centralized OpenFlow controller model.
+//
+// Routes new flows with deterministic shortest paths, installs entries at
+// the asking switch (per-switch reactive deployment, as in the paper's
+// testbed), and captures every control message with controller-side
+// timestamps into a ControlLog — the input to FlowDiff.
+//
+// Deployment knobs cover the paper's SectionVI discussion: microflow vs
+// host-pair wildcard rules, proactive pre-installation, and a distributed
+// controller set (see distributed.h).
+#pragma once
+
+#include <optional>
+
+#include "openflow/control_log.h"
+#include "simnet/controller_iface.h"
+#include "simnet/network.h"
+#include "util/rng.h"
+
+namespace flowdiff::ctrl {
+
+enum class RuleGranularity {
+  kExact,     ///< Microflow entries (one per 5-tuple).
+  kHostPair,  ///< src/dst IP wildcard entries.
+};
+
+struct ControllerConfig {
+  SimDuration base_proc = 100;   ///< Per-PacketIn service time (us).
+  SimDuration proc_jitter = 30;
+  RuleGranularity granularity = RuleGranularity::kExact;
+  /// Entry timeouts; unset fields fall back to the network defaults.
+  std::optional<SimDuration> idle_timeout;
+  std::optional<SimDuration> hard_timeout;
+  std::uint64_t seed = 7;
+};
+
+class Controller : public sim::ControllerIface {
+ public:
+  Controller(sim::Network& net, ControllerId id, ControllerConfig config);
+
+  void handle_packet_in(const of::PacketIn& msg) override;
+  void handle_flow_removed(const of::FlowRemoved& msg) override;
+
+  [[nodiscard]] const of::ControlLog& log() const { return log_; }
+  void clear_log() { log_ = of::ControlLog{}; }
+
+  /// Fault hook: multiplies PacketIn service time (controller overload).
+  void set_overload_factor(double factor) { overload_factor_ = factor; }
+
+  /// Pre-installs host-pair rules for every host pair on every on-path
+  /// switch (proactive deployment; suppresses reactive control traffic).
+  void install_proactive_rules();
+
+  /// Polls every switch's flow counters periodically until `until`,
+  /// logging one FlowStatsReply per entry — the utilization feed the paper
+  /// describes the controller learning by polling.
+  void start_stats_polling(SimDuration interval, SimTime until);
+
+  [[nodiscard]] ControllerId id() const { return id_; }
+
+ private:
+  void decide(const of::PacketIn& msg);
+
+  sim::Network& net_;
+  ControllerId id_;
+  ControllerConfig config_;
+  of::ControlLog log_;
+  Rng rng_;
+  SimTime busy_until_ = 0;
+  double overload_factor_ = 1.0;
+};
+
+}  // namespace flowdiff::ctrl

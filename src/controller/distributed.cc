@@ -1,0 +1,41 @@
+#include "controller/distributed.h"
+
+namespace flowdiff::ctrl {
+
+DistributedControllerSet::DistributedControllerSet(sim::Network& net,
+                                                   std::size_t instances,
+                                                   ControllerConfig config) {
+  if (instances == 0) instances = 1;
+  controllers_.reserve(instances);
+  for (std::size_t i = 0; i < instances; ++i) {
+    ControllerConfig cfg = config;
+    cfg.seed = config.seed + i * 0x9e37u;
+    controllers_.push_back(std::make_unique<Controller>(
+        net, ControllerId{static_cast<std::uint32_t>(i)}, cfg));
+  }
+}
+
+Controller& DistributedControllerSet::controller_for(SwitchId sw) {
+  return *controllers_[sw.value % controllers_.size()];
+}
+
+void DistributedControllerSet::handle_packet_in(const of::PacketIn& msg) {
+  controller_for(msg.sw).handle_packet_in(msg);
+}
+
+void DistributedControllerSet::handle_flow_removed(
+    const of::FlowRemoved& msg) {
+  controller_for(msg.sw).handle_flow_removed(msg);
+}
+
+of::ControlLog DistributedControllerSet::merged_log() const {
+  of::ControlLog merged;
+  for (const auto& c : controllers_) merged.merge(c->log());
+  return merged;
+}
+
+void DistributedControllerSet::clear_logs() {
+  for (auto& c : controllers_) c->clear_log();
+}
+
+}  // namespace flowdiff::ctrl

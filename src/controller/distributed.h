@@ -1,0 +1,40 @@
+// Distributed controller deployment (paper SectionVI).
+//
+// Switches are partitioned across k controller instances; each instance
+// keeps its own control log, and merged_log() synchronizes them into one
+// data-center-wide log for FlowDiff, mirroring the FlowVisor/Onix-style
+// setups the paper cites.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "controller/controller.h"
+
+namespace flowdiff::ctrl {
+
+class DistributedControllerSet : public sim::ControllerIface {
+ public:
+  DistributedControllerSet(sim::Network& net, std::size_t instances,
+                           ControllerConfig config);
+
+  void handle_packet_in(const of::PacketIn& msg) override;
+  void handle_flow_removed(const of::FlowRemoved& msg) override;
+
+  [[nodiscard]] std::size_t instance_count() const {
+    return controllers_.size();
+  }
+  [[nodiscard]] Controller& instance(std::size_t i) { return *controllers_[i]; }
+
+  /// Per-instance logs merged into one time-ordered log.
+  [[nodiscard]] of::ControlLog merged_log() const;
+
+  void clear_logs();
+
+ private:
+  Controller& controller_for(SwitchId sw);
+
+  std::vector<std::unique_ptr<Controller>> controllers_;
+};
+
+}  // namespace flowdiff::ctrl

@@ -1,0 +1,118 @@
+#include "faults/faults.h"
+
+namespace flowdiff::faults {
+
+LinkLossFault::LinkLossFault(sim::Network& net, std::vector<LinkId> links,
+                             double rate)
+    : net_(net), links_(std::move(links)), rate_(rate) {}
+
+void LinkLossFault::apply() {
+  saved_.clear();
+  for (LinkId id : links_) {
+    saved_.push_back(net_.topology().link(id).loss_rate);
+    net_.set_link_loss(id, rate_);
+  }
+}
+
+void LinkLossFault::revert() {
+  for (std::size_t i = 0; i < links_.size() && i < saved_.size(); ++i) {
+    net_.set_link_loss(links_[i], saved_[i]);
+  }
+}
+
+ServerSlowdownFault::ServerSlowdownFault(sim::Network& net, HostId host,
+                                         SimDuration extra, std::string label)
+    : net_(net), host_(host), extra_(extra), label_(std::move(label)) {}
+
+void ServerSlowdownFault::apply() {
+  net_.set_host_extra_delay(host_, extra_);
+}
+
+void ServerSlowdownFault::revert() { net_.set_host_extra_delay(host_, 0); }
+
+AppCrashFault::AppCrashFault(sim::Network& net, Ipv4 ip, std::uint16_t port)
+    : net_(net), ip_(ip), port_(port) {}
+
+void AppCrashFault::apply() { net_.set_port_block(ip_, port_, true); }
+void AppCrashFault::revert() { net_.set_port_block(ip_, port_, false); }
+
+HostShutdownFault::HostShutdownFault(sim::Network& net, HostId host)
+    : net_(net), host_(host) {}
+
+void HostShutdownFault::apply() { net_.set_node_up(host_.value, false); }
+void HostShutdownFault::revert() { net_.set_node_up(host_.value, true); }
+
+FirewallBlockFault::FirewallBlockFault(sim::Network& net, Ipv4 ip,
+                                       std::uint16_t port)
+    : net_(net), ip_(ip), port_(port) {}
+
+void FirewallBlockFault::apply() { net_.set_port_block(ip_, port_, true); }
+void FirewallBlockFault::revert() { net_.set_port_block(ip_, port_, false); }
+
+BackgroundTrafficFault::BackgroundTrafficFault(sim::Network& net, HostId a,
+                                               HostId b, double bps)
+    : net_(net), a_(a), b_(b), bps_(bps) {}
+
+void BackgroundTrafficFault::apply() {
+  loaded_ = net_.add_background_load(a_, b_, bps_);
+}
+
+void BackgroundTrafficFault::revert() {
+  net_.remove_background_load(loaded_, bps_);
+  loaded_.clear();
+}
+
+SwitchFailureFault::SwitchFailureFault(sim::Network& net, SwitchId sw)
+    : net_(net), sw_(sw) {}
+
+void SwitchFailureFault::apply() { net_.set_node_up(sw_.value, false); }
+void SwitchFailureFault::revert() { net_.set_node_up(sw_.value, true); }
+
+ControllerOverloadFault::ControllerOverloadFault(ctrl::Controller& controller,
+                                                 double factor)
+    : controller_(controller), factor_(factor) {}
+
+void ControllerOverloadFault::apply() {
+  controller_.set_overload_factor(factor_);
+}
+
+void ControllerOverloadFault::revert() {
+  controller_.set_overload_factor(1.0);
+}
+
+UnauthorizedAccessFault::UnauthorizedAccessFault(sim::Network& net,
+                                                 HostId intruder,
+                                                 HostId victim,
+                                                 std::uint16_t port,
+                                                 SimTime begin, SimTime end,
+                                                 std::size_t flow_count)
+    : net_(net),
+      intruder_(intruder),
+      victim_(victim),
+      port_(port),
+      begin_(begin),
+      end_(end),
+      flow_count_(flow_count) {}
+
+void UnauthorizedAccessFault::apply() {
+  const Ipv4 src = net_.topology().host(intruder_).ip;
+  const Ipv4 dst = net_.topology().host(victim_).ip;
+  const SimDuration span = end_ - begin_;
+  for (std::size_t i = 0; i < flow_count_; ++i) {
+    const SimTime at =
+        begin_ + span * static_cast<SimDuration>(i) /
+                     static_cast<SimDuration>(flow_count_);
+    const std::uint16_t src_port = static_cast<std::uint16_t>(51000 + i);
+    net_.events().schedule(at, [this, src, dst, src_port] {
+      sim::FlowSpec spec;
+      spec.key = of::FlowKey{src, dst, src_port, port_, of::Proto::kTcp};
+      spec.bytes = 8000;
+      spec.duration = 10 * kMillisecond;
+      net_.start_flow(std::move(spec));
+    });
+  }
+}
+
+void UnauthorizedAccessFault::revert() {}
+
+}  // namespace flowdiff::faults

@@ -1,0 +1,174 @@
+// Fault injectors for the Table I / Fig. 2(b) experiments.
+//
+// Each injector perturbs the simulation the way the paper's lab faults do
+// (tc-injected loss, verbose logging, CPU hogs, crashes, firewall rules,
+// iperf background traffic, switch/controller trouble, unauthorized
+// access). apply()/revert() bracket the faulty measurement window.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "controller/controller.h"
+#include "simnet/network.h"
+#include "workload/connection_pool.h"
+
+namespace flowdiff::faults {
+
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  virtual void apply() = 0;
+  virtual void revert() = 0;
+};
+
+/// Packet loss on specific links (the paper's `tc` loss on the web<->app
+/// links): inflates byte counts via retransmissions and right-shifts the
+/// delay distribution.
+class LinkLossFault : public FaultInjector {
+ public:
+  LinkLossFault(sim::Network& net, std::vector<LinkId> links, double rate);
+  [[nodiscard]] std::string name() const override { return "link_loss"; }
+  void apply() override;
+  void revert() override;
+
+ private:
+  sim::Network& net_;
+  std::vector<LinkId> links_;
+  double rate_;
+  std::vector<double> saved_;
+};
+
+/// Verbose logging / misconfiguration on a server: inflates its request
+/// processing time.
+class ServerSlowdownFault : public FaultInjector {
+ public:
+  ServerSlowdownFault(sim::Network& net, HostId host, SimDuration extra,
+                      std::string label = "server_slowdown");
+  [[nodiscard]] std::string name() const override { return label_; }
+  void apply() override;
+  void revert() override;
+
+ private:
+  sim::Network& net_;
+  HostId host_;
+  SimDuration extra_;
+  std::string label_;
+};
+
+/// A crashed application process: its service port stops answering while
+/// the host stays up.
+class AppCrashFault : public FaultInjector {
+ public:
+  AppCrashFault(sim::Network& net, Ipv4 ip, std::uint16_t port);
+  [[nodiscard]] std::string name() const override { return "app_crash"; }
+  void apply() override;
+  void revert() override;
+
+ private:
+  sim::Network& net_;
+  Ipv4 ip_;
+  std::uint16_t port_;
+};
+
+/// Host/VM shutdown: the node disappears from the network.
+class HostShutdownFault : public FaultInjector {
+ public:
+  HostShutdownFault(sim::Network& net, HostId host);
+  [[nodiscard]] std::string name() const override { return "host_shutdown"; }
+  void apply() override;
+  void revert() override;
+
+ private:
+  sim::Network& net_;
+  HostId host_;
+};
+
+/// Firewall rule blocking a port on a host.
+class FirewallBlockFault : public FaultInjector {
+ public:
+  FirewallBlockFault(sim::Network& net, Ipv4 ip, std::uint16_t port);
+  [[nodiscard]] std::string name() const override { return "firewall_block"; }
+  void apply() override;
+  void revert() override;
+
+ private:
+  sim::Network& net_;
+  Ipv4 ip_;
+  std::uint16_t port_;
+};
+
+/// iperf-style background traffic between two hosts: loads every link on
+/// their path, congesting whatever shares those links.
+class BackgroundTrafficFault : public FaultInjector {
+ public:
+  BackgroundTrafficFault(sim::Network& net, HostId a, HostId b, double bps);
+  [[nodiscard]] std::string name() const override {
+    return "background_traffic";
+  }
+  void apply() override;
+  void revert() override;
+
+ private:
+  sim::Network& net_;
+  HostId a_;
+  HostId b_;
+  double bps_;
+  std::vector<LinkId> loaded_;
+};
+
+/// Switch failure: the switch and all its links go down.
+class SwitchFailureFault : public FaultInjector {
+ public:
+  SwitchFailureFault(sim::Network& net, SwitchId sw);
+  [[nodiscard]] std::string name() const override { return "switch_failure"; }
+  void apply() override;
+  void revert() override;
+
+ private:
+  sim::Network& net_;
+  SwitchId sw_;
+};
+
+/// Controller overload: PacketIn service time inflates, so response times
+/// (CRT) and flow setup latencies rise.
+class ControllerOverloadFault : public FaultInjector {
+ public:
+  ControllerOverloadFault(ctrl::Controller& controller, double factor);
+  [[nodiscard]] std::string name() const override {
+    return "controller_overload";
+  }
+  void apply() override;
+  void revert() override;
+
+ private:
+  ctrl::Controller& controller_;
+  double factor_;
+};
+
+/// Unauthorized access: an intruder host starts talking to a victim service
+/// — new connectivity no operator task explains.
+class UnauthorizedAccessFault : public FaultInjector {
+ public:
+  UnauthorizedAccessFault(sim::Network& net, HostId intruder, HostId victim,
+                          std::uint16_t port, SimTime begin, SimTime end,
+                          std::size_t flow_count);
+  [[nodiscard]] std::string name() const override {
+    return "unauthorized_access";
+  }
+  void apply() override;
+  void revert() override;
+
+ private:
+  sim::Network& net_;
+  HostId intruder_;
+  HostId victim_;
+  std::uint16_t port_;
+  SimTime begin_;
+  SimTime end_;
+  std::size_t flow_count_;
+};
+
+}  // namespace flowdiff::faults

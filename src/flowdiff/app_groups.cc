@@ -1,0 +1,44 @@
+#include "flowdiff/app_groups.h"
+
+#include "util/graph.h"
+
+namespace flowdiff::core {
+
+int AppGroups::group_of(Ipv4 ip) const {
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    if (groups[i].contains(ip)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+AppGroups discover_groups(const of::FlowSequence& flow_starts,
+                          const std::set<Ipv4>& special_nodes) {
+  Digraph<Ipv4> comms;
+  for (const auto& tf : flow_starts) {
+    // Edges through special nodes are dropped so groups that only share a
+    // service stay separate; the endpoints themselves are still kept as
+    // nodes when they appear in non-special flows.
+    if (special_nodes.contains(tf.key.src_ip) ||
+        special_nodes.contains(tf.key.dst_ip)) {
+      if (!special_nodes.contains(tf.key.src_ip)) {
+        comms.add_node(tf.key.src_ip);
+      }
+      if (!special_nodes.contains(tf.key.dst_ip)) {
+        comms.add_node(tf.key.dst_ip);
+      }
+      continue;
+    }
+    comms.add_edge(tf.key.src_ip, tf.key.dst_ip);
+  }
+
+  AppGroups out;
+  for (auto& component : comms.connected_components()) {
+    // A single host with no application peers is not an application group
+    // (it may only be talking to services); signatures need edges.
+    if (component.size() < 2) continue;
+    out.groups.emplace_back(component.begin(), component.end());
+  }
+  return out;
+}
+
+}  // namespace flowdiff::core

@@ -1,0 +1,27 @@
+// Application-group discovery.
+//
+// An application group is a connected component of the host communication
+// graph, with the data center's special-purpose nodes (DNS, NFS, ...)
+// excluded: hosts that talk only through a shared service must not be
+// merged into one group (paper SectionIII-B).
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "openflow/timed_flow.h"
+#include "util/ipv4.h"
+
+namespace flowdiff::core {
+
+struct AppGroups {
+  std::vector<std::set<Ipv4>> groups;  ///< Member hosts, per group.
+
+  /// Index of the group containing `ip`; -1 for unknown or special nodes.
+  [[nodiscard]] int group_of(Ipv4 ip) const;
+};
+
+AppGroups discover_groups(const of::FlowSequence& flow_starts,
+                          const std::set<Ipv4>& special_nodes);
+
+}  // namespace flowdiff::core

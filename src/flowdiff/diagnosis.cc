@@ -1,0 +1,255 @@
+#include "flowdiff/diagnosis.h"
+
+#include <algorithm>
+
+namespace flowdiff::core {
+
+const char* to_string(ProblemClass cls) {
+  switch (cls) {
+    case ProblemClass::kHostFailure:
+      return "host failure";
+    case ProblemClass::kHostPerformance:
+      return "host performance";
+    case ProblemClass::kAppFailure:
+      return "application failure";
+    case ProblemClass::kAppPerformance:
+      return "application performance";
+    case ProblemClass::kNetworkDisconnectivity:
+      return "network disconnectivity";
+    case ProblemClass::kNetworkBottleneck:
+      return "network bottleneck / congestion";
+    case ProblemClass::kSwitchMisconfig:
+      return "switch misconfiguration";
+    case ProblemClass::kSwitchOverhead:
+      return "switch overhead";
+    case ProblemClass::kControllerOverhead:
+      return "controller overhead";
+    case ProblemClass::kSwitchFailure:
+      return "switch failure";
+    case ProblemClass::kControllerFailure:
+      return "controller failure";
+    case ProblemClass::kUnauthorizedAccess:
+      return "unauthorized access";
+  }
+  return "?";
+}
+
+const std::vector<ProblemClass>& all_problem_classes() {
+  static const std::vector<ProblemClass> kAll = {
+      ProblemClass::kHostFailure,        ProblemClass::kHostPerformance,
+      ProblemClass::kAppFailure,         ProblemClass::kAppPerformance,
+      ProblemClass::kNetworkDisconnectivity,
+      ProblemClass::kNetworkBottleneck,  ProblemClass::kSwitchMisconfig,
+      ProblemClass::kSwitchOverhead,     ProblemClass::kControllerOverhead,
+      ProblemClass::kSwitchFailure,      ProblemClass::kControllerFailure,
+      ProblemClass::kUnauthorizedAccess,
+  };
+  return kAll;
+}
+
+const std::map<ProblemClass, std::set<SignatureKind>>& problem_profiles() {
+  using K = SignatureKind;
+  static const std::map<ProblemClass, std::set<SignatureKind>> kProfiles = {
+      {ProblemClass::kHostFailure, {K::kCg, K::kPc, K::kCi, K::kFs, K::kDd}},
+      {ProblemClass::kHostPerformance, {K::kDd, K::kPc, K::kFs}},
+      {ProblemClass::kAppFailure, {K::kCg, K::kPc, K::kCi, K::kFs}},
+      {ProblemClass::kAppPerformance, {K::kDd, K::kPc, K::kFs}},
+      {ProblemClass::kNetworkDisconnectivity,
+       {K::kCg, K::kPc, K::kCi, K::kFs, K::kPt}},
+      {ProblemClass::kNetworkBottleneck, {K::kDd, K::kPc, K::kFs, K::kIsl}},
+      {ProblemClass::kSwitchMisconfig,
+       {K::kCg, K::kPc, K::kCi, K::kFs, K::kDd, K::kPt}},
+      {ProblemClass::kSwitchOverhead, {K::kDd, K::kPc, K::kFs, K::kIsl}},
+      {ProblemClass::kControllerOverhead, {K::kDd, K::kPc, K::kFs, K::kCrt}},
+      {ProblemClass::kSwitchFailure,
+       {K::kCg, K::kPc, K::kCi, K::kFs, K::kPt}},
+      {ProblemClass::kControllerFailure,
+       {K::kCg, K::kPc, K::kCi, K::kFs, K::kDd, K::kCrt}},
+      {ProblemClass::kUnauthorizedAccess, {K::kCg, K::kCi, K::kFs}},
+  };
+  return kProfiles;
+}
+
+namespace {
+
+int app_row(SignatureKind kind) {
+  switch (kind) {
+    case SignatureKind::kCg:
+      return 0;
+    case SignatureKind::kDd:
+      return 1;
+    case SignatureKind::kCi:
+      return 2;
+    case SignatureKind::kPc:
+      return 3;
+    case SignatureKind::kFs:
+      return 4;
+    default:
+      return -1;
+  }
+}
+
+int infra_col(SignatureKind kind) {
+  switch (kind) {
+    case SignatureKind::kPt:
+      return 0;
+    case SignatureKind::kIsl:
+    case SignatureKind::kUtil:
+      return 1;
+    case SignatureKind::kCrt:
+      return 2;
+    default:
+      return -1;
+  }
+}
+
+constexpr const char* kRowNames[5] = {"CG", "DD", "CI", "PC", "FS"};
+constexpr const char* kColNames[3] = {"PT", "ISL", "CC"};
+
+}  // namespace
+
+std::set<SignatureKind> DependencyMatrix::changed_kinds() const {
+  static constexpr SignatureKind kRows[5] = {
+      SignatureKind::kCg, SignatureKind::kDd, SignatureKind::kCi,
+      SignatureKind::kPc, SignatureKind::kFs};
+  static constexpr SignatureKind kCols[3] = {
+      SignatureKind::kPt, SignatureKind::kIsl, SignatureKind::kCrt};
+  std::set<SignatureKind> out;
+  for (int r = 0; r < 5; ++r) {
+    if (app_changed[static_cast<std::size_t>(r)]) out.insert(kRows[r]);
+  }
+  for (int c = 0; c < 3; ++c) {
+    if (infra_changed[static_cast<std::size_t>(c)]) out.insert(kCols[c]);
+  }
+  return out;
+}
+
+std::string DependencyMatrix::render() const {
+  std::string out = "      PT  ISL  CC\n";
+  for (int r = 0; r < 5; ++r) {
+    out += "  ";
+    out += kRowNames[r];
+    out += "  ";
+    for (int c = 0; c < 3; ++c) {
+      out += cells[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)]
+                 ? "  1 "
+                 : "  0 ";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+DependencyMatrix build_dependency_matrix(const std::vector<Change>& unknown) {
+  DependencyMatrix m;
+  for (const auto& change : unknown) {
+    const int r = app_row(change.kind);
+    if (r >= 0) m.app_changed[static_cast<std::size_t>(r)] = true;
+    const int c = infra_col(change.kind);
+    if (c >= 0) m.infra_changed[static_cast<std::size_t>(c)] = true;
+  }
+  // A_ij = 1 when application signature i and infrastructure signature j
+  // both changed (the co-occurrence the paper keys problem types on).
+  for (int r = 0; r < 5; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      m.cells[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] =
+          m.app_changed[static_cast<std::size_t>(r)] &&
+          m.infra_changed[static_cast<std::size_t>(c)];
+    }
+  }
+  return m;
+}
+
+std::vector<ProblemScore> classify(const DependencyMatrix& matrix,
+                                   const std::vector<Change>& unknown) {
+  bool anything_added = false;
+  bool anything_removed = false;
+  bool switch_disappeared = false;
+  bool crt_changed = false;
+  for (const auto& change : unknown) {
+    anything_added |= change.direction == ChangeDirection::kAdded;
+    anything_removed |= change.direction == ChangeDirection::kRemoved;
+    crt_changed |= change.kind == SignatureKind::kCrt;
+    if (change.kind == SignatureKind::kPt &&
+        change.direction == ChangeDirection::kRemoved &&
+        change.description.find("disappeared") != std::string::npos) {
+      switch_disappeared = true;
+    }
+  }
+  auto ranked = classify(matrix);
+  for (auto& score : ranked) {
+    const bool implies_new_connectivity =
+        score.cls == ProblemClass::kUnauthorizedAccess;
+    const bool implies_lost_connectivity =
+        score.cls == ProblemClass::kHostFailure ||
+        score.cls == ProblemClass::kAppFailure ||
+        score.cls == ProblemClass::kNetworkDisconnectivity ||
+        score.cls == ProblemClass::kSwitchFailure;
+    if (implies_new_connectivity && !anything_added) score.score *= 0.2;
+    if (implies_lost_connectivity && anything_added && !anything_removed) {
+      score.score *= 0.5;
+    }
+    // A switch vanishing from control traffic is the fingerprint of a
+    // switch failure; without it, prefer the alternatives.
+    if (score.cls == ProblemClass::kSwitchFailure) {
+      score.score *= switch_disappeared ? 1.2 : 0.6;
+    }
+    // A controller-response-time shift points squarely at the controller.
+    if (crt_changed && (score.cls == ProblemClass::kControllerOverhead ||
+                        score.cls == ProblemClass::kControllerFailure)) {
+      score.score *= 1.2;
+    }
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const ProblemScore& a, const ProblemScore& b) {
+                     return a.score > b.score;
+                   });
+  return ranked;
+}
+
+std::vector<ProblemScore> classify(const DependencyMatrix& matrix) {
+  const std::set<SignatureKind> observed = matrix.changed_kinds();
+  std::vector<ProblemScore> out;
+  if (observed.empty()) return out;
+  for (const auto& [cls, profile] : problem_profiles()) {
+    std::size_t inter = 0;
+    for (const SignatureKind k : observed) {
+      if (profile.contains(k)) ++inter;
+    }
+    const std::size_t uni = profile.size() + observed.size() - inter;
+    ProblemScore score;
+    score.cls = cls;
+    score.score = uni == 0 ? 0.0
+                           : static_cast<double>(inter) /
+                                 static_cast<double>(uni);
+    if (score.score > 0.0) out.push_back(score);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ProblemScore& a, const ProblemScore& b) {
+                     return a.score > b.score;
+                   });
+  return out;
+}
+
+std::vector<std::pair<std::string, int>> rank_components(
+    const std::vector<Change>& unknown) {
+  std::map<std::string, int> counts;
+  for (const auto& change : unknown) {
+    for (const auto& component : change.components) {
+      // Count each endpoint and the component itself, so a host appearing
+      // in many changed edges outranks any single edge.
+      ++counts[component.label];
+      for (const Ipv4 ip : component.ips) ++counts[ip.to_string()];
+    }
+  }
+  std::vector<std::pair<std::string, int>> ranked(counts.begin(),
+                                                  counts.end());
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.second != b.second) return a.second > b.second;
+                     return a.first < b.first;
+                   });
+  return ranked;
+}
+
+}  // namespace flowdiff::core

@@ -1,0 +1,74 @@
+// Diagnosis (paper SectionIV-C): builds the application x infrastructure
+// dependency matrix from the unknown changes, matches it against the
+// problem-class profiles of Fig. 2(b) / Fig. 8, and ranks the physical
+// components most associated with the changes.
+#pragma once
+
+#include <array>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "flowdiff/diff.h"
+
+namespace flowdiff::core {
+
+enum class ProblemClass : std::uint8_t {
+  kHostFailure,
+  kHostPerformance,
+  kAppFailure,
+  kAppPerformance,
+  kNetworkDisconnectivity,
+  kNetworkBottleneck,
+  kSwitchMisconfig,
+  kSwitchOverhead,
+  kControllerOverhead,
+  kSwitchFailure,
+  kControllerFailure,
+  kUnauthorizedAccess,
+};
+
+[[nodiscard]] const char* to_string(ProblemClass cls);
+
+/// All twelve classes, in Fig. 2(b) order.
+[[nodiscard]] const std::vector<ProblemClass>& all_problem_classes();
+
+/// Signature kinds that change under each problem class (Fig. 2(b)).
+[[nodiscard]] const std::map<ProblemClass, std::set<SignatureKind>>&
+problem_profiles();
+
+struct DependencyMatrix {
+  /// Rows: CG, DD, CI, PC, FS. Columns: PT, ISL, CRT (the paper's CC).
+  std::array<std::array<bool, 3>, 5> cells{};
+  std::array<bool, 5> app_changed{};
+  std::array<bool, 3> infra_changed{};
+
+  [[nodiscard]] std::set<SignatureKind> changed_kinds() const;
+  [[nodiscard]] std::string render() const;
+};
+
+DependencyMatrix build_dependency_matrix(const std::vector<Change>& unknown);
+
+struct ProblemScore {
+  ProblemClass cls;
+  double score = 0.0;  ///< Jaccard similarity to the profile, [0, 1].
+};
+
+/// Candidate problem classes, best first. Empty when nothing changed.
+std::vector<ProblemScore> classify(const DependencyMatrix& matrix);
+
+/// Classification refined with the changes themselves: classes implying
+/// *new* connectivity (unauthorized access) are discounted when nothing
+/// appeared, and failure/disconnection classes are discounted when nothing
+/// disappeared.
+std::vector<ProblemScore> classify(const DependencyMatrix& matrix,
+                                   const std::vector<Change>& unknown);
+
+/// Components ranked by how many unknown changes they are associated with
+/// (paper: higher rank = more likely related to the problem).
+std::vector<std::pair<std::string, int>> rank_components(
+    const std::vector<Change>& unknown);
+
+}  // namespace flowdiff::core

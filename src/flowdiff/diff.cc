@@ -1,0 +1,411 @@
+#include "flowdiff/diff.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flowdiff::core {
+
+const char* to_string(SignatureKind kind) {
+  switch (kind) {
+    case SignatureKind::kCg:
+      return "CG";
+    case SignatureKind::kFs:
+      return "FS";
+    case SignatureKind::kCi:
+      return "CI";
+    case SignatureKind::kDd:
+      return "DD";
+    case SignatureKind::kPc:
+      return "PC";
+    case SignatureKind::kPt:
+      return "PT";
+    case SignatureKind::kIsl:
+      return "ISL";
+    case SignatureKind::kCrt:
+      return "CRT";
+    case SignatureKind::kUtil:
+      return "UTIL";
+  }
+  return "?";
+}
+
+bool is_infra(SignatureKind kind) {
+  return kind == SignatureKind::kPt || kind == SignatureKind::kIsl ||
+         kind == SignatureKind::kCrt || kind == SignatureKind::kUtil;
+}
+
+namespace {
+
+ComponentRef edge_component(const HostEdge& e) {
+  return ComponentRef{e.first.to_string() + "->" + e.second.to_string(),
+                      {e.first, e.second}};
+}
+
+ComponentRef node_component(Ipv4 ip) { return ComponentRef{ip.to_string(), {ip}}; }
+
+std::string pair_label(const EdgePair& p) {
+  return std::get<0>(p).to_string() + "->" + std::get<1>(p).to_string() +
+         "->" + std::get<2>(p).to_string();
+}
+
+ComponentRef pair_component(const EdgePair& p) {
+  // The node joining the two edges is the prime suspect for DD/PC shifts.
+  return ComponentRef{pair_label(p),
+                      {std::get<0>(p), std::get<1>(p), std::get<2>(p)}};
+}
+
+SimTime edge_first_ts(const GroupModel& group, const HostEdge& e) {
+  auto it = group.sig.fs.per_edge.find(e);
+  return it == group.sig.fs.per_edge.end() ? -1 : it->second.first_ts;
+}
+
+void diff_group(const GroupModel& base, const GroupModel& cur, int group_idx,
+                const DiffThresholds& t, std::vector<Change>& out) {
+  // --- CG --------------------------------------------------------------
+  const auto cg_diff = base.sig.cg.diff(cur.sig.cg);
+  for (const auto& e : cg_diff.added) {
+    Change c;
+    c.kind = SignatureKind::kCg;
+    c.direction = ChangeDirection::kAdded;
+    c.description = "new edge " + e.first.to_string() + "->" +
+                    e.second.to_string();
+    c.components = {edge_component(e)};
+    c.approx_time = edge_first_ts(cur, e);
+    c.group_index = group_idx;
+    c.magnitude = 1.0;
+    out.push_back(std::move(c));
+  }
+  for (const auto& e : cg_diff.removed) {
+    Change c;
+    c.kind = SignatureKind::kCg;
+    c.direction = ChangeDirection::kRemoved;
+    c.description = "missing edge " + e.first.to_string() + "->" +
+                    e.second.to_string();
+    c.components = {edge_component(e)};
+    c.group_index = group_idx;
+    c.magnitude = 1.0;
+    out.push_back(std::move(c));
+  }
+
+  // --- FS --------------------------------------------------------------
+  for (const auto& [edge, base_stats] : base.sig.fs.per_edge) {
+    const auto it = cur.sig.fs.per_edge.find(edge);
+    if (it == cur.sig.fs.per_edge.end()) continue;
+    const auto& cur_stats = it->second;
+    if (base_stats.bytes.count() >= t.min_samples &&
+        cur_stats.bytes.count() >= t.min_samples &&
+        base_stats.bytes.mean() > 0.0) {
+      const double delta =
+          std::abs(cur_stats.bytes.mean() - base_stats.bytes.mean());
+      const double rel = delta / base_stats.bytes.mean();
+      // The sigma gate suppresses edges whose per-entry byte counts are
+      // naturally noisy (heavily reused connections aggregate a variable
+      // number of requests per flow entry).
+      if (rel > t.fs_bytes_rel &&
+          delta > t.fs_sigma * base_stats.bytes.stddev()) {
+        Change c;
+        c.kind = SignatureKind::kFs;
+        c.description = "byte count on " + edge.first.to_string() + "->" +
+                        edge.second.to_string() + " changed " +
+                        std::to_string(static_cast<int>(rel * 100)) + "%";
+        c.magnitude = rel;
+        c.components = {edge_component(edge)};
+        c.group_index = group_idx;
+        out.push_back(std::move(c));
+      }
+    }
+    if (base_stats.duration_ms.count() >= t.min_samples &&
+        cur_stats.duration_ms.count() >= t.min_samples &&
+        base_stats.duration_ms.mean() > 0.0) {
+      const double ddelta = std::abs(cur_stats.duration_ms.mean() -
+                                     base_stats.duration_ms.mean());
+      const double rel = ddelta / base_stats.duration_ms.mean();
+      if (rel > t.fs_duration_rel &&
+          ddelta > t.fs_sigma * base_stats.duration_ms.stddev()) {
+        Change c;
+        c.kind = SignatureKind::kFs;
+        c.description = "flow duration on " + edge.first.to_string() + "->" +
+                        edge.second.to_string() + " changed";
+        c.magnitude = rel;
+        c.components = {edge_component(edge)};
+        c.group_index = group_idx;
+        out.push_back(std::move(c));
+      }
+    }
+  }
+  if (base.sig.fs.flows_per_sec.count() >= t.min_samples &&
+      cur.sig.fs.flows_per_sec.count() >= t.min_samples &&
+      base.sig.fs.flows_per_sec.mean() > 0.0) {
+    const double rel = std::abs(cur.sig.fs.flows_per_sec.mean() -
+                                base.sig.fs.flows_per_sec.mean()) /
+                       base.sig.fs.flows_per_sec.mean();
+    if (rel > t.fs_rate_rel) {
+      Change c;
+      c.kind = SignatureKind::kFs;
+      c.description = "group flow rate changed";
+      c.magnitude = rel;
+      for (const Ipv4 ip : base.sig.members) {
+        c.components.push_back(node_component(ip));
+      }
+      c.group_index = group_idx;
+      out.push_back(std::move(c));
+    }
+  }
+
+  // --- CI (chi-squared fitness; unstable nodes skipped) -----------------
+  for (const auto& [node, base_ci] : base.sig.ci.per_node) {
+    if (base.unstable_ci_nodes.contains(node)) continue;
+    const auto it = cur.sig.ci.per_node.find(node);
+    if (it == cur.sig.ci.per_node.end()) continue;
+    if (base_ci.total < t.min_samples || it->second.total < t.min_samples) {
+      continue;
+    }
+    const double chi2 =
+        ComponentInteractionSig::chi2_at_node(base_ci, it->second);
+    if (chi2 > t.ci_chi2) {
+      Change c;
+      c.kind = SignatureKind::kCi;
+      c.description =
+          "component interaction at " + node.to_string() + " changed";
+      c.magnitude = chi2;
+      c.components = {node_component(node)};
+      c.group_index = group_idx;
+      out.push_back(std::move(c));
+    }
+  }
+
+  // --- DD (peak shift; unstable pairs skipped) ---------------------------
+  for (const auto& [pair, base_dd] : base.sig.dd.per_pair) {
+    if (base.unstable_dd_pairs.contains(pair)) continue;
+    const auto it = cur.sig.dd.per_pair.find(pair);
+    if (it == cur.sig.dd.per_pair.end()) continue;
+    const double peak_shift = std::abs(it->second.peak_ms - base_dd.peak_ms);
+    // Histogram shape distance: max per-bin difference of pairs-per-in-flow
+    // rates. A dependency contributes ~1 pair per in-flow to its delay bin,
+    // so mass moving to a retransmission tail shows up as an O(loss-rate)
+    // delta while coincidental-pair noise stays small.
+    const double shape_delta =
+        base.shape_unstable_dd_pairs.contains(pair)
+            ? 0.0
+            : dd_shape_distance(base_dd, it->second);
+    if (peak_shift > t.dd_peak_shift_ms || shape_delta > t.dd_shape_delta) {
+      const bool by_peak = peak_shift > t.dd_peak_shift_ms;
+      Change c;
+      c.kind = SignatureKind::kDd;
+      if (by_peak) {
+        c.description = "delay peak at " + pair_label(pair) + " shifted " +
+                        std::to_string(static_cast<int>(peak_shift)) + "ms";
+        c.magnitude = peak_shift;
+      } else {
+        c.description = "delay distribution at " + pair_label(pair) +
+                        " reshaped (mass delta " +
+                        std::to_string(static_cast<int>(shape_delta * 100)) +
+                        "%)";
+        c.magnitude = shape_delta;
+      }
+      c.components = {pair_component(pair)};
+      c.group_index = group_idx;
+      out.push_back(std::move(c));
+    }
+  }
+
+  // --- PC ----------------------------------------------------------------
+  for (const auto& [pair, base_rho] : base.sig.pc.rho) {
+    if (base.unstable_pc_pairs.contains(pair)) continue;
+    const auto it = cur.sig.pc.rho.find(pair);
+    if (it == cur.sig.pc.rho.end()) continue;
+    const double delta = std::abs(it->second - base_rho);
+    if (delta > t.pc_delta) {
+      Change c;
+      c.kind = SignatureKind::kPc;
+      c.description = "correlation at " + pair_label(pair) + " changed";
+      c.magnitude = delta;
+      c.components = {pair_component(pair)};
+      c.group_index = group_idx;
+      out.push_back(std::move(c));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Change> diff_models(const BehaviorModel& baseline,
+                                const BehaviorModel& current,
+                                const DiffThresholds& thresholds) {
+  std::vector<Change> out;
+
+  // --- Application groups -------------------------------------------------
+  std::vector<bool> current_matched(current.groups.size(), false);
+  for (std::size_t g = 0; g < baseline.groups.size(); ++g) {
+    const int match = match_group(current, baseline.groups[g].sig.members);
+    if (match < 0) {
+      Change c;
+      c.kind = SignatureKind::kCg;
+      c.direction = ChangeDirection::kRemoved;
+      c.description = "application group disappeared";
+      for (const Ipv4 ip : baseline.groups[g].sig.members) {
+        c.components.push_back(ComponentRef{ip.to_string(), {ip}});
+      }
+      c.group_index = static_cast<int>(g);
+      c.magnitude = 1.0;
+      out.push_back(std::move(c));
+      continue;
+    }
+    current_matched[static_cast<std::size_t>(match)] = true;
+    diff_group(baseline.groups[g],
+               current.groups[static_cast<std::size_t>(match)],
+               static_cast<int>(g), thresholds, out);
+  }
+  for (std::size_t g = 0; g < current.groups.size(); ++g) {
+    if (current_matched[g]) continue;
+    Change c;
+    c.kind = SignatureKind::kCg;
+    c.direction = ChangeDirection::kAdded;
+    c.description = "new application group appeared";
+    SimTime earliest = -1;
+    for (const Ipv4 ip : current.groups[g].sig.members) {
+      c.components.push_back(ComponentRef{ip.to_string(), {ip}});
+    }
+    for (const auto& [edge, stats] : current.groups[g].sig.fs.per_edge) {
+      if (earliest < 0 || stats.first_ts < earliest) earliest = stats.first_ts;
+    }
+    c.approx_time = earliest;
+    c.magnitude = 1.0;
+    out.push_back(std::move(c));
+  }
+
+  // --- PT ------------------------------------------------------------------
+  const auto pt_diff = baseline.infra.pt.diff(current.infra.pt);
+  // A host-attachment edge for a host the reference side never observed is
+  // new *visibility*, not a topology change (the link existed all along);
+  // only attachment changes of already-known hosts (e.g. a migrated VM) and
+  // switch-switch changes are physical-topology changes.
+  auto host_unknown_to = [](const PhysicalTopologySig& reference,
+                            const std::pair<PtNode, PtNode>& e) {
+    for (const auto& node : {e.first, e.second}) {
+      if (node.starts_with("host:") && !reference.graph.has_node(node)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  auto pt_change = [&out](const std::pair<PtNode, PtNode>& e, bool added) {
+    Change c;
+    c.kind = SignatureKind::kPt;
+    c.direction = added ? ChangeDirection::kAdded : ChangeDirection::kRemoved;
+    c.description = std::string(added ? "new" : "missing") +
+                    " physical link " + e.first + "->" + e.second;
+    ComponentRef ref;
+    ref.label = e.first + "->" + e.second;
+    for (const auto& node : {e.first, e.second}) {
+      if (node.starts_with("host:")) {
+        if (auto ip = Ipv4::parse(node.substr(5))) ref.ips.push_back(*ip);
+      }
+    }
+    c.components = {std::move(ref)};
+    c.magnitude = 1.0;
+    out.push_back(std::move(c));
+  };
+  // A missing edge is only evidence of change when both endpoints are
+  // still visible in the current window — an entirely dark switch is a
+  // visibility loss, reported once below as a disappeared switch.
+  auto endpoint_invisible = [&current](const std::pair<PtNode, PtNode>& e) {
+    return !current.infra.pt.graph.has_node(e.first) ||
+           !current.infra.pt.graph.has_node(e.second);
+  };
+  for (const auto& e : pt_diff.added) {
+    if (!host_unknown_to(baseline.infra.pt, e)) pt_change(e, true);
+  }
+  for (const auto& e : pt_diff.removed) {
+    if (!host_unknown_to(current.infra.pt, e) && !endpoint_invisible(e)) {
+      pt_change(e, false);
+    }
+  }
+  // Switches that vanished from the control traffic entirely.
+  for (const auto& node : baseline.infra.pt.graph.nodes()) {
+    if (!node.starts_with("sw:")) continue;
+    if (current.infra.pt.graph.has_node(node)) continue;
+    Change c;
+    c.kind = SignatureKind::kPt;
+    c.direction = ChangeDirection::kRemoved;
+    c.description = "switch " + node + " disappeared from control traffic";
+    c.components = {ComponentRef{node, {}}};
+    c.magnitude = 1.0;
+    out.push_back(std::move(c));
+  }
+
+  // --- ISL -------------------------------------------------------------------
+  for (const auto& [pair, base_stats] : baseline.infra.isl.latency_ms) {
+    const auto it = current.infra.isl.latency_ms.find(pair);
+    if (it == current.infra.isl.latency_ms.end()) continue;
+    if (base_stats.count() < thresholds.min_samples ||
+        it->second.count() < thresholds.min_samples) {
+      continue;
+    }
+    const double shift = std::abs(it->second.mean() - base_stats.mean());
+    const double gate = std::max(thresholds.isl_shift_ms,
+                                 thresholds.isl_sigma * base_stats.stddev());
+    if (shift > gate) {
+      Change c;
+      c.kind = SignatureKind::kIsl;
+      c.description = "inter-switch latency sw" +
+                      std::to_string(pair.first) + "->sw" +
+                      std::to_string(pair.second) + " shifted " +
+                      std::to_string(shift) + "ms";
+      c.magnitude = shift;
+      c.components = {ComponentRef{
+          "sw" + std::to_string(pair.first) + "->sw" +
+              std::to_string(pair.second),
+          {}}};
+      out.push_back(std::move(c));
+    }
+  }
+
+  // --- Polled utilization ---------------------------------------------------
+  for (const auto& [sw, base_load] : baseline.infra.load.mbps) {
+    const auto it = current.infra.load.mbps.find(sw);
+    if (it == current.infra.load.mbps.end()) continue;
+    if (base_load.count() < thresholds.min_samples ||
+        it->second.count() < thresholds.min_samples) {
+      continue;
+    }
+    const double delta = std::abs(it->second.mean() - base_load.mean());
+    if (delta < thresholds.util_floor_mbps) continue;
+    const double base_mean = std::max(base_load.mean(), 0.1);
+    if (delta / base_mean > thresholds.util_rel) {
+      Change c;
+      c.kind = SignatureKind::kUtil;
+      c.description = "polled throughput at sw" + std::to_string(sw) +
+                      " changed " + std::to_string(base_load.mean()) +
+                      " -> " + std::to_string(it->second.mean()) + " Mbps";
+      c.magnitude = delta / base_mean;
+      c.components = {ComponentRef{"sw" + std::to_string(sw), {}}};
+      out.push_back(std::move(c));
+    }
+  }
+
+  // --- CRT --------------------------------------------------------------------
+  {
+    const auto& base_crt = baseline.infra.crt.response_ms;
+    const auto& cur_crt = current.infra.crt.response_ms;
+    if (base_crt.count() >= thresholds.min_samples &&
+        cur_crt.count() >= thresholds.min_samples) {
+      const double shift = std::abs(cur_crt.mean() - base_crt.mean());
+      const double gate = std::max(thresholds.crt_shift_ms,
+                                   thresholds.crt_sigma * base_crt.stddev());
+      if (shift > gate) {
+        Change c;
+        c.kind = SignatureKind::kCrt;
+        c.description = "controller response time shifted " +
+                        std::to_string(shift) + "ms";
+        c.magnitude = shift;
+        c.components = {ComponentRef{"controller", {}}};
+        out.push_back(std::move(c));
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace flowdiff::core

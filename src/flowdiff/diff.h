@@ -1,0 +1,77 @@
+// Signature diffing (paper SectionIV-A): compares two behavior models and
+// emits a list of Changes, each tagged with the signature kind and the
+// physical/logical components involved.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flowdiff/model.h"
+
+namespace flowdiff::core {
+
+enum class SignatureKind : std::uint8_t {
+  kCg,   ///< Connectivity graph.
+  kFs,   ///< Flow statistics.
+  kCi,   ///< Component interaction.
+  kDd,   ///< Delay distribution.
+  kPc,   ///< Partial correlation.
+  kPt,   ///< Physical topology.
+  kIsl,  ///< Inter-switch latency.
+  kCrt,  ///< Controller response time.
+  kUtil, ///< Polled switch utilization (folds into the ISL column of the
+         ///< dependency matrix: both are network-performance baselines).
+};
+
+[[nodiscard]] const char* to_string(SignatureKind kind);
+[[nodiscard]] bool is_infra(SignatureKind kind);
+
+struct ComponentRef {
+  std::string label;
+  std::vector<Ipv4> ips;  ///< Host endpoints involved (empty: switch-only).
+};
+
+/// For structural (CG/PT) changes: did something appear or disappear?
+/// Diagnosis uses this to separate unauthorized access (new edges) from
+/// failures (missing edges).
+enum class ChangeDirection : std::uint8_t { kNone, kAdded, kRemoved };
+
+struct Change {
+  SignatureKind kind = SignatureKind::kCg;
+  ChangeDirection direction = ChangeDirection::kNone;
+  std::string description;
+  double magnitude = 0.0;
+  std::vector<ComponentRef> components;
+  SimTime approx_time = -1;  ///< -1 when unknown.
+  int group_index = -1;      ///< Baseline group, -1 for infra/new groups.
+};
+
+struct DiffThresholds {
+  double ci_chi2 = 0.5;
+  double dd_peak_shift_ms = 25.0;    ///< > one 20 ms bin.
+  /// Largest per-bin probability-mass difference between the two delay
+  /// histograms. Catches tail growth (e.g. retransmissions) that moves
+  /// mass without moving the mode.
+  double dd_shape_delta = 0.15;
+  double pc_delta = 0.35;
+  double fs_bytes_rel = 0.15;        ///< Relative mean bytes/entry change.
+  double fs_duration_rel = 0.75;
+  double fs_sigma = 1.5;             ///< And the shift must clear this many
+                                     ///< baseline stddevs (noise gate).
+  double fs_rate_rel = 0.75;         ///< Group flow-rate change.
+  double isl_shift_ms = 1.0;
+  double util_rel = 0.75;            ///< Relative polled-throughput change.
+  double util_floor_mbps = 1.0;      ///< Ignore idle-switch noise below this.
+  double isl_sigma = 4.0;            ///< Or this many baseline stddevs.
+  double crt_shift_ms = 0.5;
+  double crt_sigma = 4.0;
+  std::uint64_t min_samples = 5;
+};
+
+/// Diffs `current` against the `baseline` model.
+std::vector<Change> diff_models(const BehaviorModel& baseline,
+                                const BehaviorModel& current,
+                                const DiffThresholds& thresholds);
+
+}  // namespace flowdiff::core

@@ -1,0 +1,103 @@
+#include "flowdiff/flowdiff.h"
+
+namespace flowdiff::core {
+
+void FlowDiffConfig::set_special_nodes(std::set<Ipv4> nodes) {
+  model.special_nodes = nodes;
+  validation.service_ips = nodes;
+  detector.service_ips = std::move(nodes);
+}
+
+FlowDiff::FlowDiff(FlowDiffConfig config) : config_(std::move(config)) {}
+
+BehaviorModel FlowDiff::model(const of::ControlLog& log) const {
+  return build_model(log, config_.model);
+}
+
+DiffReport FlowDiff::diff(const BehaviorModel& baseline,
+                          const BehaviorModel& current,
+                          const std::vector<TaskAutomaton>& tasks) const {
+  DiffReport report;
+  report.changes = diff_models(baseline, current, config_.thresholds);
+
+  if (!tasks.empty()) {
+    const TaskDetector detector(tasks, config_.detector);
+    report.detected_tasks = detector.detect(current.flow_starts);
+  }
+
+  const ValidatedChanges validated = validate_changes(
+      report.changes, report.detected_tasks, config_.validation);
+  report.known = validated.known;
+  report.known_explanations = validated.explanations;
+  report.unknown = validated.unknown;
+
+  report.matrix = build_dependency_matrix(report.unknown);
+  report.problems = classify(report.matrix, report.unknown);
+  report.component_ranking = rank_components(report.unknown);
+  return report;
+}
+
+MinedTask FlowDiff::learn_task(const std::string& name,
+                               const std::vector<of::FlowSequence>& runs,
+                               bool mask_subjects) const {
+  MiningConfig mining;
+  mining.mask_subjects = mask_subjects;
+  mining.service_ips = config_.detector.service_ips;
+  mining.ephemeral_floor = config_.detector.ephemeral_floor;
+  return mine_task(name, runs, mining);
+}
+
+std::string DiffReport::render() const {
+  std::string out;
+  out += "=== FlowDiff report ===\n";
+  out += "changes: " + std::to_string(changes.size()) + " (known " +
+         std::to_string(known.size()) + ", unknown " +
+         std::to_string(unknown.size()) + ")\n";
+
+  if (!detected_tasks.empty()) {
+    out += "\ndetected operator tasks:\n";
+    for (const auto& task : detected_tasks) {
+      out += "  " + task.task + " @ " + std::to_string(to_seconds(task.begin)) +
+             "s involving";
+      for (const Ipv4 ip : task.involved) out += " " + ip.to_string();
+      out += "\n";
+    }
+  }
+
+  if (!known.empty()) {
+    out += "\nknown changes (validated against operator tasks):\n";
+    for (std::size_t i = 0; i < known.size(); ++i) {
+      out += "  [" + std::string(to_string(known[i].kind)) + "] " +
+             known[i].description + " -- " + known_explanations[i] + "\n";
+    }
+  }
+
+  if (!unknown.empty()) {
+    out += "\nUNKNOWN changes (debugging flags):\n";
+    for (const auto& change : unknown) {
+      out += "  [" + std::string(to_string(change.kind)) + "] " +
+             change.description + "\n";
+    }
+    out += "\ndependency matrix:\n" + matrix.render();
+    if (!problems.empty()) {
+      out += "\nlikely problem types:\n";
+      for (const auto& p : problems) {
+        out += "  " + std::string(to_string(p.cls)) + " (score " +
+               std::to_string(p.score) + ")\n";
+      }
+    }
+    if (!component_ranking.empty()) {
+      out += "\nimplicated components:\n";
+      std::size_t shown = 0;
+      for (const auto& [label, count] : component_ranking) {
+        out += "  " + label + " (" + std::to_string(count) + ")\n";
+        if (++shown >= 8) break;
+      }
+    }
+  } else {
+    out += "\nno unknown changes: behavior matches the baseline.\n";
+  }
+  return out;
+}
+
+}  // namespace flowdiff::core

@@ -1,0 +1,74 @@
+// FlowDiff public facade.
+//
+//   FlowDiff fd(config);
+//   auto baseline = fd.model(stable_log);     // known-good behavior
+//   auto current = fd.model(suspect_log);
+//   auto report = fd.diff(baseline, current, learned_task_automata);
+//   std::cout << report.render();
+//
+// The report lists every signature change, splits known (task-explained)
+// from unknown changes, classifies the likely problem type via the
+// dependency matrix, and ranks the implicated components.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "flowdiff/diagnosis.h"
+#include "flowdiff/diff.h"
+#include "flowdiff/model.h"
+#include "flowdiff/task_automaton.h"
+#include "flowdiff/task_mining.h"
+#include "flowdiff/validate.h"
+
+namespace flowdiff::core {
+
+struct FlowDiffConfig {
+  ModelConfig model;
+  DiffThresholds thresholds;
+  ValidationConfig validation;
+  DetectorConfig detector;
+
+  /// Propagates the special-node list into every sub-config that needs it.
+  void set_special_nodes(std::set<Ipv4> nodes);
+};
+
+struct DiffReport {
+  std::vector<Change> changes;              ///< Everything the diff found.
+  std::vector<Change> known;                ///< Task-explained changes.
+  std::vector<std::string> known_explanations;
+  std::vector<Change> unknown;              ///< Needs operator attention.
+  std::vector<TaskOccurrence> detected_tasks;
+  DependencyMatrix matrix;
+  std::vector<ProblemScore> problems;       ///< Best first.
+  std::vector<std::pair<std::string, int>> component_ranking;
+
+  [[nodiscard]] bool clean() const { return unknown.empty(); }
+  [[nodiscard]] std::string render() const;
+};
+
+class FlowDiff {
+ public:
+  explicit FlowDiff(FlowDiffConfig config);
+
+  /// Builds a behavior model from a control log.
+  [[nodiscard]] BehaviorModel model(const of::ControlLog& log) const;
+
+  /// Diffs `current` against `baseline`; task automata (if given) are
+  /// matched against the current log's flow starts to validate changes.
+  [[nodiscard]] DiffReport diff(
+      const BehaviorModel& baseline, const BehaviorModel& current,
+      const std::vector<TaskAutomaton>& tasks = {}) const;
+
+  /// Convenience: learn a task automaton with the facade's service list.
+  [[nodiscard]] MinedTask learn_task(
+      const std::string& name, const std::vector<of::FlowSequence>& runs,
+      bool mask_subjects) const;
+
+  [[nodiscard]] const FlowDiffConfig& config() const { return config_; }
+
+ private:
+  FlowDiffConfig config_;
+};
+
+}  // namespace flowdiff::core

@@ -1,0 +1,94 @@
+#include "flowdiff/infra_signatures.h"
+
+namespace flowdiff::core {
+
+PtNode pt_host_node(Ipv4 ip) { return "host:" + ip.to_string(); }
+
+PtNode pt_switch_node(SwitchId sw) {
+  return "sw:" + std::to_string(sw.value);
+}
+
+PhysicalTopologySig::Diff PhysicalTopologySig::diff(
+    const PhysicalTopologySig& current) const {
+  Diff d;
+  d.added = graph.edges_only_in(current.graph);
+  d.removed = current.graph.edges_only_in(graph);
+  return d;
+}
+
+InfraSignatures extract_infra_signatures(const ParsedLog& log) {
+  InfraSignatures out;
+
+  // Physical adjacency is undirected; canonicalize edge order so the same
+  // link inferred from either flow direction is one edge.
+  auto add_undirected = [&out](const PtNode& a, const PtNode& b) {
+    if (a <= b) {
+      out.pt.graph.add_edge(a, b);
+    } else {
+      out.pt.graph.add_edge(b, a);
+    }
+  };
+
+  for (const auto& full_occ : log.occurrences) {
+    if (full_occ.hops.empty()) continue;
+    // Two packets of one flow can both miss at a switch before the entry
+    // installs (e.g. near-simultaneous requests on a reused connection);
+    // collapse consecutive same-switch hops — they are re-misses, not
+    // traversal steps.
+    FlowOccurrence occ;
+    occ.key = full_occ.key;
+    occ.first_ts = full_occ.first_ts;
+    for (const auto& hop : full_occ.hops) {
+      if (!occ.hops.empty() && occ.hops.back().sw == hop.sw) continue;
+      occ.hops.push_back(hop);
+    }
+    // A hop the controller never answered means the flow was dropped
+    // there; nothing beyond it can be trusted for topology inference.
+    std::size_t answered = 0;
+    while (answered < occ.hops.size() &&
+           occ.hops[answered].flow_mod_ts >= 0) {
+      ++answered;
+    }
+    // The source precedes the first reporting switch even if the flow was
+    // dropped later.
+    add_undirected(pt_host_node(occ.key.src_ip),
+                   pt_switch_node(occ.hops.front().sw));
+    // The destination follows the last switch only when the whole path was
+    // set up (otherwise the last reporting switch is wherever the flow
+    // died, not the destination's switch).
+    if (answered == occ.hops.size()) {
+      add_undirected(pt_switch_node(occ.hops.back().sw),
+                     pt_host_node(occ.key.dst_ip));
+    }
+    // Consecutive reporting switches are physically adjacent (possibly via
+    // invisible legacy gear); PacketIn order gives the traversal order.
+    for (std::size_t i = 0; i + 1 < answered; ++i) {
+      const auto& a = occ.hops[i];
+      const auto& b = occ.hops[i + 1];
+      add_undirected(pt_switch_node(a.sw), pt_switch_node(b.sw));
+      // ISL: time from the controller releasing the packet at switch a to
+      // the PacketIn from switch b (paper Fig. 3: t3 - t2).
+      if (b.packet_in_ts >= a.flow_mod_ts) {
+        out.isl.latency_ms[{a.sw.value, b.sw.value}].add(
+            to_millis(b.packet_in_ts - a.flow_mod_ts));
+      }
+    }
+  }
+
+  for (const double ms : log.crt_samples_ms) out.crt.response_ms.add(ms);
+
+  // Polled utilization: samples from one poll share (sw, ts); each poll
+  // contributes one throughput estimate per switch.
+  std::map<std::pair<std::uint32_t, SimTime>, double> per_poll_bps;
+  for (const auto& sample : log.stats) {
+    if (sample.age <= 0) continue;
+    per_poll_bps[{sample.sw.value, sample.ts}] +=
+        static_cast<double>(sample.bytes) * 8.0 / to_seconds(sample.age);
+  }
+  for (const auto& [key2, bps] : per_poll_bps) {
+    out.load.mbps[key2.first].add(bps / 1e6);
+  }
+  return out;
+}
+
+}  // namespace flowdiff::core

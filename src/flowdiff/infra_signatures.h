@@ -1,0 +1,59 @@
+// Infrastructure signatures (paper SectionIII-C): inferred physical
+// topology, inter-switch latency, and controller response time.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "flowdiff/log_model.h"
+#include "util/graph.h"
+#include "util/stats.h"
+
+namespace flowdiff::core {
+
+/// Nodes of the inferred topology graph: "host:<ip>" or "sw:<id>". Legacy
+/// (non-OpenFlow) switches are invisible to control traffic and therefore
+/// absent — exactly the visibility limit the paper discusses.
+using PtNode = std::string;
+
+struct PhysicalTopologySig {
+  Digraph<PtNode> graph;
+
+  struct Diff {
+    std::vector<std::pair<PtNode, PtNode>> added;
+    std::vector<std::pair<PtNode, PtNode>> removed;
+  };
+  [[nodiscard]] Diff diff(const PhysicalTopologySig& current) const;
+};
+
+struct InterSwitchLatencySig {
+  /// Mean/stddev of (next switch's PacketIn ts - this switch's FlowMod ts)
+  /// per ordered switch pair, in milliseconds.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, RunningStats> latency_ms;
+};
+
+struct ControllerResponseSig {
+  RunningStats response_ms;
+};
+
+/// Per-switch throughput estimated from polled flow counters (one sample
+/// per poll: sum over entries of bytes/age) — the "link utilization"
+/// baseline the paper's infrastructure signature includes.
+struct SwitchLoadSig {
+  std::map<std::uint32_t, RunningStats> mbps;
+};
+
+struct InfraSignatures {
+  PhysicalTopologySig pt;
+  InterSwitchLatencySig isl;
+  ControllerResponseSig crt;
+  SwitchLoadSig load;
+};
+
+InfraSignatures extract_infra_signatures(const ParsedLog& log);
+
+[[nodiscard]] PtNode pt_host_node(Ipv4 ip);
+[[nodiscard]] PtNode pt_switch_node(SwitchId sw);
+
+}  // namespace flowdiff::core

@@ -1,0 +1,186 @@
+#include "flowdiff/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flowdiff::core {
+
+namespace {
+
+/// Restricts a parsed log to [t0, t1) for per-segment signature extraction.
+ParsedLog slice_parsed(const ParsedLog& log, SimTime t0, SimTime t1) {
+  ParsedLog out;
+  out.begin = t0;
+  out.end = t1;
+  for (const auto& occ : log.occurrences) {
+    if (occ.first_ts >= t0 && occ.first_ts < t1) out.occurrences.push_back(occ);
+  }
+  for (const auto& rec : log.removed) {
+    if (rec.ts >= t0 && rec.ts < t1) out.removed.push_back(rec);
+  }
+  return out;
+}
+
+void analyze_stability(const ParsedLog& parsed, const ModelConfig& config,
+                       GroupModel& group) {
+  const int segments = std::max(2, config.stability_segments);
+  const SimTime begin = parsed.begin;
+  const SimTime span = std::max<SimTime>(parsed.end - parsed.begin, 1);
+
+  std::vector<GroupSignatures> per_segment;
+  per_segment.reserve(static_cast<std::size_t>(segments));
+  for (int s = 0; s < segments; ++s) {
+    const SimTime t0 = begin + span * s / segments;
+    const SimTime t1 = begin + span * (s + 1) / segments;
+    per_segment.push_back(extract_group_signatures(
+        slice_parsed(parsed, t0, t1), group.sig.members, config.app));
+  }
+
+  // CI: any segment pair with a large chi-squared marks the node unstable.
+  for (const auto& [node, _] : group.sig.ci.per_node) {
+    bool unstable = false;
+    for (int a = 0; a < segments && !unstable; ++a) {
+      const auto ia = per_segment[a].ci.per_node.find(node);
+      if (ia == per_segment[a].ci.per_node.end()) continue;
+      for (int b = a + 1; b < segments; ++b) {
+        const auto ib = per_segment[b].ci.per_node.find(node);
+        if (ib == per_segment[b].ci.per_node.end()) continue;
+        if (ComponentInteractionSig::chi2_at_node(ia->second, ib->second) >
+            config.ci_stability_chi2) {
+          unstable = true;
+          break;
+        }
+      }
+    }
+    if (unstable) group.unstable_ci_nodes.insert(node);
+  }
+
+  // DD: both the peak and the histogram shape must hold across segments.
+  // Shape wobble is the signature of reuse-hidden dependencies (the paper's
+  // "incomplete information about dependent flows").
+  for (const auto& [pair, window_dd] : group.sig.dd.per_pair) {
+    // Reuse-hidden dependencies: when far fewer out-flows are visible than
+    // in-flows, the shape of the delay histogram is dominated by *which*
+    // out-flows happened to be visible — only the peak is trustworthy.
+    if (static_cast<double>(window_dd.out_flows) <
+        config.dd_visibility_ratio *
+            static_cast<double>(window_dd.in_flows)) {
+      group.shape_unstable_dd_pairs.insert(pair);
+    }
+    double lo = 0.0;
+    double hi = 0.0;
+    int present = 0;
+    std::vector<const DelayDistributionSig::PairDd*> seen;
+    for (const auto& seg : per_segment) {
+      const auto it = seg.dd.per_pair.find(pair);
+      if (it == seg.dd.per_pair.end()) continue;
+      seen.push_back(&it->second);
+      const double peak = it->second.peak_ms;
+      if (present == 0) {
+        lo = hi = peak;
+      } else {
+        lo = std::min(lo, peak);
+        hi = std::max(hi, peak);
+      }
+      ++present;
+    }
+    if (present >= 2 && hi - lo > config.dd_stability_ms) {
+      group.unstable_dd_pairs.insert(pair);
+      continue;
+    }
+    for (std::size_t a = 0; a < seen.size(); ++a) {
+      for (std::size_t b = a + 1; b < seen.size(); ++b) {
+        if (dd_shape_distance(*seen[a], *seen[b]) >
+            config.dd_shape_stability) {
+          group.shape_unstable_dd_pairs.insert(pair);
+          a = seen.size();
+          break;
+        }
+      }
+    }
+  }
+
+  // PC: high variance across segments marks the pair unstable.
+  for (const auto& [pair, _] : group.sig.pc.rho) {
+    RunningStats stats;
+    for (const auto& seg : per_segment) {
+      const auto it = seg.pc.rho.find(pair);
+      if (it != seg.pc.rho.end()) stats.add(it->second);
+    }
+    if (stats.count() >= 2 && stats.stddev() > config.pc_stability_sd) {
+      group.unstable_pc_pairs.insert(pair);
+    }
+  }
+}
+
+}  // namespace
+
+BehaviorModel build_model(const of::ControlLog& log,
+                          const ModelConfig& config) {
+  BehaviorModel model;
+  const ParsedLog parsed = parse_log(log);
+  model.begin = parsed.begin;
+  model.end = parsed.end;
+  model.flow_starts = parsed.flow_starts();
+
+  const AppGroups groups =
+      discover_groups(model.flow_starts, config.special_nodes);
+
+  // Partition the log per group up front so modeling stays linear in the
+  // log size no matter how many applications run (the paper's sub-linear
+  // processing-time claim depends on this).
+  std::map<Ipv4, int> index_of;
+  for (std::size_t g = 0; g < groups.groups.size(); ++g) {
+    for (const Ipv4 ip : groups.groups[g]) {
+      index_of.emplace(ip, static_cast<int>(g));
+    }
+  }
+  std::vector<ParsedLog> per_group(groups.groups.size());
+  for (auto& pg : per_group) {
+    pg.begin = parsed.begin;
+    pg.end = parsed.end;
+  }
+  for (const auto& occ : parsed.occurrences) {
+    const auto it = index_of.find(occ.key.src_ip);
+    if (it == index_of.end()) continue;
+    if (!index_of.contains(occ.key.dst_ip)) continue;
+    per_group[static_cast<std::size_t>(it->second)].occurrences.push_back(
+        occ);
+  }
+  for (const auto& rec : parsed.removed) {
+    const auto it = index_of.find(rec.key.src_ip);
+    if (it == index_of.end()) continue;
+    if (!index_of.contains(rec.key.dst_ip)) continue;
+    per_group[static_cast<std::size_t>(it->second)].removed.push_back(rec);
+  }
+
+  model.groups.reserve(groups.groups.size());
+  for (std::size_t g = 0; g < groups.groups.size(); ++g) {
+    GroupModel gm;
+    gm.sig = extract_group_signatures(per_group[g], groups.groups[g],
+                                      config.app);
+    analyze_stability(per_group[g], config, gm);
+    model.groups.push_back(std::move(gm));
+  }
+
+  model.infra = extract_infra_signatures(parsed);
+  return model;
+}
+
+int match_group(const BehaviorModel& model, const std::set<Ipv4>& members) {
+  int best = -1;
+  std::size_t best_overlap = 0;
+  for (std::size_t i = 0; i < model.groups.size(); ++i) {
+    std::size_t overlap = 0;
+    for (const Ipv4 ip : model.groups[i].sig.members) {
+      if (members.contains(ip)) ++overlap;
+    }
+    if (overlap > best_overlap) {
+      best_overlap = overlap;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace flowdiff::core

@@ -1,0 +1,53 @@
+#include "flowdiff/monitor.h"
+
+namespace flowdiff::core {
+
+SlidingMonitor::SlidingMonitor(MonitorConfig config)
+    : config_(std::move(config)), flowdiff_(config_.flowdiff) {}
+
+void SlidingMonitor::feed(const of::ControlEvent& event) {
+  if (window_start_ < 0) {
+    window_start_ = event.ts;
+  }
+  while (event.ts >= window_start_ + config_.window) {
+    close_window(window_start_ + config_.window);
+  }
+  current_.append(event);
+}
+
+void SlidingMonitor::feed(const of::ControlLog& log) {
+  for (const auto& event : log.events()) feed(event);
+}
+
+void SlidingMonitor::flush() {
+  if (window_start_ < 0 || current_.empty()) return;
+  close_window(current_.end_time() + 1);
+}
+
+void SlidingMonitor::close_window(SimTime window_end) {
+  const SimTime begin = window_start_;
+  window_start_ = window_end;
+  of::ControlLog window_log = std::move(current_);
+  current_ = of::ControlLog{};
+  if (window_log.empty()) return;  // Idle window: nothing to model.
+  ++windows_;
+
+  BehaviorModel model = flowdiff_.model(window_log);
+  if (!baseline_) {
+    baseline_ = std::move(model);
+    baseline_begin_ = begin;
+    return;
+  }
+
+  DiffReport report = flowdiff_.diff(*baseline_, model, config_.tasks);
+  const bool clean = report.clean();
+  if (!clean) {
+    alarms_.push_back(MonitorAlarm{begin, window_end, std::move(report)});
+  }
+  if (clean && config_.rolling_baseline) {
+    baseline_ = std::move(model);
+    baseline_begin_ = begin;
+  }
+}
+
+}  // namespace flowdiff::core

@@ -1,0 +1,351 @@
+#include "flowdiff/task_automaton.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace flowdiff::core {
+
+std::string TaskAutomaton::to_string() const {
+  std::string out = "automaton '" + name + "'\n";
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    out += "  state " + std::to_string(i);
+    if (start_states.contains(static_cast<int>(i))) out += " [start]";
+    if (accept_states.contains(static_cast<int>(i))) out += " [accept]";
+    out += ":";
+    for (const auto& t : states[i]) out += " " + t.to_string();
+    out += " ->";
+    for (int s : transitions[i]) out += " " + std::to_string(s);
+    out += "\n";
+  }
+  return out;
+}
+
+namespace {
+
+std::string serialize_endpoint(const TokenEndpoint& ep) {
+  std::string out;
+  if (ep.kind == TokenEndpoint::Kind::kVariable) {
+    out = "#" + std::to_string(ep.var);
+  } else {
+    out = ep.ip.to_string();
+  }
+  out += ' ';
+  out += ep.port_any ? "*" : std::to_string(ep.port);
+  return out;
+}
+
+std::optional<TokenEndpoint> parse_endpoint(std::istringstream& in) {
+  std::string addr;
+  std::string port;
+  if (!(in >> addr >> port)) return std::nullopt;
+  TokenEndpoint ep;
+  if (!addr.empty() && addr[0] == '#') {
+    ep.kind = TokenEndpoint::Kind::kVariable;
+    ep.var = std::stoi(addr.substr(1));
+  } else {
+    const auto ip = Ipv4::parse(addr);
+    if (!ip) return std::nullopt;
+    ep.kind = TokenEndpoint::Kind::kLiteral;
+    ep.ip = *ip;
+  }
+  if (port == "*") {
+    ep.port_any = true;
+  } else {
+    ep.port = static_cast<std::uint16_t>(std::stoul(port));
+  }
+  return ep;
+}
+
+}  // namespace
+
+std::string TaskAutomaton::serialize() const {
+  std::string out = "TASK " + name + "\n";
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    out += "STATE " + std::to_string(i);
+    if (start_states.contains(static_cast<int>(i))) out += " start";
+    if (accept_states.contains(static_cast<int>(i))) out += " accept";
+    out += "\n";
+    for (const auto& token : states[i]) {
+      out += "TOKEN " + serialize_endpoint(token.src) + ' ' +
+             serialize_endpoint(token.dst) + ' ' +
+             std::to_string(static_cast<int>(token.proto)) + "\n";
+    }
+    out += "TRANS";
+    for (int succ : transitions[i]) out += ' ' + std::to_string(succ);
+    out += "\n";
+  }
+  return out;
+}
+
+std::optional<TaskAutomaton> TaskAutomaton::parse(std::string_view text) {
+  TaskAutomaton automaton;
+  std::istringstream lines{std::string(text)};
+  std::string line;
+  int current_state = -1;
+  bool saw_task = false;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream in(line);
+    std::string kind;
+    if (!(in >> kind)) continue;
+    if (kind == "TASK") {
+      std::string rest;
+      std::getline(in, rest);
+      const auto pos = rest.find_first_not_of(' ');
+      automaton.name = pos == std::string::npos ? "" : rest.substr(pos);
+      saw_task = true;
+    } else if (kind == "STATE") {
+      int index = -1;
+      if (!(in >> index) ||
+          index != static_cast<int>(automaton.states.size())) {
+        return std::nullopt;
+      }
+      automaton.states.emplace_back();
+      automaton.transitions.emplace_back();
+      current_state = index;
+      std::string flag;
+      while (in >> flag) {
+        if (flag == "start") automaton.start_states.insert(index);
+        if (flag == "accept") automaton.accept_states.insert(index);
+      }
+    } else if (kind == "TOKEN") {
+      if (current_state < 0) return std::nullopt;
+      FlowToken token;
+      const auto src = parse_endpoint(in);
+      const auto dst = parse_endpoint(in);
+      int proto = 0;
+      if (!src || !dst || !(in >> proto)) return std::nullopt;
+      token.src = *src;
+      token.dst = *dst;
+      token.proto = static_cast<of::Proto>(proto);
+      automaton.states[static_cast<std::size_t>(current_state)].push_back(
+          token);
+    } else if (kind == "TRANS") {
+      if (current_state < 0) return std::nullopt;
+      int succ = 0;
+      while (in >> succ) {
+        automaton.transitions[static_cast<std::size_t>(current_state)]
+            .insert(succ);
+      }
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!saw_task) return std::nullopt;
+  // Transition targets must be valid states.
+  for (const auto& outs : automaton.transitions) {
+    for (int succ : outs) {
+      if (succ < 0 || succ >= static_cast<int>(automaton.states.size())) {
+        return std::nullopt;
+      }
+    }
+  }
+  return automaton;
+}
+
+bool TaskAutomaton::accepts(const std::vector<FlowToken>& tokens) const {
+  if (tokens.empty() || states.empty()) return false;
+  // Frontier of (state, offset) positions after consuming a prefix.
+  std::set<std::pair<int, std::size_t>> frontier;
+  for (int s : start_states) frontier.insert({s, 0});
+
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    std::set<std::pair<int, std::size_t>> next;
+    bool accepted_here = false;
+    for (const auto& [state, offset] : frontier) {
+      const auto& seq = states[static_cast<std::size_t>(state)];
+      if (offset >= seq.size() || !(seq[offset] == tokens[i])) continue;
+      if (offset + 1 == seq.size()) {
+        if (accept_states.contains(state)) accepted_here = true;
+        for (int succ : transitions[static_cast<std::size_t>(state)]) {
+          next.insert({succ, 0});
+        }
+      } else {
+        next.insert({state, offset + 1});
+      }
+    }
+    if (i + 1 == tokens.size()) return accepted_here;
+    if (next.empty()) return false;
+    frontier = std::move(next);
+  }
+  return false;
+}
+
+namespace {
+
+struct Matcher {
+  int automaton = 0;
+  int state = 0;
+  std::size_t offset = 0;  ///< Next token to match within the state.
+  std::map<int, Ipv4> bindings;
+  std::set<std::uint32_t> bound_ips;  ///< Injectivity of subject bindings.
+  SimTime begin = 0;
+  SimTime last_progress = 0;
+  std::set<Ipv4> involved;
+};
+
+/// Matches one endpoint of a pattern token against a concrete endpoint,
+/// updating the matcher's bindings on success. The caller works on a copy
+/// and commits only if the whole token matches.
+bool match_endpoint(const TokenEndpoint& pattern, Ipv4 ip, std::uint16_t port,
+                    Matcher& m, const DetectorConfig& config) {
+  if (pattern.port_any) {
+    if (port < config.ephemeral_floor) return false;
+  } else if (pattern.port != port) {
+    return false;
+  }
+  if (pattern.kind == TokenEndpoint::Kind::kLiteral) {
+    return pattern.ip == ip;
+  }
+  // Subject variables only bind to non-service hosts, injectively.
+  if (config.service_ips.contains(ip)) return false;
+  auto it = m.bindings.find(pattern.var);
+  if (it != m.bindings.end()) return it->second == ip;
+  if (m.bound_ips.contains(ip.raw())) return false;
+  m.bindings.emplace(pattern.var, ip);
+  m.bound_ips.insert(ip.raw());
+  return true;
+}
+
+bool match_token(const FlowToken& pattern, const of::FlowKey& key, Matcher& m,
+                 const DetectorConfig& config) {
+  if (pattern.proto != key.proto) return false;
+  Matcher trial = m;
+  if (!match_endpoint(pattern.src, key.src_ip, key.src_port, trial, config) ||
+      !match_endpoint(pattern.dst, key.dst_ip, key.dst_port, trial, config)) {
+    return false;
+  }
+  m = std::move(trial);
+  return true;
+}
+
+}  // namespace
+
+TaskDetector::TaskDetector(std::vector<TaskAutomaton> automata,
+                           DetectorConfig config)
+    : automata_(std::move(automata)), config_(config) {}
+
+std::vector<TaskOccurrence> TaskDetector::detect(
+    const of::FlowSequence& flows) const {
+  std::vector<TaskOccurrence> occurrences;
+  std::vector<Matcher> active;
+  std::vector<std::size_t> active_per_task(automata_.size(), 0);
+
+  // Consumes a matcher whose current state just completed: either records
+  // an occurrence (accept state) or branches into the state's successors.
+  auto on_state_complete = [&](Matcher m, SimTime ts,
+                               std::vector<Matcher>& out) {
+    const auto& automaton = automata_[static_cast<std::size_t>(m.automaton)];
+    if (automaton.accept_states.contains(m.state)) {
+      TaskOccurrence occ;
+      occ.task = automaton.name;
+      occ.begin = m.begin;
+      occ.end = ts;
+      occ.involved.assign(m.involved.begin(), m.involved.end());
+      occurrences.push_back(std::move(occ));
+      return;
+    }
+    for (int succ :
+         automaton.transitions[static_cast<std::size_t>(m.state)]) {
+      Matcher branch = m;
+      branch.state = succ;
+      branch.offset = 0;
+      out.push_back(std::move(branch));
+    }
+  };
+
+  for (const auto& flow : flows) {
+    // Age out matchers that made no progress within the threshold.
+    std::erase_if(active, [&](const Matcher& m) {
+      if (flow.ts - m.last_progress <= config_.interleave_threshold) {
+        return false;
+      }
+      --active_per_task[static_cast<std::size_t>(m.automaton)];
+      return true;
+    });
+
+    std::vector<Matcher> next_active;
+    next_active.reserve(active.size() + 4);
+    for (auto& m : active) {
+      const auto& automaton =
+          automata_[static_cast<std::size_t>(m.automaton)];
+      const auto& seq = automaton.states[static_cast<std::size_t>(m.state)];
+      Matcher advanced = m;
+      if (match_token(seq[advanced.offset], flow.key, advanced, config_)) {
+        --active_per_task[static_cast<std::size_t>(m.automaton)];
+        advanced.last_progress = flow.ts;
+        advanced.involved.insert(flow.key.src_ip);
+        advanced.involved.insert(flow.key.dst_ip);
+        ++advanced.offset;
+        if (advanced.offset == seq.size()) {
+          std::vector<Matcher> branches;
+          on_state_complete(std::move(advanced), flow.ts, branches);
+          for (auto& b : branches) {
+            ++active_per_task[static_cast<std::size_t>(b.automaton)];
+            next_active.push_back(std::move(b));
+          }
+        } else {
+          ++active_per_task[static_cast<std::size_t>(advanced.automaton)];
+          next_active.push_back(std::move(advanced));
+        }
+      } else {
+        // Interleaved unrelated flow: the matcher waits (until timeout).
+        next_active.push_back(std::move(m));
+      }
+    }
+    active = std::move(next_active);
+
+    // Spawn fresh matchers at any automaton whose start state opens with
+    // this flow.
+    for (std::size_t a = 0; a < automata_.size(); ++a) {
+      if (active_per_task[a] >= config_.max_matchers_per_task) continue;
+      const auto& automaton = automata_[a];
+      for (int s : automaton.start_states) {
+        const auto& seq = automaton.states[static_cast<std::size_t>(s)];
+        if (seq.empty()) continue;
+        Matcher fresh;
+        fresh.automaton = static_cast<int>(a);
+        fresh.state = s;
+        fresh.offset = 0;
+        fresh.begin = flow.ts;
+        fresh.last_progress = flow.ts;
+        if (!match_token(seq[0], flow.key, fresh, config_)) continue;
+        fresh.involved.insert(flow.key.src_ip);
+        fresh.involved.insert(flow.key.dst_ip);
+        fresh.offset = 1;
+        if (fresh.offset == seq.size()) {
+          std::vector<Matcher> branches;
+          on_state_complete(std::move(fresh), flow.ts, branches);
+          for (auto& b : branches) {
+            ++active_per_task[a];
+            active.push_back(std::move(b));
+          }
+        } else {
+          ++active_per_task[a];
+          active.push_back(std::move(fresh));
+        }
+        if (active_per_task[a] >= config_.max_matchers_per_task) break;
+      }
+    }
+  }
+
+  // De-duplicate: overlapping detections of the same task with the same
+  // involved hosts collapse to the earliest.
+  std::sort(occurrences.begin(), occurrences.end(),
+            [](const TaskOccurrence& a, const TaskOccurrence& b) {
+              return a.begin < b.begin;
+            });
+  std::vector<TaskOccurrence> deduped;
+  for (auto& occ : occurrences) {
+    const bool duplicate = std::any_of(
+        deduped.begin(), deduped.end(), [&occ](const TaskOccurrence& kept) {
+          return kept.task == occ.task && occ.begin <= kept.end &&
+                 kept.involved == occ.involved;
+        });
+    if (!duplicate) deduped.push_back(std::move(occ));
+  }
+  return deduped;
+}
+
+}  // namespace flowdiff::core

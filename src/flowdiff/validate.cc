@@ -1,0 +1,66 @@
+#include "flowdiff/validate.h"
+
+#include <algorithm>
+
+namespace flowdiff::core {
+
+namespace {
+
+/// Only structural changes can be the direct footprint of an operator task;
+/// performance signatures (DD/PC/ISL/CRT) are never task-explained.
+bool task_explainable(SignatureKind kind) {
+  return kind == SignatureKind::kCg || kind == SignatureKind::kPt ||
+         kind == SignatureKind::kCi || kind == SignatureKind::kFs;
+}
+
+bool explains(const TaskOccurrence& task, const Change& change,
+              const ValidationConfig& config) {
+  // Every non-service host the change touches must be involved in the task.
+  for (const auto& component : change.components) {
+    for (const Ipv4 ip : component.ips) {
+      if (config.service_ips.contains(ip)) continue;
+      if (std::find(task.involved.begin(), task.involved.end(), ip) ==
+          task.involved.end()) {
+        return false;
+      }
+    }
+  }
+  if (change.approx_time >= 0) {
+    if (change.approx_time < task.begin - config.time_slack ||
+        change.approx_time > task.end + config.time_slack) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ValidatedChanges validate_changes(const std::vector<Change>& changes,
+                                  const std::vector<TaskOccurrence>& tasks,
+                                  const ValidationConfig& config) {
+  ValidatedChanges out;
+  for (const auto& change : changes) {
+    const TaskOccurrence* match = nullptr;
+    if (task_explainable(change.kind)) {
+      for (const auto& task : tasks) {
+        if (explains(task, change, config)) {
+          match = &task;
+          break;
+        }
+      }
+    }
+    if (match != nullptr) {
+      out.known.push_back(change);
+      out.explanations.push_back("explained by task '" + match->task +
+                                 "' at t=" +
+                                 std::to_string(to_seconds(match->begin)) +
+                                 "s");
+    } else {
+      out.unknown.push_back(change);
+    }
+  }
+  return out;
+}
+
+}  // namespace flowdiff::core

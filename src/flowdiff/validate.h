@@ -1,0 +1,30 @@
+// Change validation (paper SectionIV-B): a detected change is "known" when
+// a detected operator-task occurrence explains it — the task involves the
+// changed components and overlaps the change in time. Everything else is an
+// "unknown" change and feeds the diagnosis stage.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "flowdiff/diff.h"
+#include "flowdiff/task_automaton.h"
+
+namespace flowdiff::core {
+
+struct ValidationConfig {
+  SimDuration time_slack = 5 * kSecond;
+  std::set<Ipv4> service_ips;
+};
+
+struct ValidatedChanges {
+  std::vector<Change> known;
+  std::vector<std::string> explanations;  ///< Parallel to `known`.
+  std::vector<Change> unknown;
+};
+
+ValidatedChanges validate_changes(const std::vector<Change>& changes,
+                                  const std::vector<TaskOccurrence>& tasks,
+                                  const ValidationConfig& config);
+
+}  // namespace flowdiff::core

@@ -1,0 +1,23 @@
+#include "openflow/flow_key.h"
+
+namespace flowdiff::of {
+
+std::string to_string(Proto p) {
+  switch (p) {
+    case Proto::kTcp:
+      return "tcp";
+    case Proto::kUdp:
+      return "udp";
+    case Proto::kIcmp:
+      return "icmp";
+  }
+  return "proto?";
+}
+
+std::string FlowKey::to_string() const {
+  return src_ip.to_string() + ":" + std::to_string(src_port) + "->" +
+         dst_ip.to_string() + ":" + std::to_string(dst_port) + "/" +
+         of::to_string(proto);
+}
+
+}  // namespace flowdiff::of

@@ -1,0 +1,56 @@
+// Flow identity: the 5-tuple a flow-based network switches on.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/ipv4.h"
+
+namespace flowdiff::of {
+
+enum class Proto : std::uint8_t { kTcp = 6, kUdp = 17, kIcmp = 1 };
+
+[[nodiscard]] std::string to_string(Proto p);
+
+/// A unidirectional flow identified by its 5-tuple. The paper's signatures
+/// treat each direction of a TCP connection as a distinct flow (each raises
+/// its own PacketIn), so reverse() matters.
+struct FlowKey {
+  Ipv4 src_ip;
+  Ipv4 dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  Proto proto = Proto::kTcp;
+
+  [[nodiscard]] FlowKey reverse() const {
+    return FlowKey{dst_ip, src_ip, dst_port, src_port, proto};
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const FlowKey&, const FlowKey&) = default;
+};
+
+}  // namespace flowdiff::of
+
+namespace std {
+template <>
+struct hash<flowdiff::of::FlowKey> {
+  size_t operator()(const flowdiff::of::FlowKey& k) const noexcept {
+    std::uint64_t h = (std::uint64_t{k.src_ip.raw()} << 32) | k.dst_ip.raw();
+    std::uint64_t p = (std::uint64_t{k.src_port} << 24) |
+                      (std::uint64_t{k.dst_port} << 8) |
+                      static_cast<std::uint64_t>(k.proto);
+    // 64-bit mix (splitmix64 finalizer) over the combined words.
+    std::uint64_t x = h ^ (p * 0x9e3779b97f4a7c15ull);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
+  }
+};
+}  // namespace std

@@ -1,0 +1,102 @@
+#include "openflow/flow_table.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace flowdiff::of {
+
+SimTime FlowEntry::expiry_time() const {
+  SimTime expiry = std::numeric_limits<SimTime>::max();
+  if (idle_timeout > 0) expiry = last_match_time + idle_timeout;
+  if (hard_timeout > 0) {
+    expiry = std::min(expiry, install_time + hard_timeout);
+  }
+  return expiry;
+}
+
+RemovedReason FlowEntry::expiry_reason() const {
+  if (hard_timeout > 0 && idle_timeout > 0) {
+    return install_time + hard_timeout <= last_match_time + idle_timeout
+               ? RemovedReason::kHardTimeout
+               : RemovedReason::kIdleTimeout;
+  }
+  return hard_timeout > 0 ? RemovedReason::kHardTimeout
+                          : RemovedReason::kIdleTimeout;
+}
+
+std::optional<FlowEntry> FlowTable::install(FlowEntry entry) {
+  for (auto& existing : entries_) {
+    if (existing.match == entry.match) {
+      // Re-install refreshes timers but keeps accumulated counters, matching
+      // OpenFlow's behavior when a controller overwrites an entry.
+      entry.byte_count += existing.byte_count;
+      entry.packet_count += existing.packet_count;
+      existing = entry;
+      return std::nullopt;
+    }
+  }
+  std::optional<FlowEntry> evicted;
+  if (capacity_ > 0 && entries_.size() >= capacity_) {
+    auto victim = std::min_element(
+        entries_.begin(), entries_.end(),
+        [](const FlowEntry& a, const FlowEntry& b) {
+          return a.last_match_time < b.last_match_time;
+        });
+    evicted = std::move(*victim);
+    entries_.erase(victim);
+  }
+  entries_.push_back(entry);
+  return evicted;
+}
+
+FlowEntry* FlowTable::lookup(const FlowKey& key, PortId in_port) {
+  FlowEntry* best = nullptr;
+  for (auto& entry : entries_) {
+    if (!entry.match.matches(key, in_port)) continue;
+    if (best == nullptr || entry.priority > best->priority ||
+        (entry.priority == best->priority &&
+         entry.match.specificity() > best->match.specificity())) {
+      best = &entry;
+    }
+  }
+  return best;
+}
+
+bool FlowTable::account(const FlowKey& key, PortId in_port, SimTime now,
+                        std::uint64_t bytes, std::uint64_t packets) {
+  FlowEntry* entry = lookup(key, in_port);
+  if (entry == nullptr) return false;
+  entry->byte_count += bytes;
+  entry->packet_count += packets;
+  entry->last_match_time = std::max(entry->last_match_time, now);
+  return true;
+}
+
+std::vector<FlowEntry> FlowTable::expire(SimTime now) {
+  std::vector<FlowEntry> expired;
+  auto it = std::partition(
+      entries_.begin(), entries_.end(),
+      [now](const FlowEntry& e) { return e.expiry_time() > now; });
+  expired.assign(std::make_move_iterator(it),
+                 std::make_move_iterator(entries_.end()));
+  entries_.erase(it, entries_.end());
+  return expired;
+}
+
+std::vector<FlowEntry> FlowTable::clear() {
+  std::vector<FlowEntry> out = std::move(entries_);
+  entries_.clear();
+  return out;
+}
+
+std::optional<SimTime> FlowTable::next_expiry() const {
+  std::optional<SimTime> next;
+  for (const auto& entry : entries_) {
+    const SimTime t = entry.expiry_time();
+    if (t == std::numeric_limits<SimTime>::max()) continue;
+    if (!next || t < *next) next = t;
+  }
+  return next;
+}
+
+}  // namespace flowdiff::of

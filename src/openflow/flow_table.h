@@ -1,0 +1,74 @@
+// Per-switch flow table with idle/hard timeouts and match counters.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "openflow/flow_key.h"
+#include "openflow/match.h"
+#include "openflow/messages.h"
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace flowdiff::of {
+
+struct FlowEntry {
+  FlowMatch match;
+  PortId out_port;
+  int priority = 0;
+  SimDuration idle_timeout = 0;  ///< 0 disables the idle timeout.
+  SimDuration hard_timeout = 0;  ///< 0 disables the hard timeout.
+  SimTime install_time = 0;
+  SimTime last_match_time = 0;
+  std::uint64_t byte_count = 0;
+  std::uint64_t packet_count = 0;
+  FlowKey key;  ///< Flow that caused the install (representative).
+
+  /// Time at which this entry expires given no further matches.
+  [[nodiscard]] SimTime expiry_time() const;
+  [[nodiscard]] RemovedReason expiry_reason() const;
+};
+
+class FlowTable {
+ public:
+  /// Hardware tables hold a bounded number of entries (TCAM capacity);
+  /// 0 = unbounded (the default for the software model).
+  void set_capacity(std::size_t capacity) { capacity_ = capacity; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Installs an entry; replaces an existing entry with an identical match.
+  /// When the table is full, the least-recently-matched entry is evicted
+  /// and returned so the switch can report it (FlowRemoved, reason
+  /// kDelete).
+  std::optional<FlowEntry> install(FlowEntry entry);
+
+  /// Highest-priority (then most-specific) matching entry or nullptr.
+  /// Does not update counters; callers decide what a "packet" means.
+  [[nodiscard]] FlowEntry* lookup(const FlowKey& key, PortId in_port);
+
+  /// Records traffic against the matching entry, refreshing its idle timer.
+  /// Returns false when no entry matches.
+  bool account(const FlowKey& key, PortId in_port, SimTime now,
+               std::uint64_t bytes, std::uint64_t packets);
+
+  /// Removes and returns every entry expired at `now`.
+  std::vector<FlowEntry> expire(SimTime now);
+
+  /// Removes all entries (e.g., on switch restart); returns them.
+  std::vector<FlowEntry> clear();
+
+  /// Earliest expiry time across entries, if any entry can expire.
+  [[nodiscard]] std::optional<SimTime> next_expiry() const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const std::vector<FlowEntry>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<FlowEntry> entries_;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace flowdiff::of

@@ -1,0 +1,332 @@
+#include "openflow/log_io.h"
+
+#include <array>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace flowdiff::of {
+
+namespace {
+
+void append_key(std::string& out, const FlowKey& key) {
+  out += key.src_ip.to_string();
+  out += ' ';
+  out += std::to_string(key.src_port);
+  out += ' ';
+  out += key.dst_ip.to_string();
+  out += ' ';
+  out += std::to_string(key.dst_port);
+  out += ' ';
+  out += std::to_string(static_cast<int>(key.proto));
+}
+
+void append_match(std::string& out, const FlowMatch& match) {
+  auto field = [&out](const auto& opt, auto render) {
+    if (opt) {
+      out += render(*opt);
+    } else {
+      out += '-';
+    }
+    out += ' ';
+  };
+  field(match.src_ip, [](Ipv4 ip) { return ip.to_string(); });
+  field(match.src_port, [](std::uint16_t p) { return std::to_string(p); });
+  field(match.dst_ip, [](Ipv4 ip) { return ip.to_string(); });
+  field(match.dst_port, [](std::uint16_t p) { return std::to_string(p); });
+  field(match.proto,
+        [](Proto p) { return std::to_string(static_cast<int>(p)); });
+  if (match.in_port) {
+    out += std::to_string(match.in_port->value);
+  } else {
+    out += '-';
+  }
+}
+
+/// Whitespace tokenizer with typed extraction; any failure poisons it.
+class Reader {
+ public:
+  explicit Reader(std::string_view line) : stream_(std::string(line)) {}
+
+  std::optional<std::string> token() {
+    std::string t;
+    if (!(stream_ >> t)) return std::nullopt;
+    return t;
+  }
+
+  template <typename Int>
+  std::optional<Int> number() {
+    const auto t = token();
+    if (!t) return std::nullopt;
+    Int value{};
+    const auto [p, ec] =
+        std::from_chars(t->data(), t->data() + t->size(), value);
+    if (ec != std::errc{} || p != t->data() + t->size()) return std::nullopt;
+    return value;
+  }
+
+  std::optional<Ipv4> ip() {
+    const auto t = token();
+    if (!t) return std::nullopt;
+    return Ipv4::parse(*t);
+  }
+
+  std::optional<FlowKey> key() {
+    FlowKey k;
+    const auto src = ip();
+    const auto sport = number<std::uint16_t>();
+    const auto dst = ip();
+    const auto dport = number<std::uint16_t>();
+    const auto proto = number<int>();
+    if (!src || !sport || !dst || !dport || !proto) return std::nullopt;
+    k.src_ip = *src;
+    k.src_port = *sport;
+    k.dst_ip = *dst;
+    k.dst_port = *dport;
+    k.proto = static_cast<Proto>(*proto);
+    return k;
+  }
+
+  std::optional<FlowMatch> match() {
+    FlowMatch m;
+    auto next = [this]() { return token(); };
+    const auto fields = std::array{next(), next(), next(), next(), next(),
+                                   next()};
+    for (const auto& f : fields) {
+      if (!f) return std::nullopt;
+    }
+    auto parse_ip = [](const std::string& t) -> std::optional<Ipv4> {
+      return t == "-" ? std::nullopt : Ipv4::parse(t);
+    };
+    auto parse_u16 = [](const std::string& t) -> std::optional<std::uint16_t> {
+      if (t == "-") return std::nullopt;
+      return static_cast<std::uint16_t>(std::stoul(t));
+    };
+    if (*fields[0] != "-") m.src_ip = parse_ip(*fields[0]);
+    if (*fields[1] != "-") m.src_port = parse_u16(*fields[1]);
+    if (*fields[2] != "-") m.dst_ip = parse_ip(*fields[2]);
+    if (*fields[3] != "-") m.dst_port = parse_u16(*fields[3]);
+    if (*fields[4] != "-") {
+      m.proto = static_cast<Proto>(std::stoi(*fields[4]));
+    }
+    if (*fields[5] != "-") {
+      m.in_port = PortId{static_cast<std::uint32_t>(std::stoul(*fields[5]))};
+    }
+    return m;
+  }
+
+ private:
+  std::istringstream stream_;
+};
+
+}  // namespace
+
+std::string serialize(const ControlLog& log) {
+  std::string out;
+  out += "# flowdiff control log v1\n";
+  for (const auto& event : log.events()) {
+    const std::string prefix = std::to_string(event.ts) + ' ' +
+                               std::to_string(event.controller.value) + ' ';
+    if (const auto* pin = std::get_if<PacketIn>(&event.msg)) {
+      out += "PIN " + prefix + std::to_string(pin->sw.value) + ' ' +
+             std::to_string(pin->in_port.value) + ' ';
+      append_key(out, pin->key);
+      out += ' ' + std::to_string(pin->flow_uid) + '\n';
+    } else if (const auto* fm = std::get_if<FlowMod>(&event.msg)) {
+      out += "FMOD " + prefix + std::to_string(fm->sw.value) + ' ' +
+             std::to_string(fm->out_port.value) + ' ' +
+             std::to_string(fm->idle_timeout) + ' ' +
+             std::to_string(fm->hard_timeout) + ' ';
+      append_match(out, fm->match);
+      out += ' ';
+      append_key(out, fm->key);
+      out += ' ' + std::to_string(fm->flow_uid) + '\n';
+    } else if (const auto* po = std::get_if<PacketOut>(&event.msg)) {
+      out += "POUT " + prefix + std::to_string(po->sw.value) + ' ' +
+             std::to_string(po->out_port.value) + ' ';
+      append_key(out, po->key);
+      out += ' ' + std::to_string(po->flow_uid) + '\n';
+    } else if (const auto* fr = std::get_if<FlowRemoved>(&event.msg)) {
+      out += "FREM " + prefix + std::to_string(fr->sw.value) + ' ' +
+             std::to_string(static_cast<int>(fr->reason)) + ' ' +
+             std::to_string(fr->duration) + ' ' +
+             std::to_string(fr->byte_count) + ' ' +
+             std::to_string(fr->packet_count) + ' ';
+      append_match(out, fr->match);
+      out += ' ';
+      append_key(out, fr->key);
+      out += '\n';
+    } else if (const auto* echo = std::get_if<EchoReply>(&event.msg)) {
+      out += "ECHO " + prefix + std::to_string(echo->sw.value) + '\n';
+    } else if (const auto* st = std::get_if<FlowStatsReply>(&event.msg)) {
+      out += "STAT " + prefix + std::to_string(st->sw.value) + ' ' +
+             std::to_string(st->age) + ' ' +
+             std::to_string(st->byte_count) + ' ' +
+             std::to_string(st->packet_count) + ' ';
+      append_match(out, st->match);
+      out += ' ';
+      append_key(out, st->key);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::optional<ControlLog> parse_control_log(std::string_view text) {
+  ControlLog log;
+  std::istringstream lines{std::string(text)};
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    Reader r(line);
+    const auto kind = r.token();
+    const auto ts = r.number<SimTime>();
+    const auto ctrl = r.number<std::uint32_t>();
+    if (!kind || !ts || !ctrl) return std::nullopt;
+    ControlEvent event;
+    event.ts = *ts;
+    event.controller = ControllerId{*ctrl};
+
+    if (*kind == "PIN") {
+      PacketIn pin;
+      const auto sw = r.number<std::uint32_t>();
+      const auto in_port = r.number<std::uint32_t>();
+      const auto key = r.key();
+      const auto uid = r.number<std::uint64_t>();
+      if (!sw || !in_port || !key || !uid) return std::nullopt;
+      pin.sw = SwitchId{*sw};
+      pin.in_port = PortId{*in_port};
+      pin.key = *key;
+      pin.flow_uid = *uid;
+      event.msg = pin;
+    } else if (*kind == "FMOD") {
+      FlowMod fm;
+      const auto sw = r.number<std::uint32_t>();
+      const auto out_port = r.number<std::uint32_t>();
+      const auto idle = r.number<SimDuration>();
+      const auto hard = r.number<SimDuration>();
+      const auto match = r.match();
+      const auto key = r.key();
+      const auto uid = r.number<std::uint64_t>();
+      if (!sw || !out_port || !idle || !hard || !match || !key || !uid) {
+        return std::nullopt;
+      }
+      fm.sw = SwitchId{*sw};
+      fm.out_port = PortId{*out_port};
+      fm.idle_timeout = *idle;
+      fm.hard_timeout = *hard;
+      fm.match = *match;
+      fm.key = *key;
+      fm.flow_uid = *uid;
+      event.msg = fm;
+    } else if (*kind == "POUT") {
+      PacketOut po;
+      const auto sw = r.number<std::uint32_t>();
+      const auto out_port = r.number<std::uint32_t>();
+      const auto key = r.key();
+      const auto uid = r.number<std::uint64_t>();
+      if (!sw || !out_port || !key || !uid) return std::nullopt;
+      po.sw = SwitchId{*sw};
+      po.out_port = PortId{*out_port};
+      po.key = *key;
+      po.flow_uid = *uid;
+      event.msg = po;
+    } else if (*kind == "FREM") {
+      FlowRemoved fr;
+      const auto sw = r.number<std::uint32_t>();
+      const auto reason = r.number<int>();
+      const auto duration = r.number<SimDuration>();
+      const auto bytes = r.number<std::uint64_t>();
+      const auto pkts = r.number<std::uint64_t>();
+      const auto match = r.match();
+      const auto key = r.key();
+      if (!sw || !reason || !duration || !bytes || !pkts || !match || !key) {
+        return std::nullopt;
+      }
+      fr.sw = SwitchId{*sw};
+      fr.reason = static_cast<RemovedReason>(*reason);
+      fr.duration = *duration;
+      fr.byte_count = *bytes;
+      fr.packet_count = *pkts;
+      fr.match = *match;
+      fr.key = *key;
+      event.msg = fr;
+    } else if (*kind == "STAT") {
+      FlowStatsReply st;
+      const auto sw = r.number<std::uint32_t>();
+      const auto age = r.number<SimDuration>();
+      const auto bytes = r.number<std::uint64_t>();
+      const auto pkts = r.number<std::uint64_t>();
+      const auto match = r.match();
+      const auto key = r.key();
+      if (!sw || !age || !bytes || !pkts || !match || !key) {
+        return std::nullopt;
+      }
+      st.sw = SwitchId{*sw};
+      st.age = *age;
+      st.byte_count = *bytes;
+      st.packet_count = *pkts;
+      st.match = *match;
+      st.key = *key;
+      event.msg = st;
+    } else if (*kind == "ECHO") {
+      EchoReply echo;
+      const auto sw = r.number<std::uint32_t>();
+      if (!sw) return std::nullopt;
+      echo.sw = SwitchId{*sw};
+      event.msg = echo;
+    } else {
+      return std::nullopt;  // Unknown record type.
+    }
+    log.append(std::move(event));
+  }
+  return log;
+}
+
+std::string serialize(const FlowSequence& flows) {
+  std::string out;
+  out += "# flowdiff flow sequence v1\n";
+  for (const auto& tf : flows) {
+    out += "FLOW " + std::to_string(tf.ts) + ' ';
+    append_key(out, tf.key);
+    out += '\n';
+  }
+  return out;
+}
+
+std::optional<FlowSequence> parse_flow_sequence(std::string_view text) {
+  FlowSequence flows;
+  std::istringstream lines{std::string(text)};
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    Reader r(line);
+    const auto kind = r.token();
+    if (!kind || *kind != "FLOW") return std::nullopt;
+    const auto ts = r.number<SimTime>();
+    const auto key = r.key();
+    if (!ts || !key) return std::nullopt;
+    flows.push_back(TimedFlow{*ts, *key});
+  }
+  return flows;
+}
+
+bool write_file(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(content.data(),
+            static_cast<std::streamsize>(content.size()));
+  return static_cast<bool>(out);
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace flowdiff::of

@@ -1,0 +1,39 @@
+// Text serialization for control logs and flow sequences.
+//
+// FlowDiff's workflow is inherently offline-friendly: capture a control log
+// while the data center is healthy, keep it, diff later logs against it.
+// The format is line-oriented and stable:
+//
+//   PIN  <ts> <ctrl> <sw> <in_port> <src_ip> <sport> <dst_ip> <dport> <proto> <uid>
+//   FMOD <ts> <ctrl> <sw> <out_port> <idle> <hard> <match:6 fields, '-'=any> <key:5> <uid>
+//   POUT <ts> <ctrl> <sw> <out_port> <key:5> <uid>
+//   FREM <ts> <ctrl> <sw> <reason> <duration> <bytes> <pkts> <match:6> <key:5>
+//   ECHO <ts> <ctrl> <sw>
+//
+// Lines starting with '#' and blank lines are ignored.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "openflow/control_log.h"
+#include "openflow/timed_flow.h"
+
+namespace flowdiff::of {
+
+[[nodiscard]] std::string serialize(const ControlLog& log);
+[[nodiscard]] std::optional<ControlLog> parse_control_log(
+    std::string_view text);
+
+/// Flow sequences (e.g. single-VM tcpdump-style captures) serialize as
+///   FLOW <ts> <src_ip> <sport> <dst_ip> <dport> <proto>
+[[nodiscard]] std::string serialize(const FlowSequence& flows);
+[[nodiscard]] std::optional<FlowSequence> parse_flow_sequence(
+    std::string_view text);
+
+/// Convenience file helpers; return false / nullopt on I/O errors.
+bool write_file(const std::string& path, std::string_view content);
+[[nodiscard]] std::optional<std::string> read_file(const std::string& path);
+
+}  // namespace flowdiff::of

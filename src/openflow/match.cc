@@ -1,0 +1,23 @@
+#include "openflow/match.h"
+
+namespace flowdiff::of {
+
+namespace {
+std::string opt_ip(const std::optional<Ipv4>& ip) {
+  return ip ? ip->to_string() : "*";
+}
+std::string opt_port(const std::optional<std::uint16_t>& p) {
+  return p ? std::to_string(*p) : "*";
+}
+}  // namespace
+
+std::string FlowMatch::to_string() const {
+  std::string out = opt_ip(src_ip) + ":" + opt_port(src_port) + "->" +
+                    opt_ip(dst_ip) + ":" + opt_port(dst_port);
+  out += "/";
+  out += proto ? of::to_string(*proto) : "*";
+  if (in_port) out += " in:" + std::to_string(in_port->value);
+  return out;
+}
+
+}  // namespace flowdiff::of

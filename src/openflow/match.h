@@ -1,0 +1,74 @@
+// Wildcard-capable flow match, as installed by FlowMod.
+//
+// A FlowMatch with every field set is a microflow entry (matches a single
+// flow); leaving fields unset produces the wildcard rules discussed in the
+// paper's deployment-considerations section (SectionVI), which trade
+// measurement granularity for control-traffic volume.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "openflow/flow_key.h"
+#include "util/ids.h"
+
+namespace flowdiff::of {
+
+struct FlowMatch {
+  std::optional<Ipv4> src_ip;
+  std::optional<Ipv4> dst_ip;
+  std::optional<std::uint16_t> src_port;
+  std::optional<std::uint16_t> dst_port;
+  std::optional<Proto> proto;
+  std::optional<PortId> in_port;
+
+  /// Exact-match entry for one flow (ignores in_port).
+  static FlowMatch exact(const FlowKey& key) {
+    FlowMatch m;
+    m.src_ip = key.src_ip;
+    m.dst_ip = key.dst_ip;
+    m.src_port = key.src_port;
+    m.dst_port = key.dst_port;
+    m.proto = key.proto;
+    return m;
+  }
+
+  /// Host-pair wildcard entry: matches every flow between two IPs.
+  static FlowMatch host_pair(Ipv4 src, Ipv4 dst) {
+    FlowMatch m;
+    m.src_ip = src;
+    m.dst_ip = dst;
+    return m;
+  }
+
+  [[nodiscard]] bool matches(const FlowKey& key, PortId ingress) const {
+    if (src_ip && *src_ip != key.src_ip) return false;
+    if (dst_ip && *dst_ip != key.dst_ip) return false;
+    if (src_port && *src_port != key.src_port) return false;
+    if (dst_port && *dst_port != key.dst_port) return false;
+    if (proto && *proto != key.proto) return false;
+    if (in_port && *in_port != ingress) return false;
+    return true;
+  }
+
+  /// Number of specified fields; used to prefer more specific entries when
+  /// priorities tie.
+  [[nodiscard]] int specificity() const {
+    return int(src_ip.has_value()) + int(dst_ip.has_value()) +
+           int(src_port.has_value()) + int(dst_port.has_value()) +
+           int(proto.has_value()) + int(in_port.has_value());
+  }
+
+  [[nodiscard]] bool is_exact() const {
+    return src_ip && dst_ip && src_port && dst_port && proto;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const FlowMatch&,
+                                    const FlowMatch&) = default;
+};
+
+}  // namespace flowdiff::of

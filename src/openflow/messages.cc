@@ -1,0 +1,43 @@
+#include "openflow/messages.h"
+
+namespace flowdiff::of {
+
+const char* message_name(const ControlMessage& msg) {
+  struct Visitor {
+    const char* operator()(const PacketIn&) const { return "PacketIn"; }
+    const char* operator()(const FlowMod&) const { return "FlowMod"; }
+    const char* operator()(const PacketOut&) const { return "PacketOut"; }
+    const char* operator()(const FlowRemoved&) const { return "FlowRemoved"; }
+    const char* operator()(const EchoReply&) const { return "EchoReply"; }
+    const char* operator()(const FlowStatsReply&) const {
+      return "FlowStatsReply";
+    }
+  };
+  return std::visit(Visitor{}, msg);
+}
+
+std::string ControlEvent::to_string() const {
+  std::string out = std::to_string(ts) + "us " + message_name(msg);
+  if (const auto* pin = std::get_if<PacketIn>(&msg)) {
+    out += " sw=" + std::to_string(pin->sw.value) +
+           " in_port=" + std::to_string(pin->in_port.value) + " " +
+           pin->key.to_string();
+  } else if (const auto* fm = std::get_if<FlowMod>(&msg)) {
+    out += " sw=" + std::to_string(fm->sw.value) + " " +
+           fm->match.to_string() +
+           " out=" + std::to_string(fm->out_port.value);
+  } else if (const auto* po = std::get_if<PacketOut>(&msg)) {
+    out += " sw=" + std::to_string(po->sw.value) + " " + po->key.to_string();
+  } else if (const auto* fr = std::get_if<FlowRemoved>(&msg)) {
+    out += " sw=" + std::to_string(fr->sw.value) + " " +
+           fr->match.to_string() + " bytes=" + std::to_string(fr->byte_count) +
+           " pkts=" + std::to_string(fr->packet_count);
+  } else if (const auto* fs = std::get_if<FlowStatsReply>(&msg)) {
+    out += " sw=" + std::to_string(fs->sw.value) + " " +
+           fs->match.to_string() +
+           " bytes=" + std::to_string(fs->byte_count);
+  }
+  return out;
+}
+
+}  // namespace flowdiff::of

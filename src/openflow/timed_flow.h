@@ -1,0 +1,24 @@
+// A timestamped flow observation: the common currency between the workload
+// generators (which emit flows), the control log analysis (which recovers
+// flow starts from PacketIn messages), and the task miner (which learns
+// automata over flow sequences).
+#pragma once
+
+#include <vector>
+
+#include "openflow/flow_key.h"
+#include "util/time.h"
+
+namespace flowdiff::of {
+
+struct TimedFlow {
+  SimTime ts = 0;
+  FlowKey key;
+
+  friend constexpr auto operator<=>(const TimedFlow&,
+                                    const TimedFlow&) = default;
+};
+
+using FlowSequence = std::vector<TimedFlow>;
+
+}  // namespace flowdiff::of

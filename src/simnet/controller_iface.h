@@ -1,0 +1,24 @@
+// Interface the data plane uses to reach the control plane.
+//
+// Concrete controllers live in src/controller; the simulator only needs to
+// hand them messages at the (simulated) time the messages arrive.
+#pragma once
+
+#include "openflow/messages.h"
+
+namespace flowdiff::sim {
+
+class ControllerIface {
+ public:
+  virtual ~ControllerIface() = default;
+
+  /// Invoked when a PacketIn arrives at the controller. Implementations
+  /// respond asynchronously through Network::send_flow_mod /
+  /// Network::drop_buffered.
+  virtual void handle_packet_in(const of::PacketIn& msg) = 0;
+
+  /// Invoked when a FlowRemoved notification arrives at the controller.
+  virtual void handle_flow_removed(const of::FlowRemoved& msg) = 0;
+};
+
+}  // namespace flowdiff::sim

@@ -1,0 +1,32 @@
+#include "simnet/event_queue.h"
+
+#include <utility>
+
+namespace flowdiff::sim {
+
+void EventQueue::schedule(SimTime t, Callback fn) {
+  if (t < now_) t = now_;
+  queue_.push(Item{t, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::step() {
+  if (queue_.empty()) return false;
+  // Copy out before pop so the callback may schedule further events.
+  Item item = std::move(const_cast<Item&>(queue_.top()));
+  queue_.pop();
+  now_ = item.time;
+  item.fn();
+  return true;
+}
+
+void EventQueue::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) step();
+  if (now_ < t) now_ = t;
+}
+
+void EventQueue::run_all() {
+  while (step()) {
+  }
+}
+
+}  // namespace flowdiff::sim

@@ -1,0 +1,57 @@
+// Discrete-event simulation core.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time.h"
+
+namespace flowdiff::sim {
+
+/// A time-ordered queue of callbacks. Events scheduled for the same time run
+/// in scheduling order (FIFO), which keeps runs deterministic.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `t` (clamped to now for past times).
+  void schedule(SimTime t, Callback fn);
+
+  /// Schedules `fn` after a delay relative to now.
+  void schedule_in(SimDuration delay, Callback fn) {
+    schedule(now_ + delay, std::move(fn));
+  }
+
+  /// Runs the next event; false when the queue is empty.
+  bool step();
+
+  /// Runs all events with time <= t, then advances the clock to t.
+  void run_until(SimTime t);
+
+  /// Runs until the queue drains.
+  void run_all();
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Item {
+    SimTime time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      return a.time > b.time || (a.time == b.time && a.seq > b.seq);
+    }
+  };
+
+  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace flowdiff::sim

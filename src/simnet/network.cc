@@ -1,0 +1,471 @@
+#include "simnet/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flowdiff::sim {
+
+Network::Network(Topology topology, NetworkConfig config)
+    : topology_(std::move(topology)), config_(config), rng_(config.seed) {
+  for (SwitchId sw : topology_.of_switches()) {
+    SwitchState state;
+    state.profile =
+        SwitchProfile{config_.switch_proc_mean, config_.switch_proc_jitter};
+    state.table.set_capacity(config_.switch_table_capacity);
+    switches_.emplace(sw.value, std::move(state));
+  }
+}
+
+void Network::emit_flow_removed(SwitchId sw, const of::FlowEntry& entry,
+                                of::RemovedReason reason) {
+  if (!config_.send_flow_removed) return;
+  auto it = switches_.find(sw.value);
+  if (it == switches_.end()) return;
+  of::FlowRemoved msg;
+  msg.sw = sw;
+  msg.match = entry.match;
+  msg.key = entry.key;
+  msg.reason = reason;
+  msg.duration = events_.now() - entry.install_time;
+  msg.byte_count = entry.byte_count;
+  msg.packet_count = entry.packet_count;
+  const SimDuration delay =
+      sample_proc_delay(it->second.profile) + config_.control_latency;
+  events_.schedule_in(delay, [this, msg] {
+    if (controller_ != nullptr) controller_->handle_flow_removed(msg);
+  });
+}
+
+void Network::set_switch_profile(SwitchId sw, SwitchProfile profile) {
+  auto it = switches_.find(sw.value);
+  if (it != switches_.end()) it->second.profile = profile;
+}
+
+SimDuration Network::sample_proc_delay(const SwitchProfile& profile) {
+  const double d = rng_.normal(static_cast<double>(profile.proc_mean),
+                               static_cast<double>(profile.proc_jitter));
+  return std::max<SimDuration>(static_cast<SimDuration>(d),
+                               profile.proc_mean / 4);
+}
+
+Network::FlowState* Network::find_flow(std::uint64_t uid) {
+  auto it = flows_.find(uid);
+  return it == flows_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t Network::start_flow(FlowSpec spec) {
+  const auto src = topology_.host_by_ip(spec.key.src_ip);
+  const auto dst = topology_.host_by_ip(spec.key.dst_ip);
+  if (!src || !dst) return 0;
+
+  FlowState flow;
+  flow.uid = next_uid_++;
+  flow.key = spec.key;
+  flow.src = src->value;
+  flow.dst = dst->value;
+  flow.bytes = std::max<std::uint64_t>(spec.bytes, 1);
+  flow.packets = static_cast<std::uint32_t>(
+      std::max<std::uint64_t>(1, flow.bytes / config_.mtu_bytes));
+  flow.duration = std::max<SimDuration>(spec.duration, 1);
+  flow.rate_bps = static_cast<double>(flow.bytes) * 8.0 /
+                  to_seconds(flow.duration);
+  flow.on_delivered = std::move(spec.on_delivered);
+  flow.on_failed = std::move(spec.on_failed);
+
+  const std::uint64_t uid = flow.uid;
+  flows_.emplace(uid, std::move(flow));
+
+  const NodeIndex src_node = src->value;
+  events_.schedule_in(config_.host_fwd_delay, [this, uid, src_node] {
+    FlowState* f = find_flow(uid);
+    if (f == nullptr || f->done) return;
+    if (!topology_.node(src_node).up) {
+      fail_flow(*f);
+      return;
+    }
+    // A host has exactly one uplink; forward the first packet through it.
+    const Node& host = topology_.node(src_node);
+    if (host.links.empty()) {
+      fail_flow(*f);
+      return;
+    }
+    forward(uid, src_node, PortId{1});
+  });
+  return uid;
+}
+
+void Network::forward(std::uint64_t uid, NodeIndex node, PortId out_port) {
+  FlowState* flow = find_flow(uid);
+  if (flow == nullptr || flow->done) return;
+  const Link* link = topology_.link_at(node, out_port);
+  if (link == nullptr || !link->up) {
+    fail_flow(*flow);
+    return;
+  }
+  const NodeIndex next = link->other(node);
+  SimDuration delay = link->current_delay();
+
+  // First-packet loss: each retry adds a retransmission delay; after the
+  // retry budget is exhausted the connection attempt dies (TCP gives up),
+  // which is what makes a heavily blackholing link actually sever flows.
+  int tries = 0;
+  while (tries < 5 && rng_.bernoulli(link->loss_rate)) {
+    delay += config_.retx_delay;
+    flow->loss_penalty += config_.retx_delay;
+    flow->retx_bytes += config_.mtu_bytes;
+    ++flow->retx_packets;
+    ++tries;
+  }
+  if (tries >= 5 && rng_.bernoulli(link->loss_rate)) {
+    fail_flow(*flow);
+    return;
+  }
+
+  // Charge the flow's sustained rate to this link for its lifetime.
+  const LinkId id = topology_.node(node).links[out_port.value - 1];
+  if (std::find(flow->loaded_links.begin(), flow->loaded_links.end(), id) ==
+      flow->loaded_links.end()) {
+    topology_.link(id).offered_bps += flow->rate_bps;
+    flow->loaded_links.push_back(id);
+  }
+
+  const PortId in_port = topology_.link(id).port_on(next);
+  events_.schedule_in(delay, [this, uid, next, in_port] {
+    packet_arrives(uid, next, in_port);
+  });
+}
+
+void Network::packet_arrives(std::uint64_t uid, NodeIndex node,
+                             PortId in_port) {
+  FlowState* flow = find_flow(uid);
+  if (flow == nullptr || flow->done) return;
+  const Node& n = topology_.node(node);
+  if (!n.up) {
+    fail_flow(*flow);
+    return;
+  }
+
+  switch (n.kind) {
+    case NodeKind::kHost: {
+      if (node != flow->dst) {
+        fail_flow(*flow);  // Misrouted; should not happen.
+        return;
+      }
+      if (blocked_ports_.contains(
+              {flow->key.dst_ip.raw(), flow->key.dst_port})) {
+        fail_flow(*flow);  // Firewall / dead service drops it at the host.
+        return;
+      }
+      finish_first_packet(*flow);
+      return;
+    }
+    case NodeKind::kLegacySwitch: {
+      const auto next = topology_.next_hop(node, flow->dst);
+      if (!next) {
+        fail_flow(*flow);
+        return;
+      }
+      const Link* link = topology_.link_between(node, *next);
+      if (link == nullptr) {
+        fail_flow(*flow);
+        return;
+      }
+      const PortId out = link->port_on(node);
+      events_.schedule_in(config_.switch_fwd_delay,
+                          [this, uid, node, out] { forward(uid, node, out); });
+      return;
+    }
+    case NodeKind::kOfSwitch: {
+      auto& state = switches_[node];
+      flow->traversed.emplace_back(SwitchId{node}, in_port);
+      of::FlowEntry* entry = state.table.lookup(flow->key, in_port);
+      if (entry != nullptr) {
+        // Table hit: no control traffic. Charge the first packet.
+        state.table.account(flow->key, in_port, events_.now(),
+                            config_.mtu_bytes, 1);
+        const PortId out = entry->out_port;
+        events_.schedule_in(config_.switch_fwd_delay, [this, uid, node, out] {
+          forward(uid, node, out);
+        });
+        return;
+      }
+      // Miss: buffer and notify the controller.
+      state.buffered[uid] = in_port;
+      ++packet_in_count_;
+      of::PacketIn msg;
+      msg.sw = SwitchId{node};
+      msg.in_port = in_port;
+      msg.key = flow->key;
+      msg.flow_uid = uid;
+      const SimDuration delay =
+          sample_proc_delay(state.profile) + config_.control_latency;
+      events_.schedule_in(delay, [this, msg] {
+        if (controller_ != nullptr) controller_->handle_packet_in(msg);
+      });
+      return;
+    }
+  }
+}
+
+void Network::send_flow_mod(const of::FlowMod& mod) {
+  events_.schedule_in(config_.control_latency, [this, mod] {
+    auto it = switches_.find(mod.sw.value);
+    if (it == switches_.end() || !topology_.node(mod.sw.value).up) return;
+    auto& state = it->second;
+
+    of::FlowEntry entry;
+    entry.match = mod.match;
+    entry.out_port = mod.out_port;
+    entry.priority = mod.match.is_exact() ? 10 : 1;
+    entry.idle_timeout = mod.idle_timeout;
+    entry.hard_timeout = mod.hard_timeout;
+    entry.install_time = events_.now();
+    entry.last_match_time = events_.now();
+    entry.key = mod.key;
+    if (const auto evicted = state.table.install(entry)) {
+      emit_flow_removed(mod.sw, *evicted, of::RemovedReason::kDelete);
+    }
+    schedule_expiry_check(mod.sw);
+
+    // Release the buffered packet for the triggering flow, if still there.
+    auto buf = state.buffered.find(mod.flow_uid);
+    if (buf != state.buffered.end()) {
+      state.buffered.erase(buf);
+      FlowState* flow = find_flow(mod.flow_uid);
+      if (flow != nullptr && !flow->done) {
+        state.table.account(flow->key, PortId{}, events_.now(),
+                            config_.mtu_bytes, 1);
+        const NodeIndex node = mod.sw.value;
+        const PortId out = mod.out_port;
+        const std::uint64_t uid = mod.flow_uid;
+        events_.schedule_in(config_.switch_fwd_delay, [this, uid, node, out] {
+          forward(uid, node, out);
+        });
+      }
+    }
+  });
+}
+
+void Network::drop_buffered(std::uint64_t flow_uid, SwitchId sw) {
+  events_.schedule_in(config_.control_latency, [this, flow_uid, sw] {
+    auto it = switches_.find(sw.value);
+    if (it != switches_.end()) it->second.buffered.erase(flow_uid);
+    FlowState* flow = find_flow(flow_uid);
+    if (flow != nullptr && !flow->done) fail_flow(*flow);
+  });
+}
+
+void Network::install_entry_now(SwitchId sw, const of::FlowEntry& entry) {
+  auto it = switches_.find(sw.value);
+  if (it == switches_.end()) return;
+  if (const auto evicted = it->second.table.install(entry)) {
+    emit_flow_removed(sw, *evicted, of::RemovedReason::kDelete);
+  }
+  schedule_expiry_check(sw);
+}
+
+const of::FlowTable& Network::flow_table(SwitchId sw) const {
+  static const of::FlowTable kEmpty;
+  auto it = switches_.find(sw.value);
+  return it == switches_.end() ? kEmpty : it->second.table;
+}
+
+std::vector<of::FlowStatsReply> Network::read_stats(SwitchId sw) const {
+  std::vector<of::FlowStatsReply> out;
+  const auto it = switches_.find(sw.value);
+  if (it == switches_.end() || !topology_.node(sw.value).up) return out;
+  const SimTime now = events_.now();
+  for (const auto& entry : it->second.table.entries()) {
+    of::FlowStatsReply reply;
+    reply.sw = sw;
+    reply.match = entry.match;
+    reply.key = entry.key;
+    reply.age = now - entry.install_time;
+    reply.byte_count = entry.byte_count;
+    reply.packet_count = entry.packet_count;
+    out.push_back(std::move(reply));
+  }
+  return out;
+}
+
+void Network::finish_first_packet(FlowState& flow) {
+  const SimTime first = events_.now();
+
+  // Congestion stretches the transfer: scale by the residual capacity of the
+  // most loaded traversed link. Loss stretches it too — TCP throughput
+  // degrades like 1/sqrt(p) (Mathis et al.), so a lossy path inflates flow
+  // durations well beyond the raw retransmitted bytes.
+  double max_util = 0.0;
+  double max_loss = 0.0;
+  for (LinkId id : flow.loaded_links) {
+    max_util = std::max(max_util, topology_.link(id).utilization());
+    max_loss = std::max(max_loss, topology_.link(id).loss_rate);
+  }
+  const double stretch = (1.0 / (1.0 - std::min(max_util, 0.9))) *
+                         (1.0 + 4.0 * std::sqrt(max_loss));
+
+  // Remaining-packet loss across the path adds retransmission time/bytes.
+  for (LinkId id : flow.loaded_links) {
+    const double p = topology_.link(id).loss_rate;
+    if (p <= 0.0 || flow.packets <= 1) continue;
+    const double mean = static_cast<double>(flow.packets - 1) * p;
+    const auto retx = rng_.poisson(mean);
+    flow.retx_packets += static_cast<std::uint32_t>(retx);
+    flow.retx_bytes += static_cast<std::uint64_t>(retx) * config_.mtu_bytes;
+    flow.loss_penalty += retx * config_.retx_delay;
+  }
+
+  SimDuration extra = 0;
+  if (auto it = host_extra_delay_.find(flow.dst);
+      it != host_extra_delay_.end()) {
+    extra = it->second;
+  }
+  const SimTime complete =
+      first + static_cast<SimDuration>(static_cast<double>(flow.duration) *
+                                       stretch) +
+      flow.loss_penalty + extra;
+
+  // Chunked accounting keeps idle timers refreshed during long flows and
+  // spreads counter growth over the transfer.
+  const SimDuration refresh =
+      std::max<SimDuration>(1, std::min(config_.idle_timeout / 2, kSecond));
+  const SimDuration span = complete - first;
+  const auto chunks = static_cast<std::uint64_t>(
+      std::max<SimDuration>(1, span / std::max<SimDuration>(refresh, 1)));
+  const std::uint64_t total_bytes = flow.bytes + flow.retx_bytes;
+  const std::uint64_t total_packets = flow.packets + flow.retx_packets;
+  const std::uint64_t uid = flow.uid;
+  for (std::uint64_t c = 1; c <= chunks; ++c) {
+    const SimTime when = first + static_cast<SimDuration>(
+                                     static_cast<double>(span) *
+                                     static_cast<double>(c) /
+                                     static_cast<double>(chunks));
+    const std::uint64_t bytes = total_bytes / chunks;
+    const std::uint64_t pkts = std::max<std::uint64_t>(1, total_packets / chunks);
+    events_.schedule(when, [this, uid, bytes, pkts] {
+      account_chunk(uid, bytes, pkts);
+    });
+  }
+
+  if (flow.on_delivered) {
+    DeliveryInfo info{first, complete, flow.loss_penalty};
+    const auto cb = flow.on_delivered;
+    events_.schedule(complete, [cb, info] { cb(info); });
+  }
+  events_.schedule(complete, [this, uid] { end_flow(uid); });
+}
+
+void Network::account_chunk(std::uint64_t uid, std::uint64_t bytes,
+                            std::uint64_t packets) {
+  FlowState* flow = find_flow(uid);
+  if (flow == nullptr || flow->done) return;
+  for (const auto& [sw, in_port] : flow->traversed) {
+    auto it = switches_.find(sw.value);
+    if (it == switches_.end()) continue;
+    it->second.table.account(flow->key, in_port, events_.now(), bytes,
+                             packets);
+  }
+}
+
+void Network::end_flow(std::uint64_t uid) {
+  FlowState* flow = find_flow(uid);
+  if (flow == nullptr || flow->done) return;
+  flow->done = true;
+  for (LinkId id : flow->loaded_links) {
+    Link& link = topology_.link(id);
+    link.offered_bps = std::max(0.0, link.offered_bps - flow->rate_bps);
+  }
+  // Idle timers now run down; make sure every traversed switch re-checks.
+  for (const auto& [sw, _] : flow->traversed) schedule_expiry_check(sw);
+  flows_.erase(uid);
+}
+
+void Network::fail_flow(FlowState& flow) {
+  if (flow.done) return;
+  flow.done = true;
+  for (LinkId id : flow.loaded_links) {
+    Link& link = topology_.link(id);
+    link.offered_bps = std::max(0.0, link.offered_bps - flow.rate_bps);
+  }
+  if (flow.on_failed) flow.on_failed(events_.now());
+  flows_.erase(flow.uid);
+}
+
+void Network::schedule_expiry_check(SwitchId sw) {
+  auto it = switches_.find(sw.value);
+  if (it == switches_.end()) return;
+  auto& state = it->second;
+  const auto next = state.table.next_expiry();
+  if (!next) return;
+  if (state.next_expiry_check >= 0 && state.next_expiry_check <= *next) {
+    return;  // An earlier or equal check is already pending.
+  }
+  state.next_expiry_check = *next;
+  events_.schedule(*next, [this, sw] { run_expiry_check(sw); });
+}
+
+void Network::run_expiry_check(SwitchId sw) {
+  auto it = switches_.find(sw.value);
+  if (it == switches_.end()) return;
+  auto& state = it->second;
+  state.next_expiry_check = -1;
+  auto expired = state.table.expire(events_.now());
+  for (const auto& entry : expired) {
+    emit_flow_removed(sw, entry, entry.expiry_reason());
+  }
+  schedule_expiry_check(sw);
+}
+
+void Network::set_link_loss(LinkId link, double loss_rate) {
+  topology_.link(link).loss_rate = loss_rate;
+}
+
+void Network::set_node_up(NodeIndex node, bool up) {
+  topology_.node(node).up = up;
+}
+
+void Network::set_port_block(Ipv4 dst_ip, std::uint16_t dst_port,
+                             bool blocked) {
+  if (blocked) {
+    blocked_ports_.insert({dst_ip.raw(), dst_port});
+  } else {
+    blocked_ports_.erase({dst_ip.raw(), dst_port});
+  }
+}
+
+void Network::set_host_extra_delay(HostId host, SimDuration extra) {
+  if (extra <= 0) {
+    host_extra_delay_.erase(host.value);
+  } else {
+    host_extra_delay_[host.value] = extra;
+  }
+}
+
+std::vector<LinkId> Network::add_background_load(HostId a, HostId b,
+                                                 double bps) {
+  std::vector<LinkId> affected;
+  const auto path = topology_.shortest_path(a.value, b.value);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    Link* link = topology_.link_between(path[i], path[i + 1]);
+    if (link == nullptr) continue;
+    link->offered_bps += bps;
+    // Recover the id for the caller.
+    for (LinkId id : topology_.node(path[i]).links) {
+      if (&topology_.link(id) == link) {
+        affected.push_back(id);
+        break;
+      }
+    }
+  }
+  return affected;
+}
+
+void Network::remove_background_load(const std::vector<LinkId>& links,
+                                     double bps) {
+  for (LinkId id : links) {
+    Link& link = topology_.link(id);
+    link.offered_bps = std::max(0.0, link.offered_bps - bps);
+  }
+}
+
+}  // namespace flowdiff::sim

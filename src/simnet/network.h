@@ -1,0 +1,183 @@
+// Flow-level data-plane simulation with reactive OpenFlow semantics.
+//
+// A flow's first packet is walked hop by hop: at each OpenFlow switch a
+// table miss buffers the packet and raises a PacketIn; the controller
+// responds with a FlowMod that installs a (micro)flow entry and releases
+// the packet. Subsequent traffic on the flow is aggregated — counters are
+// charged in chunks so idle timers refresh, and entry expiry raises
+// FlowRemoved with the accumulated byte/packet counts. This reproduces the
+// control-traffic causality FlowDiff's signatures are computed from.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "openflow/flow_table.h"
+#include "openflow/messages.h"
+#include "simnet/controller_iface.h"
+#include "simnet/event_queue.h"
+#include "simnet/topology.h"
+#include "util/rng.h"
+
+namespace flowdiff::sim {
+
+struct NetworkConfig {
+  SimDuration idle_timeout = 5 * kSecond;
+  SimDuration hard_timeout = 60 * kSecond;
+  SimDuration switch_proc_mean = 500;    ///< Miss-processing delay (us).
+  SimDuration switch_proc_jitter = 150;
+  SimDuration control_latency = 200;     ///< Switch <-> controller one way.
+  SimDuration host_fwd_delay = 20;
+  SimDuration switch_fwd_delay = 10;     ///< Table-hit forwarding delay.
+  SimDuration retx_delay = 100 * kMillisecond;  ///< Per lost packet (~RTO).
+  std::uint32_t mtu_bytes = 1460;
+  /// Flow-table capacity per switch (TCAM size); 0 = unbounded. A full
+  /// table evicts its least-recently-matched entry (FlowRemoved with
+  /// reason kDelete), so undersized tables show up as PacketIn churn.
+  std::size_t switch_table_capacity = 0;
+  bool send_flow_removed = true;
+  std::uint64_t seed = 42;
+};
+
+/// Per-switch performance profile; the lab testbed mixes fast hardware
+/// switches with slower software ones.
+struct SwitchProfile {
+  SimDuration proc_mean = 500;
+  SimDuration proc_jitter = 150;
+};
+
+struct DeliveryInfo {
+  SimTime first_packet = 0;  ///< First packet reached the destination host.
+  SimTime complete = 0;      ///< Last byte delivered (stretch + loss included).
+  SimDuration loss_penalty = 0;
+};
+
+struct FlowSpec {
+  of::FlowKey key;
+  std::uint64_t bytes = 1000;
+  SimDuration duration = 10 * kMillisecond;
+  std::function<void(const DeliveryInfo&)> on_delivered;
+  std::function<void(SimTime)> on_failed;
+};
+
+class Network {
+ public:
+  Network(Topology topology, NetworkConfig config);
+
+  /// The controller must outlive the network; not owned.
+  void set_controller(ControllerIface* controller) { controller_ = controller; }
+
+  [[nodiscard]] Topology& topology() { return topology_; }
+  [[nodiscard]] const Topology& topology() const { return topology_; }
+  [[nodiscard]] EventQueue& events() { return events_; }
+  [[nodiscard]] SimTime now() const { return events_.now(); }
+  [[nodiscard]] const NetworkConfig& config() const { return config_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  void set_switch_profile(SwitchId sw, SwitchProfile profile);
+
+  /// Starts a flow; src/dst hosts are resolved from the key's IPs.
+  /// Returns the flow uid (0 when the endpoints are unknown).
+  std::uint64_t start_flow(FlowSpec spec);
+
+  // --- Controller-facing API -------------------------------------------
+  /// Delivers a FlowMod to its switch after the control-channel latency;
+  /// installing the entry also releases the buffered packet for the
+  /// triggering flow, as a paired PacketOut would.
+  void send_flow_mod(const of::FlowMod& mod);
+
+  /// Controller found no route: the buffered packet is dropped and the flow
+  /// fails.
+  void drop_buffered(std::uint64_t flow_uid, SwitchId sw);
+
+  /// Pre-installs an entry synchronously (proactive deployment mode).
+  void install_entry_now(SwitchId sw, const of::FlowEntry& entry);
+
+  [[nodiscard]] const of::FlowTable& flow_table(SwitchId sw) const;
+
+  /// Snapshot of a switch's entry counters (a stats poll's payload).
+  [[nodiscard]] std::vector<of::FlowStatsReply> read_stats(SwitchId sw) const;
+
+  // --- Fault hooks -------------------------------------------------------
+  void set_link_loss(LinkId link, double loss_rate);
+  void set_node_up(NodeIndex node, bool up);
+  /// Host-side firewall / crashed service: flows to (ip, port) are dropped
+  /// at the destination host (the network still sees and routes them).
+  void set_port_block(Ipv4 dst_ip, std::uint16_t dst_port, bool blocked);
+  /// Host slowdown (verbose logging, CPU hog): adds to the completion time
+  /// of every flow delivered to the host, which delays whatever the host
+  /// triggers next — the delay-distribution effect the paper injects.
+  void set_host_extra_delay(HostId host, SimDuration extra);
+  /// Adds steady background load (bps) on every link of the current shortest
+  /// path between two hosts; returns the affected links so the caller can
+  /// remove the load later.
+  std::vector<LinkId> add_background_load(HostId a, HostId b, double bps);
+  void remove_background_load(const std::vector<LinkId>& links, double bps);
+
+  /// Total PacketIn messages emitted by all switches so far.
+  [[nodiscard]] std::uint64_t packet_in_count() const {
+    return packet_in_count_;
+  }
+
+ private:
+  struct FlowState {
+    std::uint64_t uid = 0;
+    of::FlowKey key;
+    NodeIndex src = 0;
+    NodeIndex dst = 0;
+    std::uint64_t bytes = 0;
+    std::uint32_t packets = 1;
+    SimDuration duration = 0;
+    double rate_bps = 0.0;
+    SimDuration loss_penalty = 0;
+    std::uint64_t retx_bytes = 0;
+    std::uint32_t retx_packets = 0;
+    std::vector<std::pair<SwitchId, PortId>> traversed;  ///< OF switches.
+    std::vector<LinkId> loaded_links;
+    std::function<void(const DeliveryInfo&)> on_delivered;
+    std::function<void(SimTime)> on_failed;
+    bool done = false;
+  };
+
+  struct SwitchState {
+    of::FlowTable table;
+    SwitchProfile profile;
+    /// Buffered first packets awaiting a controller decision, keyed by flow
+    /// uid.
+    std::unordered_map<std::uint64_t, PortId> buffered;
+    SimTime next_expiry_check = -1;
+  };
+
+  void packet_arrives(std::uint64_t uid, NodeIndex node, PortId in_port);
+  void forward(std::uint64_t uid, NodeIndex node, PortId out_port);
+  void finish_first_packet(FlowState& flow);
+  void account_chunk(std::uint64_t uid, std::uint64_t bytes,
+                     std::uint64_t packets);
+  void end_flow(std::uint64_t uid);
+  void fail_flow(FlowState& flow);
+  void emit_flow_removed(SwitchId sw, const of::FlowEntry& entry,
+                         of::RemovedReason reason);
+  void schedule_expiry_check(SwitchId sw);
+  void run_expiry_check(SwitchId sw);
+  SimDuration sample_proc_delay(const SwitchProfile& profile);
+  FlowState* find_flow(std::uint64_t uid);
+
+  Topology topology_;
+  NetworkConfig config_;
+  EventQueue events_;
+  Rng rng_;
+  ControllerIface* controller_ = nullptr;
+  std::unordered_map<NodeIndex, SwitchState> switches_;
+  std::unordered_map<std::uint64_t, FlowState> flows_;
+  std::set<std::pair<std::uint32_t, std::uint16_t>> blocked_ports_;
+  std::unordered_map<NodeIndex, SimDuration> host_extra_delay_;
+  std::uint64_t next_uid_ = 1;
+  std::uint64_t packet_in_count_ = 0;
+};
+
+}  // namespace flowdiff::sim

@@ -1,0 +1,159 @@
+#include "simnet/topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+namespace flowdiff::sim {
+
+SimDuration Link::current_delay() const {
+  const double u = std::min(utilization(), 0.98);
+  // Queueing term scaled so that ~80% utilization adds a few milliseconds —
+  // enough for the inter-switch-latency signature to move well past its
+  // baseline noise, as congestion does in the paper's testbed.
+  const double queueing_us = 1000.0 * (u * u) / (1.0 - u);
+  return base_latency + static_cast<SimDuration>(queueing_us);
+}
+
+NodeIndex Topology::add_node(NodeKind kind, std::string name, Ipv4 ip) {
+  Node n;
+  n.kind = kind;
+  n.name = std::move(name);
+  n.ip = ip;
+  nodes_.push_back(std::move(n));
+  return static_cast<NodeIndex>(nodes_.size() - 1);
+}
+
+HostId Topology::add_host(std::string name, Ipv4 ip) {
+  return HostId{add_node(NodeKind::kHost, std::move(name), ip)};
+}
+
+SwitchId Topology::add_of_switch(std::string name) {
+  return SwitchId{add_node(NodeKind::kOfSwitch, std::move(name), Ipv4{})};
+}
+
+SwitchId Topology::add_legacy_switch(std::string name) {
+  return SwitchId{add_node(NodeKind::kLegacySwitch, std::move(name), Ipv4{})};
+}
+
+LinkId Topology::connect(NodeIndex a, NodeIndex b, SimDuration latency,
+                         double capacity_bps) {
+  Link link;
+  link.node_a = a;
+  link.node_b = b;
+  link.base_latency = latency;
+  link.capacity_bps = capacity_bps;
+  link.port_a = PortId{static_cast<std::uint32_t>(nodes_[a].links.size() + 1)};
+  link.port_b = PortId{static_cast<std::uint32_t>(nodes_[b].links.size() + 1)};
+  links_.push_back(link);
+  const LinkId id{static_cast<std::uint32_t>(links_.size() - 1)};
+  nodes_[a].links.push_back(id);
+  nodes_[b].links.push_back(id);
+  return id;
+}
+
+std::optional<HostId> Topology::host_by_ip(Ipv4 ip) const {
+  for (NodeIndex i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].kind == NodeKind::kHost && nodes_[i].ip == ip) {
+      return HostId{i};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<NodeIndex> Topology::node_by_name(const std::string& name) const {
+  for (NodeIndex i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+const Link* Topology::link_at(NodeIndex node, PortId port) const {
+  if (!port.valid() || port.value == 0) return nullptr;
+  const auto& links = nodes_[node].links;
+  if (port.value > links.size()) return nullptr;
+  return &links_[links[port.value - 1].value];
+}
+
+std::vector<SwitchId> Topology::of_switches() const {
+  std::vector<SwitchId> out;
+  for (NodeIndex i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].kind == NodeKind::kOfSwitch) out.push_back(SwitchId{i});
+  }
+  return out;
+}
+
+std::vector<HostId> Topology::hosts() const {
+  std::vector<HostId> out;
+  for (NodeIndex i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].kind == NodeKind::kHost) out.push_back(HostId{i});
+  }
+  return out;
+}
+
+std::vector<NodeIndex> Topology::shortest_path(NodeIndex from, NodeIndex to,
+                                               std::uint64_t tie_break) const {
+  if (from >= nodes_.size() || to >= nodes_.size()) return {};
+  if (!nodes_[from].up || !nodes_[to].up) return {};
+  if (from == to) return {from};
+
+  constexpr auto kUnset = std::numeric_limits<NodeIndex>::max();
+  std::vector<NodeIndex> parent(nodes_.size(), kUnset);
+  std::vector<int> dist(nodes_.size(), -1);
+  std::deque<NodeIndex> frontier{from};
+  dist[from] = 0;
+
+  while (!frontier.empty()) {
+    const NodeIndex cur = frontier.front();
+    frontier.pop_front();
+    if (cur == to) break;
+    // Hosts only originate/terminate traffic; do not route through them.
+    if (cur != from && nodes_[cur].kind == NodeKind::kHost) continue;
+
+    // Stable neighbor ordering with a per-flow rotation gives ECMP-like
+    // spreading while keeping each flow's path deterministic.
+    const auto& links = nodes_[cur].links;
+    const std::size_t n = links.size();
+    const std::size_t offset = n == 0 ? 0 : tie_break % n;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Link& link = links_[links[(i + offset) % n].value];
+      if (!link.up) continue;
+      const NodeIndex next = link.other(cur);
+      if (!nodes_[next].up || dist[next] != -1) continue;
+      dist[next] = dist[cur] + 1;
+      parent[next] = cur;
+      frontier.push_back(next);
+    }
+  }
+
+  if (dist[to] == -1) return {};
+  std::vector<NodeIndex> path;
+  for (NodeIndex cur = to; cur != kUnset; cur = parent[cur]) {
+    path.push_back(cur);
+    if (cur == from) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path.front() == from ? path : std::vector<NodeIndex>{};
+}
+
+std::optional<NodeIndex> Topology::next_hop(NodeIndex from, NodeIndex to,
+                                            std::uint64_t tie_break) const {
+  const auto path = shortest_path(from, to, tie_break);
+  if (path.size() < 2) return std::nullopt;
+  return path[1];
+}
+
+Link* Topology::link_between(NodeIndex a, NodeIndex b) {
+  for (LinkId id : nodes_[a].links) {
+    Link& link = links_[id.value];
+    if (link.other(a) == b) return &link;
+  }
+  return nullptr;
+}
+
+const Link* Topology::link_between(NodeIndex a, NodeIndex b) const {
+  return const_cast<Topology*>(this)->link_between(a, b);
+}
+
+}  // namespace flowdiff::sim

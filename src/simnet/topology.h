@@ -1,0 +1,121 @@
+// Data-center topology: hosts, OpenFlow switches, legacy switches, links.
+//
+// HostId and SwitchId share one underlying node index space, so links and
+// routing can treat the topology as a single graph while the type system
+// still distinguishes the two roles at API boundaries.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/ipv4.h"
+#include "util/time.h"
+
+namespace flowdiff::sim {
+
+enum class NodeKind : std::uint8_t { kHost, kOfSwitch, kLegacySwitch };
+
+/// Index into the topology's node table; HostId/SwitchId wrap these values.
+using NodeIndex = std::uint32_t;
+
+struct Node {
+  NodeKind kind = NodeKind::kHost;
+  std::string name;
+  Ipv4 ip;          ///< Hosts only.
+  bool up = true;   ///< Switch/host failure flips this.
+  std::vector<LinkId> links;  ///< Port p (1-based) is links[p-1].
+};
+
+struct Link {
+  NodeIndex node_a = 0;
+  NodeIndex node_b = 0;
+  PortId port_a;  ///< Port on node_a that reaches node_b.
+  PortId port_b;
+  SimDuration base_latency = 50;     ///< Propagation + serialization floor.
+  double capacity_bps = 1e9;         ///< 1 Gbps default.
+  double loss_rate = 0.0;            ///< Per-packet drop probability.
+  bool up = true;
+  double offered_bps = 0.0;          ///< Load from active flows + faults.
+
+  [[nodiscard]] double utilization() const {
+    if (capacity_bps <= 0.0) return 1.0;
+    double u = offered_bps / capacity_bps;
+    return u < 0.0 ? 0.0 : u;
+  }
+
+  /// One-way packet delay including a utilization-driven queueing term.
+  /// Queueing grows as u/(1-u) (M/M/1 shape), capped so a saturated link
+  /// yields a large but finite delay.
+  [[nodiscard]] SimDuration current_delay() const;
+
+  [[nodiscard]] NodeIndex other(NodeIndex n) const {
+    return n == node_a ? node_b : node_a;
+  }
+  [[nodiscard]] PortId port_on(NodeIndex n) const {
+    return n == node_a ? port_a : port_b;
+  }
+};
+
+class Topology {
+ public:
+  HostId add_host(std::string name, Ipv4 ip);
+  SwitchId add_of_switch(std::string name);
+  SwitchId add_legacy_switch(std::string name);
+
+  /// Connects two nodes; assigns a port on each side. Returns the link id.
+  LinkId connect(NodeIndex a, NodeIndex b, SimDuration latency = 50,
+                 double capacity_bps = 1e9);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+
+  [[nodiscard]] const Node& node(NodeIndex i) const { return nodes_[i]; }
+  [[nodiscard]] Node& node(NodeIndex i) { return nodes_[i]; }
+  [[nodiscard]] const Link& link(LinkId id) const { return links_[id.value]; }
+  [[nodiscard]] Link& link(LinkId id) { return links_[id.value]; }
+
+  [[nodiscard]] const Node& host(HostId h) const { return nodes_[h.value]; }
+  [[nodiscard]] const Node& of_switch(SwitchId s) const {
+    return nodes_[s.value];
+  }
+
+  /// Host lookup by IP; nullopt when unknown.
+  [[nodiscard]] std::optional<HostId> host_by_ip(Ipv4 ip) const;
+  [[nodiscard]] std::optional<NodeIndex> node_by_name(
+      const std::string& name) const;
+
+  /// The link reachable through `port` of `node`; invalid port -> nullptr.
+  [[nodiscard]] const Link* link_at(NodeIndex node, PortId port) const;
+
+  /// All OpenFlow switch ids.
+  [[nodiscard]] std::vector<SwitchId> of_switches() const;
+  [[nodiscard]] std::vector<HostId> hosts() const;
+
+  /// Deterministic shortest path (hop count, ties broken by node index)
+  /// between two nodes, using only up nodes and links. Empty when
+  /// disconnected. `tie_break` perturbs equal-cost choice so distinct flows
+  /// can take distinct equal-cost paths (ECMP-style) yet each flow's path is
+  /// stable.
+  [[nodiscard]] std::vector<NodeIndex> shortest_path(
+      NodeIndex from, NodeIndex to, std::uint64_t tie_break = 0) const;
+
+  /// Next node on the shortest path from `from` toward `to`; nullopt when
+  /// unreachable.
+  [[nodiscard]] std::optional<NodeIndex> next_hop(
+      NodeIndex from, NodeIndex to, std::uint64_t tie_break = 0) const;
+
+  /// The link joining two adjacent nodes; nullptr when not adjacent.
+  [[nodiscard]] Link* link_between(NodeIndex a, NodeIndex b);
+  [[nodiscard]] const Link* link_between(NodeIndex a, NodeIndex b) const;
+
+ private:
+  NodeIndex add_node(NodeKind kind, std::string name, Ipv4 ip);
+
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+};
+
+}  // namespace flowdiff::sim

@@ -1,0 +1,115 @@
+// Small generic directed graph keyed by arbitrary node values.
+//
+// Used for connectivity graphs (nodes are endpoint IPs) and for inferred
+// physical topologies (nodes are switch/host identifiers). Supports the set
+// operations FlowDiff's graph-diff step needs: edge membership, node/edge
+// enumeration, and missing/new edge comparison.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace flowdiff {
+
+template <typename Node>
+class Digraph {
+ public:
+  using Edge = std::pair<Node, Node>;
+
+  void add_node(const Node& n) { adjacency_[n]; }
+
+  void add_edge(const Node& from, const Node& to) {
+    adjacency_[from].insert(to);
+    adjacency_[to];  // Ensure the target exists as a node.
+  }
+
+  [[nodiscard]] bool has_node(const Node& n) const {
+    return adjacency_.contains(n);
+  }
+
+  [[nodiscard]] bool has_edge(const Node& from, const Node& to) const {
+    auto it = adjacency_.find(from);
+    return it != adjacency_.end() && it->second.contains(to);
+  }
+
+  [[nodiscard]] std::size_t node_count() const { return adjacency_.size(); }
+
+  [[nodiscard]] std::size_t edge_count() const {
+    std::size_t n = 0;
+    for (const auto& [_, outs] : adjacency_) n += outs.size();
+    return n;
+  }
+
+  [[nodiscard]] std::vector<Node> nodes() const {
+    std::vector<Node> out;
+    out.reserve(adjacency_.size());
+    for (const auto& [n, _] : adjacency_) out.push_back(n);
+    return out;
+  }
+
+  [[nodiscard]] std::vector<Edge> edges() const {
+    std::vector<Edge> out;
+    for (const auto& [from, outs] : adjacency_) {
+      for (const auto& to : outs) out.emplace_back(from, to);
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::vector<Node> successors(const Node& n) const {
+    auto it = adjacency_.find(n);
+    if (it == adjacency_.end()) return {};
+    return std::vector<Node>(it->second.begin(), it->second.end());
+  }
+
+  [[nodiscard]] std::vector<Node> predecessors(const Node& n) const {
+    std::vector<Node> out;
+    for (const auto& [from, outs] : adjacency_) {
+      if (outs.contains(n)) out.push_back(from);
+    }
+    return out;
+  }
+
+  /// Edges present in `other` but not in this graph.
+  [[nodiscard]] std::vector<Edge> edges_only_in(const Digraph& other) const {
+    std::vector<Edge> out;
+    for (const auto& [from, to] : other.edges()) {
+      if (!has_edge(from, to)) out.emplace_back(from, to);
+    }
+    return out;
+  }
+
+  /// Undirected connected components (edge direction ignored).
+  [[nodiscard]] std::vector<std::vector<Node>> connected_components() const {
+    std::map<Node, Node> parent;
+    for (const auto& [n, _] : adjacency_) parent[n] = n;
+    auto find = [&parent](Node n) {
+      while (parent[n] != n) {
+        parent[n] = parent[parent[n]];
+        n = parent[n];
+      }
+      return n;
+    };
+    for (const auto& [from, outs] : adjacency_) {
+      for (const auto& to : outs) parent[find(from)] = find(to);
+    }
+    std::map<Node, std::vector<Node>> groups;
+    for (const auto& [n, _] : adjacency_) groups[find(n)].push_back(n);
+    std::vector<std::vector<Node>> out;
+    out.reserve(groups.size());
+    for (auto& [_, members] : groups) out.push_back(std::move(members));
+    return out;
+  }
+
+  friend bool operator==(const Digraph& a, const Digraph& b) {
+    return a.adjacency_ == b.adjacency_;
+  }
+
+ private:
+  std::map<Node, std::set<Node>> adjacency_;
+};
+
+}  // namespace flowdiff

@@ -1,0 +1,67 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flowdiff {
+
+Histogram::Histogram(double bin_width, double origin)
+    : bin_width_(bin_width), origin_(origin) {}
+
+void Histogram::add(double value) {
+  double offset = value - origin_;
+  if (offset < 0.0) offset = 0.0;
+  const auto bin = static_cast<std::size_t>(offset / bin_width_);
+  if (bin >= counts_.size()) counts_.resize(bin + 1, 0);
+  ++counts_[bin];
+  ++total_;
+}
+
+std::uint64_t Histogram::count_at(std::size_t bin) const {
+  return bin < counts_.size() ? counts_[bin] : 0;
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  return origin_ + (static_cast<double>(bin) + 0.5) * bin_width_;
+}
+
+std::size_t Histogram::mode_bin() const {
+  if (counts_.empty()) return 0;
+  return static_cast<std::size_t>(
+      std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+std::vector<Histogram::Peak> Histogram::peaks(double min_fraction) const {
+  std::vector<Peak> out;
+  if (total_ == 0) return out;
+  const double min_count =
+      min_fraction * static_cast<double>(total_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t here = counts_[i];
+    if (static_cast<double>(here) < min_count || here == 0) continue;
+    const std::uint64_t left = i > 0 ? counts_[i - 1] : 0;
+    const std::uint64_t right = i + 1 < counts_.size() ? counts_[i + 1] : 0;
+    const bool local_max = here >= left && here >= right &&
+                           (here > left || here > right ||
+                            (left == 0 && right == 0));
+    // Report only the first bin of a plateau.
+    const bool plateau_continuation = i > 0 && counts_[i - 1] == here;
+    if (local_max && !plateau_continuation) {
+      out.push_back(Peak{bin_center(i), here,
+                         static_cast<double>(here) /
+                             static_cast<double>(total_)});
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Peak& a, const Peak& b) { return a.count > b.count; });
+  return out;
+}
+
+Histogram::Peak Histogram::top_peak() const {
+  if (total_ == 0) return Peak{};
+  const std::size_t bin = mode_bin();
+  return Peak{bin_center(bin), counts_[bin],
+              static_cast<double>(counts_[bin]) / static_cast<double>(total_)};
+}
+
+}  // namespace flowdiff

@@ -1,0 +1,44 @@
+// Strongly typed integer identifiers.
+//
+// The simulator and FlowDiff core pass many kinds of small integer handles
+// around (hosts, switches, links, applications...). Tagged wrappers prevent
+// accidentally using one where another is expected.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace flowdiff {
+
+template <typename Tag>
+struct Id {
+  std::uint32_t value = kInvalid;
+
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint32_t v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value != kInvalid; }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+};
+
+using HostId = Id<struct HostIdTag>;
+using SwitchId = Id<struct SwitchIdTag>;
+using LinkId = Id<struct LinkIdTag>;
+using PortId = Id<struct PortIdTag>;
+using AppId = Id<struct AppIdTag>;
+using ControllerId = Id<struct ControllerIdTag>;
+
+}  // namespace flowdiff
+
+namespace std {
+template <typename Tag>
+struct hash<flowdiff::Id<Tag>> {
+  size_t operator()(flowdiff::Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+}  // namespace std

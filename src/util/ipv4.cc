@@ -1,0 +1,36 @@
+#include "util/ipv4.h"
+
+#include <charconv>
+
+namespace flowdiff {
+
+std::string Ipv4::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    if (!out.empty()) out.push_back('.');
+    out += std::to_string((raw_ >> shift) & 0xffu);
+  }
+  return out;
+}
+
+std::optional<Ipv4> Ipv4::parse(std::string_view text) {
+  std::uint32_t raw = 0;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int octet = 0; octet < 4; ++octet) {
+    unsigned value = 0;
+    auto [next, ec] = std::from_chars(p, end, value);
+    if (ec != std::errc{} || value > 255) return std::nullopt;
+    raw = (raw << 8) | value;
+    p = next;
+    if (octet < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return Ipv4{raw};
+}
+
+}  // namespace flowdiff

@@ -1,0 +1,29 @@
+// Plain-text table rendering for the benchmark harnesses, which print the
+// rows/series that correspond to the paper's tables and figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace flowdiff {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with aligned columns and a header separator.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style %.*f formatting helper used throughout benches.
+std::string fmt_double(double value, int precision = 3);
+
+}  // namespace flowdiff

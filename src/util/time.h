@@ -1,0 +1,38 @@
+// Simulated-time primitives.
+//
+// All simulator and signature code measures time as a count of microseconds
+// since the start of the simulation. A strong alias keeps the unit explicit
+// at API boundaries.
+#pragma once
+
+#include <cstdint>
+
+namespace flowdiff {
+
+/// Simulated time in microseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// Durations share the representation of SimTime (microseconds).
+using SimDuration = std::int64_t;
+
+constexpr SimDuration kMicrosecond = 1;
+constexpr SimDuration kMillisecond = 1000;
+constexpr SimDuration kSecond = 1000 * 1000;
+
+constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+constexpr double to_millis(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+constexpr SimDuration from_millis(double ms) {
+  return static_cast<SimDuration>(ms * static_cast<double>(kMillisecond));
+}
+
+constexpr SimDuration from_seconds(double s) {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond));
+}
+
+}  // namespace flowdiff

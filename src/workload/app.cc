@@ -1,0 +1,185 @@
+#include "workload/app.h"
+
+#include <algorithm>
+
+namespace flowdiff::wl {
+
+struct MultiTierApp::RequestCtx {
+  /// Chosen node per tier; filled in as the request advances.
+  std::vector<HostId> nodes;
+  /// Forward flow key per hop (nodes[i] -> nodes[i+1]).
+  std::vector<of::FlowKey> hop_keys;
+  std::size_t depth = 0;  ///< Tier currently holding the request.
+};
+
+MultiTierApp::MultiTierApp(sim::Network& net, AppSpec spec,
+                           const ServiceCatalog* services, Rng rng)
+    : net_(net), spec_(std::move(spec)), services_(services), rng_(rng) {
+  rr_counters_.assign(spec_.tiers.size(), 0);
+}
+
+Ipv4 MultiTierApp::ip_of(HostId h) const {
+  return net_.topology().host(h).ip;
+}
+
+SimDuration MultiTierApp::sample_proc(const TierSpec& tier) {
+  const double d = rng_.normal(static_cast<double>(tier.proc_mean),
+                               static_cast<double>(tier.proc_jitter));
+  return std::max<SimDuration>(static_cast<SimDuration>(d), kMillisecond);
+}
+
+HostId MultiTierApp::pick_node(std::size_t tier_idx,
+                               std::size_t upstream_pos) {
+  const TierSpec& tier = spec_.tiers[tier_idx];
+  if (tier.pin_upstream) {
+    return tier.nodes[std::min(upstream_pos, tier.nodes.size() - 1)];
+  }
+  switch (tier.lb) {
+    case TierSpec::Lb::kRoundRobin:
+      return tier.nodes[rr_counters_[tier_idx]++ % tier.nodes.size()];
+    case TierSpec::Lb::kUniform:
+      return tier.nodes[static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(tier.nodes.size()) - 1))];
+    case TierSpec::Lb::kWeighted: {
+      double total = 0.0;
+      for (double w : tier.lb_weights) total += w;
+      double draw = rng_.uniform(0.0, total);
+      for (std::size_t i = 0; i < tier.nodes.size(); ++i) {
+        draw -= i < tier.lb_weights.size() ? tier.lb_weights[i] : 0.0;
+        if (draw <= 0.0) return tier.nodes[i];
+      }
+      return tier.nodes.back();
+    }
+  }
+  return tier.nodes.front();
+}
+
+void MultiTierApp::start(SimTime begin, SimTime end) {
+  for (std::size_t c = 0; c < spec_.tiers.front().nodes.size(); ++c) {
+    const double rate =
+        c < spec_.client_rates_per_min.size() ? spec_.client_rates_per_min[c]
+                                              : 60.0;
+    if (rate <= 0.0) continue;
+    const double mean_gap_us = 60.0 * 1e6 / rate;
+    // First arrival staggered into the window.
+    const SimTime first =
+        begin + static_cast<SimDuration>(rng_.exponential(mean_gap_us));
+    if (first >= end) continue;
+    net_.events().schedule(first, [this, c, end] {
+      issue_request(c);
+      schedule_arrivals(c, end);
+    });
+  }
+}
+
+void MultiTierApp::schedule_arrivals(std::size_t client_idx, SimTime end) {
+  const double rate = client_idx < spec_.client_rates_per_min.size()
+                          ? spec_.client_rates_per_min[client_idx]
+                          : 60.0;
+  const double mean_gap_us = 60.0 * 1e6 / rate;
+  const SimTime next =
+      net_.now() + static_cast<SimDuration>(rng_.exponential(mean_gap_us));
+  if (next >= end) return;
+  net_.events().schedule(next, [this, client_idx, end] {
+    issue_request(client_idx);
+    schedule_arrivals(client_idx, end);
+  });
+}
+
+void MultiTierApp::issue_request(std::size_t client_idx) {
+  auto ctx = std::make_shared<RequestCtx>();
+  ctx->nodes.push_back(spec_.tiers.front().nodes[client_idx]);
+
+  if (services_ != nullptr && rng_.bernoulli(spec_.dns_lookup_prob)) {
+    // Fire-and-forget DNS lookup; the request proceeds regardless.
+    const Ipv4 client_ip = ip_of(ctx->nodes.front());
+    const of::FlowKey dns_key = pool_.get(client_ip, services_->dns, kPortDns,
+                                          0.0, rng_, of::Proto::kUdp);
+    sim::FlowSpec dns;
+    dns.key = dns_key;
+    dns.bytes = 120;
+    dns.duration = kMillisecond;
+    net_.start_flow(std::move(dns));
+  }
+  advance(std::move(ctx));
+}
+
+void MultiTierApp::advance(std::shared_ptr<RequestCtx> ctx) {
+  const std::size_t from_tier = ctx->depth;
+  const std::size_t to_tier = from_tier + 1;
+  if (to_tier >= spec_.tiers.size()) {
+    // Reached the last tier: replicate (if configured), then respond.
+    if (spec_.slave_db) {
+      const HostId master = ctx->nodes.back();
+      sim::FlowSpec repl;
+      repl.key = pool_.get(ip_of(master), ip_of(*spec_.slave_db),
+                           spec_.slave_port, 0.8, rng_);
+      repl.bytes = spec_.request_bytes;
+      repl.duration = spec_.request_duration;
+      net_.start_flow(std::move(repl));
+    }
+    unwind(std::move(ctx), spec_.tiers.size() - 1);
+    return;
+  }
+
+  const TierSpec& from = spec_.tiers[from_tier];
+  const HostId from_node = ctx->nodes.back();
+  // Position of the serving node within its tier, for pinned downstreams.
+  const auto& from_nodes = spec_.tiers[from_tier].nodes;
+  const std::size_t from_pos = static_cast<std::size_t>(
+      std::find(from_nodes.begin(), from_nodes.end(), from_node) -
+      from_nodes.begin());
+  const HostId to_node = pick_node(to_tier, from_pos);
+  ctx->nodes.push_back(to_node);
+
+  double reuse = from.reuse_prob;
+  if (from_tier >= 1) {
+    const HostId upstream = ctx->nodes[from_tier - 1];
+    auto it = from.reuse_by_upstream.find(upstream.value);
+    if (it != from.reuse_by_upstream.end()) reuse = it->second;
+  }
+
+  const of::FlowKey key =
+      pool_.get(ip_of(from_node), ip_of(to_node),
+                spec_.tiers[to_tier].service_port, reuse, rng_);
+  ctx->hop_keys.push_back(key);
+
+  sim::FlowSpec flow;
+  flow.key = key;
+  flow.bytes = spec_.request_bytes;
+  flow.duration = spec_.request_duration;
+  flow.on_delivered = [this, ctx, to_tier](const sim::DeliveryInfo&) {
+    ctx->depth = to_tier;
+    const SimDuration proc = sample_proc(spec_.tiers[to_tier]);
+    net_.events().schedule_in(proc, [this, ctx] { advance(ctx); });
+  };
+  flow.on_failed = [this, ctx](SimTime) {
+    ++failed_;
+    // Drop the cached connection so retries open fresh ones.
+    if (!ctx->hop_keys.empty()) {
+      const auto& k = ctx->hop_keys.back();
+      pool_.invalidate(k.src_ip, k.dst_ip, k.dst_port);
+    }
+  };
+  net_.start_flow(std::move(flow));
+}
+
+void MultiTierApp::unwind(std::shared_ptr<RequestCtx> ctx, std::size_t depth) {
+  if (depth == 0 || ctx->hop_keys.empty()) {
+    ++completed_;
+    return;
+  }
+  // Response travels on the reverse of the forward hop's connection.
+  const of::FlowKey key = ctx->hop_keys[depth - 1].reverse();
+  sim::FlowSpec flow;
+  flow.key = key;
+  flow.bytes = spec_.response_bytes;
+  flow.duration = spec_.response_duration;
+  flow.on_delivered = [this, ctx, depth](const sim::DeliveryInfo&) {
+    unwind(ctx, depth - 1);
+  };
+  flow.on_failed = [this](SimTime) { ++failed_; };
+  net_.start_flow(std::move(flow));
+}
+
+}  // namespace flowdiff::wl

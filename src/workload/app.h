@@ -1,0 +1,98 @@
+// Multi-tier application model (the paper's Petstore / RUBiS / RUBBoS /
+// osCommerce / custom three-tier apps).
+//
+// A request enters at a client node (Poisson arrivals, per-client rate — the
+// paper's P(x, y)), walks the tiers (load-balanced or pinned), waits a
+// per-tier processing delay at each hop, and unwinds responses in reverse.
+// Connection reuse toward the next tier can depend on the node a request
+// arrived from — the paper's R(m, n) knob at the shared application server.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "simnet/network.h"
+#include "workload/connection_pool.h"
+#include "workload/services.h"
+
+namespace flowdiff::wl {
+
+struct TierSpec {
+  std::vector<HostId> nodes;
+  std::uint16_t service_port = kPortHttp;
+  SimDuration proc_mean = 10 * kMillisecond;
+  SimDuration proc_jitter = 2 * kMillisecond;
+
+  /// Probability a request leaving this tier reuses the connection to the
+  /// next-tier node instead of opening a new one.
+  double reuse_prob = 0.0;
+  /// Per-upstream overrides of reuse_prob (keyed by the previous-tier host
+  /// a request arrived from) — implements R(m, n).
+  std::map<std::uint32_t, double> reuse_by_upstream;
+
+  enum class Lb { kRoundRobin, kUniform, kWeighted };
+  Lb lb = Lb::kRoundRobin;
+  std::vector<double> lb_weights;  ///< kWeighted only; one per node.
+
+  /// When true, node i of this tier only serves node i of the previous
+  /// tier (pinned chains like client S22 -> web S1, client S21 -> web S2).
+  bool pin_upstream = false;
+};
+
+struct AppSpec {
+  std::string name;
+  std::vector<TierSpec> tiers;  ///< tiers[0] = clients.
+  std::vector<double> client_rates_per_min;  ///< One per client node.
+  std::uint64_t request_bytes = 1500;
+  std::uint64_t response_bytes = 8000;
+  SimDuration request_duration = 2 * kMillisecond;
+  SimDuration response_duration = 5 * kMillisecond;
+  /// Client-side DNS lookup probability before a request (uses the service
+  /// catalog; exercises the special-node handling in group discovery).
+  double dns_lookup_prob = 0.0;
+  /// Asynchronous replication target of the last tier (master -> slave db).
+  std::optional<HostId> slave_db;
+  std::uint16_t slave_port = 3307;
+};
+
+class MultiTierApp {
+ public:
+  MultiTierApp(sim::Network& net, AppSpec spec,
+               const ServiceCatalog* services, Rng rng);
+
+  /// Schedules Poisson client arrivals in [begin, end).
+  void start(SimTime begin, SimTime end);
+
+  /// Issues exactly one request from the given client, now. Useful for
+  /// deterministic tests.
+  void issue_request(std::size_t client_idx);
+
+  [[nodiscard]] const AppSpec& spec() const { return spec_; }
+  [[nodiscard]] std::uint64_t completed_requests() const { return completed_; }
+  [[nodiscard]] std::uint64_t failed_requests() const { return failed_; }
+
+ private:
+  struct RequestCtx;
+
+  void schedule_arrivals(std::size_t client_idx, SimTime end);
+  void advance(std::shared_ptr<RequestCtx> ctx);
+  void unwind(std::shared_ptr<RequestCtx> ctx, std::size_t depth);
+  HostId pick_node(std::size_t tier_idx, std::size_t upstream_pos);
+  SimDuration sample_proc(const TierSpec& tier);
+  [[nodiscard]] Ipv4 ip_of(HostId h) const;
+
+  sim::Network& net_;
+  AppSpec spec_;
+  const ServiceCatalog* services_;
+  Rng rng_;
+  ConnectionPool pool_;
+  std::vector<std::size_t> rr_counters_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+};
+
+}  // namespace flowdiff::wl

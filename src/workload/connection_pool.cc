@@ -1,0 +1,28 @@
+#include "workload/connection_pool.h"
+
+namespace flowdiff::wl {
+
+std::uint16_t ConnectionPool::allocate_port() {
+  if (next_ephemeral_ >= 60000) next_ephemeral_ = 40000;
+  return next_ephemeral_++;
+}
+
+of::FlowKey ConnectionPool::get(Ipv4 src, Ipv4 dst, std::uint16_t dst_port,
+                                double reuse_prob, Rng& rng, of::Proto proto) {
+  const auto key = std::make_tuple(src.raw(), dst.raw(), dst_port);
+  auto it = last_port_.find(key);
+  std::uint16_t src_port;
+  if (it != last_port_.end() && rng.bernoulli(reuse_prob)) {
+    src_port = it->second;
+  } else {
+    src_port = allocate_port();
+    last_port_[key] = src_port;
+  }
+  return of::FlowKey{src, dst, src_port, dst_port, proto};
+}
+
+void ConnectionPool::invalidate(Ipv4 src, Ipv4 dst, std::uint16_t dst_port) {
+  last_port_.erase(std::make_tuple(src.raw(), dst.raw(), dst_port));
+}
+
+}  // namespace flowdiff::wl

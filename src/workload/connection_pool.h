@@ -1,0 +1,41 @@
+// Connection reuse model.
+//
+// A reused application-layer connection keeps its ephemeral source port, so
+// its flows share a 5-tuple with earlier requests and (while the switch
+// entries are still installed) raise no new PacketIn — the effect the
+// paper's R(m, n) experiments control for.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+
+#include "openflow/flow_key.h"
+#include "util/rng.h"
+
+namespace flowdiff::wl {
+
+class ConnectionPool {
+ public:
+  /// Returns the flow key for one request from src to dst:dst_port. With
+  /// probability `reuse_prob` (and a previous connection available) the old
+  /// ephemeral source port is kept; otherwise a fresh one is allocated.
+  of::FlowKey get(Ipv4 src, Ipv4 dst, std::uint16_t dst_port,
+                  double reuse_prob, Rng& rng,
+                  of::Proto proto = of::Proto::kTcp);
+
+  /// Drops the cached connection (e.g., after a failure).
+  void invalidate(Ipv4 src, Ipv4 dst, std::uint16_t dst_port);
+
+  [[nodiscard]] std::size_t size() const { return last_port_.size(); }
+
+ private:
+  std::uint16_t allocate_port();
+
+  std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint16_t>,
+           std::uint16_t>
+      last_port_;
+  std::uint16_t next_ephemeral_ = 40000;
+};
+
+}  // namespace flowdiff::wl

@@ -1,0 +1,49 @@
+#include "workload/onoff.h"
+
+#include <algorithm>
+
+namespace flowdiff::wl {
+
+OnOffTraffic::OnOffTraffic(sim::Network& net, OnOffSpec spec, Rng rng)
+    : net_(net), spec_(spec), rng_(rng) {}
+
+void OnOffTraffic::add_pair(HostId src, HostId dst) {
+  pairs_.emplace_back(src, dst);
+}
+
+void OnOffTraffic::start(SimTime begin, SimTime end) {
+  for (std::size_t i = 0; i < pairs_.size(); ++i) {
+    // Random initial phase so pairs are not synchronized.
+    const SimTime first =
+        begin + static_cast<SimDuration>(
+                    rng_.uniform(0.0, spec_.off_mean_ms * kMillisecond));
+    schedule_burst(i, first, end);
+  }
+}
+
+void OnOffTraffic::schedule_burst(std::size_t pair_idx, SimTime at,
+                                  SimTime end) {
+  if (at >= end) return;
+  net_.events().schedule(at, [this, pair_idx, end] {
+    const auto [src, dst] = pairs_[pair_idx];
+    const auto& topo = net_.topology();
+    const double on_ms = std::max(
+        1.0, rng_.lognormal_mean_sd(spec_.on_mean_ms, spec_.on_sd_ms));
+    const double off_ms = std::max(
+        1.0, rng_.lognormal_mean_sd(spec_.off_mean_ms, spec_.off_sd_ms));
+
+    sim::FlowSpec flow;
+    flow.key = pool_.get(topo.host(src).ip, topo.host(dst).ip, spec_.dst_port,
+                         spec_.reuse_prob, rng_);
+    flow.bytes = static_cast<std::uint64_t>(rng_.uniform_int(
+        static_cast<std::int64_t>(spec_.bytes_min),
+        static_cast<std::int64_t>(spec_.bytes_max)));
+    flow.duration = from_millis(on_ms);
+    net_.start_flow(std::move(flow));
+    ++flows_started_;
+
+    schedule_burst(pair_idx, net_.now() + from_millis(on_ms + off_ms), end);
+  });
+}
+
+}  // namespace flowdiff::wl

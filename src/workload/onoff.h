@@ -1,0 +1,51 @@
+// ON/OFF traffic per Benson et al., as used by the paper's scalability
+// study: for each communicating VM pair, ON and OFF periods are lognormal
+// with mean 100 ms and standard deviation 30 ms; connections are reused with
+// probability 0.6 (a reused connection's flows raise no new PacketIn while
+// the switch entries persist).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "simnet/network.h"
+#include "workload/connection_pool.h"
+
+namespace flowdiff::wl {
+
+struct OnOffSpec {
+  double on_mean_ms = 100.0;
+  double on_sd_ms = 30.0;
+  double off_mean_ms = 100.0;
+  double off_sd_ms = 30.0;
+  double reuse_prob = 0.6;
+  std::uint64_t bytes_min = 2000;
+  std::uint64_t bytes_max = 60000;
+  std::uint16_t dst_port = 80;
+};
+
+/// Drives ON/OFF traffic between a set of host pairs.
+class OnOffTraffic {
+ public:
+  OnOffTraffic(sim::Network& net, OnOffSpec spec, Rng rng);
+
+  void add_pair(HostId src, HostId dst);
+
+  /// Schedules traffic on every registered pair in [begin, end).
+  void start(SimTime begin, SimTime end);
+
+  [[nodiscard]] std::uint64_t flows_started() const { return flows_started_; }
+
+ private:
+  void schedule_burst(std::size_t pair_idx, SimTime at, SimTime end);
+
+  sim::Network& net_;
+  OnOffSpec spec_;
+  Rng rng_;
+  ConnectionPool pool_;
+  std::vector<std::pair<HostId, HostId>> pairs_;
+  std::uint64_t flows_started_ = 0;
+};
+
+}  // namespace flowdiff::wl

@@ -1,0 +1,339 @@
+#include "workload/scenario.h"
+
+#include <set>
+
+namespace flowdiff::wl {
+
+LabScenario build_lab_scenario() {
+  LabScenario lab;
+  auto& topo = lab.topology;
+
+  // Aggregation layer: two hardware OpenFlow switches.
+  const SwitchId a1 = topo.add_of_switch("agg1");
+  const SwitchId a2 = topo.add_of_switch("agg2");
+  lab.agg_switches = {a1, a2};
+
+  // Edge layer: five software OpenFlow switches, full mesh to aggregation.
+  for (int e = 0; e < 5; ++e) {
+    const SwitchId sw = topo.add_of_switch("edge" + std::to_string(e + 1));
+    lab.edge_switches.push_back(sw);
+    topo.connect(sw.value, a1.value, 60);
+    topo.connect(sw.value, a2.value, 60);
+  }
+
+  // Legacy switches: one joins the aggregation switches, one fronts the
+  // service hosts. All server-to-server paths still cross OpenFlow switches.
+  const SwitchId l1 = topo.add_legacy_switch("legacy1");
+  const SwitchId l2 = topo.add_legacy_switch("legacy2");
+  lab.legacy_switches = {l1, l2};
+  topo.connect(a1.value, l1.value, 40);
+  topo.connect(l1.value, a2.value, 40);
+  topo.connect(a1.value, l2.value, 40);
+
+  // Servers S1..S25: five per edge switch (S1-5 on edge1, ... S21-25 on
+  // edge5).
+  for (int s = 1; s <= 25; ++s) {
+    const std::string name = "S" + std::to_string(s);
+    const HostId h = topo.add_host(
+        name, Ipv4{10, 0, static_cast<std::uint8_t>((s - 1) / 5 + 1),
+                   static_cast<std::uint8_t>((s - 1) % 5 + 1)});
+    lab.hosts[name] = h;
+    topo.connect(h.value, lab.edge_switches[(s - 1) / 5].value, 30);
+  }
+
+  // Five VMs, one per edge switch.
+  for (int v = 1; v <= 5; ++v) {
+    const std::string name = "VM" + std::to_string(v);
+    const HostId h = topo.add_host(
+        name, Ipv4{10, 0, 9, static_cast<std::uint8_t>(v)});
+    lab.hosts[name] = h;
+    topo.connect(h.value, lab.edge_switches[v - 1].value, 30);
+  }
+
+  // Service hosts behind legacy2.
+  auto add_service = [&](const std::string& name, Ipv4 ip) {
+    const HostId h = topo.add_host(name, ip);
+    lab.hosts[name] = h;
+    topo.connect(h.value, l2.value, 30);
+    return ip;
+  };
+  lab.services.nfs = add_service("NFS", Ipv4{10, 0, 10, 1});
+  lab.services.dns = add_service("DNS", Ipv4{10, 0, 10, 2});
+  lab.services.dhcp = add_service("DHCP", Ipv4{10, 0, 10, 3});
+  lab.services.ntp = add_service("NTP", Ipv4{10, 0, 10, 4});
+  lab.services.netbios = add_service("NETBIOS", Ipv4{10, 0, 10, 5});
+  lab.services.metadata = add_service("META", Ipv4{10, 0, 10, 6});
+  lab.services.apt_mirror = add_service("APT", Ipv4{10, 0, 10, 7});
+
+  return lab;
+}
+
+namespace {
+
+TierSpec tier_of(const LabScenario& lab, std::vector<std::string> names,
+                 std::uint16_t port, SimDuration proc_mean) {
+  TierSpec t;
+  for (const auto& n : names) t.nodes.push_back(lab.host(n));
+  t.service_port = port;
+  t.proc_mean = proc_mean;
+  t.proc_jitter = proc_mean / 10;
+  return t;
+}
+
+AppSpec chain_app(const LabScenario& lab, std::string name,
+                  const std::string& client, const std::string& web,
+                  const std::string& app, const std::string& db,
+                  double rate_per_min) {
+  AppSpec spec;
+  spec.name = std::move(name);
+  spec.tiers.push_back(tier_of(lab, {client}, 0, kMillisecond));
+  spec.tiers.push_back(tier_of(lab, {web}, 80, 8 * kMillisecond));
+  spec.tiers.push_back(tier_of(lab, {app}, 8009, 25 * kMillisecond));
+  spec.tiers.push_back(tier_of(lab, {db}, 3306, 12 * kMillisecond));
+  spec.client_rates_per_min = {rate_per_min};
+  return spec;
+}
+
+}  // namespace
+
+std::vector<AppSpec> table2_apps(int case_no, const LabScenario& lab,
+                                 const Case5Knobs& knobs) {
+  std::vector<AppSpec> apps;
+  switch (case_no) {
+    case 1: {
+      auto rubbis = chain_app(lab, "rubbis-a", "S25", "S13", "S4", "S14", 300);
+      rubbis.slave_db = lab.host("S15");
+      apps.push_back(std::move(rubbis));
+      apps.push_back(chain_app(lab, "rubbis-b", "S24", "S12", "S10", "S20", 240));
+      apps.push_back(
+          chain_app(lab, "oscommerce", "S23", "S7", "S10", "S20", 240));
+      break;
+    }
+    case 2: {
+      auto rubbis = chain_app(lab, "rubbis", "S25", "S12", "S4", "S14", 300);
+      rubbis.slave_db = lab.host("S15");
+      apps.push_back(std::move(rubbis));
+      apps.push_back(
+          chain_app(lab, "oscommerce", "S23", "S7", "S10", "S20", 240));
+      break;
+    }
+    case 3: {
+      auto rubbis = chain_app(lab, "rubbis", "S25", "S12", "S4", "S14", 300);
+      rubbis.slave_db = lab.host("S15");
+      apps.push_back(std::move(rubbis));
+      apps.push_back(chain_app(lab, "rubbos", "S24", "S12", "S10", "S20", 240));
+      break;
+    }
+    case 4: {
+      auto rubbis = chain_app(lab, "rubbis", "S25", "S12", "S4", "S14", 300);
+      rubbis.slave_db = lab.host("S15");
+      apps.push_back(std::move(rubbis));
+      apps.push_back(
+          chain_app(lab, "petstore", "S24", "S16", "S25", "S19", 240));
+      break;
+    }
+    case 5: {
+      // Group A: S22 -> S1 and S21 -> S2, both webs into the shared app
+      // server S3, which talks to db S8. This is the app Figs. 10/11(b)
+      // study; x/y set the client rates and m/n the reuse at S3.
+      AppSpec a;
+      a.name = "custom-a";
+      a.tiers.push_back(tier_of(lab, {"S22", "S21"}, 0, kMillisecond));
+      auto web = tier_of(lab, {"S1", "S2"}, 80, 6 * kMillisecond);
+      web.pin_upstream = true;
+      a.tiers.push_back(std::move(web));
+      auto app_tier = tier_of(lab, {"S3"}, 8009, knobs.s3_proc);
+      app_tier.reuse_by_upstream[lab.host("S1").value] = knobs.reuse_m;
+      app_tier.reuse_by_upstream[lab.host("S2").value] = knobs.reuse_n;
+      a.tiers.push_back(std::move(app_tier));
+      a.tiers.push_back(tier_of(lab, {"S8"}, 3306, 10 * kMillisecond));
+      a.client_rates_per_min = {knobs.rate_x, knobs.rate_y};
+      apps.push_back(std::move(a));
+
+      // Group B: S23 -> S5 -> {S11 -> S18, S17 -> S6} with skewed load
+      // balancing at S5 (the paper's example of an unstable CI signature).
+      AppSpec b;
+      b.name = "custom-b";
+      b.tiers.push_back(tier_of(lab, {"S23"}, 0, kMillisecond));
+      b.tiers.push_back(tier_of(lab, {"S5"}, 80, 6 * kMillisecond));
+      auto apps_tier = tier_of(lab, {"S11", "S17"}, 8009, 20 * kMillisecond);
+      apps_tier.lb = TierSpec::Lb::kWeighted;
+      apps_tier.lb_weights = {0.75, 0.25};
+      b.tiers.push_back(std::move(apps_tier));
+      auto dbs = tier_of(lab, {"S18", "S6"}, 3306, 10 * kMillisecond);
+      dbs.pin_upstream = true;
+      b.tiers.push_back(std::move(dbs));
+      b.client_rates_per_min = {360};
+      apps.push_back(std::move(b));
+      break;
+    }
+    default:
+      break;
+  }
+  return apps;
+}
+
+std::vector<std::string> table2_description(int case_no) {
+  switch (case_no) {
+    case 1:
+      return {"Rubbis: S25 (client) - S13 (web) - S4 (app) - S14 (db) - S15 (slave-db)",
+              "Rubbis: S24 (client) - S12 (web) - S10 (app) - S20 (db)",
+              "osCommerce: S23 (client) - S7 (web) - S10 (app) - S20 (db)"};
+    case 2:
+      return {"Rubbis: S25 (client) - S12 (web) - S4 (app) - S14 (db) - S15 (slave-db)",
+              "osCommerce: S23 (client) - S7 (web) - S10 (app) - S20 (db)"};
+    case 3:
+      return {"Rubbis: S25 (client) - S12 (web) - S4 (app) - S14 (db) - S15 (slave-db)",
+              "Rubbos: S24 (client) - S12 (web) - S10 (app) - S20 (db)"};
+    case 4:
+      return {"Rubbis: S25 (client) - S12 (web) - S4 (app) - S14 (db) - S15 (slave-db)",
+              "Petstore: S24 (client) - S16 (web) - S25 (app) - S19 (db)"};
+    case 5:
+      return {"Custom: S22 (client) - S1 (web) - S3 (app) - S8 (db)",
+              "Custom: S21 (client) - S2 (web) - S3 (app) - S8 (db)",
+              "Custom: S23 (client) - S5 (web) - S11 (app) - S18 (db)",
+              "Custom: S23 (client) - S5 (web) - S17 (app) - S6 (db)"};
+    default:
+      return {};
+  }
+}
+
+TreeScenario build_tree_320() {
+  TreeScenario tree;
+  auto& topo = tree.topology;
+
+  for (int c = 0; c < 2; ++c) {
+    tree.core_switches.push_back(
+        topo.add_of_switch("core" + std::to_string(c + 1)));
+  }
+  for (int a = 0; a < 8; ++a) {
+    const SwitchId agg = topo.add_of_switch("agg" + std::to_string(a + 1));
+    tree.agg_switches.push_back(agg);
+    for (const SwitchId core : tree.core_switches) {
+      topo.connect(agg.value, core.value, 60, 10e9);
+    }
+  }
+  for (int t = 0; t < 16; ++t) {
+    const SwitchId tor = topo.add_of_switch("tor" + std::to_string(t + 1));
+    tree.tor_switches.push_back(tor);
+    // Four ToRs share a pair of aggregation switches.
+    const int group = t / 4;
+    topo.connect(tor.value, tree.agg_switches[group * 2].value, 50, 10e9);
+    topo.connect(tor.value, tree.agg_switches[group * 2 + 1].value, 50, 10e9);
+    for (int s = 0; s < 20; ++s) {
+      const HostId h = topo.add_host(
+          "r" + std::to_string(t + 1) + "s" + std::to_string(s + 1),
+          Ipv4{10, 1, static_cast<std::uint8_t>(t + 1),
+               static_cast<std::uint8_t>(s + 1)});
+      tree.hosts.push_back(h);
+      topo.connect(h.value, tor.value, 30);
+    }
+  }
+  return tree;
+}
+
+TreeScenario build_fat_tree(int k) {
+  TreeScenario tree;
+  auto& topo = tree.topology;
+  if (k < 2) k = 2;
+  if (k % 2 != 0) ++k;
+  const int half = k / 2;
+
+  // (k/2)^2 core switches, indexed by (i, j) in a half x half grid.
+  for (int i = 0; i < half; ++i) {
+    for (int j = 0; j < half; ++j) {
+      tree.core_switches.push_back(topo.add_of_switch(
+          "core" + std::to_string(i) + "_" + std::to_string(j)));
+    }
+  }
+
+  for (int pod = 0; pod < k; ++pod) {
+    std::vector<SwitchId> aggs;
+    std::vector<SwitchId> edges;
+    for (int a = 0; a < half; ++a) {
+      const SwitchId agg = topo.add_of_switch(
+          "p" + std::to_string(pod) + "agg" + std::to_string(a));
+      aggs.push_back(agg);
+      tree.agg_switches.push_back(agg);
+      // Aggregation switch a of every pod connects to core row a.
+      for (int j = 0; j < half; ++j) {
+        topo.connect(agg.value,
+                     tree.core_switches[static_cast<std::size_t>(
+                                            a * half + j)]
+                         .value,
+                     50, 10e9);
+      }
+    }
+    for (int e = 0; e < half; ++e) {
+      const SwitchId edge = topo.add_of_switch(
+          "p" + std::to_string(pod) + "edge" + std::to_string(e));
+      edges.push_back(edge);
+      tree.tor_switches.push_back(edge);
+      for (const SwitchId agg : aggs) {
+        topo.connect(edge.value, agg.value, 50, 10e9);
+      }
+      for (int h = 0; h < half; ++h) {
+        const HostId host = topo.add_host(
+            "p" + std::to_string(pod) + "e" + std::to_string(e) + "h" +
+                std::to_string(h),
+            Ipv4{10, static_cast<std::uint8_t>(pod + 1),
+                 static_cast<std::uint8_t>(e + 1),
+                 static_cast<std::uint8_t>(h + 1)});
+        tree.hosts.push_back(host);
+        topo.connect(host.value, edge.value, 30);
+      }
+    }
+  }
+  return tree;
+}
+
+AppSpec random_three_tier(const TreeScenario& tree, Rng& rng, int index,
+                          std::set<std::size_t>* used) {
+  // Draw distinct hosts for 2 web + 3 app + 2 db VMs plus one client.
+  std::set<std::size_t> local;
+  std::set<std::size_t>& chosen = used != nullptr ? *used : local;
+  auto draw = [&] {
+    while (true) {
+      const auto i = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(tree.hosts.size()) - 1));
+      if (chosen.insert(i).second) return tree.hosts[i];
+    }
+  };
+
+  AppSpec spec;
+  spec.name = "sim-app-" + std::to_string(index);
+  TierSpec clients;
+  clients.nodes = {draw()};
+  clients.proc_mean = kMillisecond;
+  spec.tiers.push_back(std::move(clients));
+
+  TierSpec web;
+  web.nodes = {draw(), draw()};
+  web.service_port = 80;
+  web.proc_mean = 5 * kMillisecond;
+  web.lb = TierSpec::Lb::kUniform;
+  web.reuse_prob = 0.6;
+  spec.tiers.push_back(std::move(web));
+
+  TierSpec app;
+  app.nodes = {draw(), draw(), draw()};
+  app.service_port = 8009;
+  app.proc_mean = 15 * kMillisecond;
+  app.lb = TierSpec::Lb::kUniform;
+  app.reuse_prob = 0.6;
+  spec.tiers.push_back(std::move(app));
+
+  TierSpec db;
+  db.nodes = {draw(), draw()};
+  db.service_port = 3306;
+  db.proc_mean = 8 * kMillisecond;
+  db.lb = TierSpec::Lb::kUniform;
+  spec.tiers.push_back(std::move(db));
+
+  spec.client_rates_per_min = {600};
+  // Client-side reuse too, so 0.6 of requests ride existing connections.
+  spec.tiers[0].reuse_prob = 0.6;
+  return spec;
+}
+
+}  // namespace flowdiff::wl

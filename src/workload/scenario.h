@@ -1,0 +1,86 @@
+// Experimental scenario builders.
+//
+// * Lab data center (paper SectionV): 25 servers S1..S25 plus 5 VMs, seven
+//   OpenFlow switches (two "hardware", five "software") and two legacy
+//   switches, with service hosts (NFS, DNS, DHCP, NTP, ...) behind a legacy
+//   switch.
+// * Table II application deployments (cases 1-5) on that testbed.
+// * The 320-server tree used by the scalability study: 16 racks of 20
+//   servers, four ToRs per aggregation pair, eight aggregation switches,
+//   two cores.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "simnet/topology.h"
+#include "workload/app.h"
+#include "workload/services.h"
+
+namespace flowdiff::wl {
+
+struct LabScenario {
+  sim::Topology topology;
+  std::map<std::string, HostId> hosts;  ///< "S1".."S25", "VM1".."VM5", services.
+  ServiceCatalog services;
+  std::vector<SwitchId> edge_switches;      ///< Software OpenFlow switches.
+  std::vector<SwitchId> agg_switches;       ///< Hardware OpenFlow switches.
+  std::vector<SwitchId> legacy_switches;
+
+  [[nodiscard]] HostId host(const std::string& name) const {
+    return hosts.at(name);
+  }
+  [[nodiscard]] Ipv4 ip(const std::string& name) const {
+    return topology.host(hosts.at(name)).ip;
+  }
+};
+
+LabScenario build_lab_scenario();
+
+/// Knobs for the case-5 custom application (paper Fig. 10/11): Poisson
+/// client rates P(x, y) in requests/minute and connection-reuse percentages
+/// R(m, n) at the shared application server S3.
+struct Case5Knobs {
+  double rate_x = 500.0;
+  double rate_y = 500.0;
+  double reuse_m = 0.0;  ///< Fraction [0,1] for requests arriving via S1.
+  double reuse_n = 0.0;  ///< Fraction [0,1] for requests arriving via S2.
+  /// Ground-truth processing delay at S3 (the paper's 60 ms figure; the
+  /// measured DD peak is transfer + processing).
+  SimDuration s3_proc = 55 * kMillisecond;
+};
+
+/// Application groups for a Table II case (1-5). Case 5 takes its knobs.
+std::vector<AppSpec> table2_apps(int case_no, const LabScenario& lab,
+                                 const Case5Knobs& knobs = {});
+
+/// Human-readable deployment description per Table II (for the bench).
+std::vector<std::string> table2_description(int case_no);
+
+struct TreeScenario {
+  sim::Topology topology;
+  std::vector<HostId> hosts;  ///< 320 servers.
+  std::vector<SwitchId> tor_switches;
+  std::vector<SwitchId> agg_switches;
+  std::vector<SwitchId> core_switches;
+};
+
+TreeScenario build_tree_320();
+
+/// A k-ary fat-tree (Al-Fares et al.): k pods, each with k/2 edge and k/2
+/// aggregation switches, (k/2)^2 core switches, and (k/2)^2 hosts per pod
+/// — k^3/4 hosts total. k must be even and >= 2. The canonical
+/// full-bisection data-center fabric, as a second substrate for the
+/// scalability study.
+TreeScenario build_fat_tree(int k);
+
+/// Randomly places a three-tier application on tree hosts (2 web / 3 app /
+/// 2 db by default) and returns its spec. Every VM in one tier talks to
+/// every VM in the next (all-pairs), as in the scalability study. When
+/// `used` is given, hosts are drawn without replacement across calls —
+/// each application gets its own VMs, as in the paper's placement.
+AppSpec random_three_tier(const TreeScenario& tree, Rng& rng, int index,
+                          std::set<std::size_t>* used = nullptr);
+
+}  // namespace flowdiff::wl

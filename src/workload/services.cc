@@ -1,0 +1,25 @@
+#include "workload/services.h"
+
+namespace flowdiff::wl {
+
+std::uint16_t default_port(ServiceKind kind) {
+  switch (kind) {
+    case ServiceKind::kDns:
+      return kPortDns;
+    case ServiceKind::kNfs:
+      return kPortNfs;
+    case ServiceKind::kDhcp:
+      return kPortDhcp;
+    case ServiceKind::kNtp:
+      return kPortNtp;
+    case ServiceKind::kNetbios:
+      return kPortNetbios;
+    case ServiceKind::kMetadata:
+      return kPortHttp;
+    case ServiceKind::kAptMirror:
+      return kPortHttp;
+  }
+  return 0;
+}
+
+}  // namespace flowdiff::wl

@@ -1,0 +1,74 @@
+// Data-center service nodes (DNS, NFS, DHCP, NTP, ...).
+//
+// These are the paper's "special-purpose nodes": common infrastructure many
+// application groups touch. FlowDiff must know them (domain knowledge) so
+// that otherwise-independent application groups connected only through them
+// are not merged into one group.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/ipv4.h"
+
+namespace flowdiff::wl {
+
+enum class ServiceKind : std::uint8_t {
+  kDns,
+  kNfs,
+  kDhcp,
+  kNtp,
+  kNetbios,
+  kMetadata,
+  kAptMirror,
+};
+
+struct ServiceCatalog {
+  Ipv4 dns;
+  Ipv4 nfs;
+  Ipv4 dhcp;
+  Ipv4 ntp;
+  Ipv4 netbios;
+  Ipv4 metadata;
+  Ipv4 apt_mirror;
+
+  [[nodiscard]] Ipv4 ip_of(ServiceKind kind) const {
+    switch (kind) {
+      case ServiceKind::kDns:
+        return dns;
+      case ServiceKind::kNfs:
+        return nfs;
+      case ServiceKind::kDhcp:
+        return dhcp;
+      case ServiceKind::kNtp:
+        return ntp;
+      case ServiceKind::kNetbios:
+        return netbios;
+      case ServiceKind::kMetadata:
+        return metadata;
+      case ServiceKind::kAptMirror:
+        return apt_mirror;
+    }
+    return Ipv4{};
+  }
+
+  /// Every service IP — the special-node list handed to FlowDiff.
+  [[nodiscard]] std::vector<Ipv4> special_nodes() const {
+    return {dns, nfs, dhcp, ntp, netbios, metadata, apt_mirror};
+  }
+};
+
+/// Well-known ports used throughout the scenarios.
+inline constexpr std::uint16_t kPortDns = 53;
+inline constexpr std::uint16_t kPortNfs = 2049;
+inline constexpr std::uint16_t kPortDhcp = 67;
+inline constexpr std::uint16_t kPortNtp = 123;
+inline constexpr std::uint16_t kPortNetbios = 137;
+inline constexpr std::uint16_t kPortHttp = 80;
+inline constexpr std::uint16_t kPortMigration = 8002;
+inline constexpr std::uint16_t kPortPortmap = 111;
+inline constexpr std::uint16_t kPortMdns = 5353;
+
+[[nodiscard]] std::uint16_t default_port(ServiceKind kind);
+
+}  // namespace flowdiff::wl

@@ -1,0 +1,290 @@
+#include "workload/tasks.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+namespace flowdiff::wl {
+
+namespace {
+
+TaskStep step(TaskEndpoint src, TaskEndpoint dst, of::Proto proto,
+              SimDuration gap_mean, double skip_prob = 0.0, int min_rep = 1,
+              int max_rep = 1) {
+  TaskStep s;
+  s.src = src;
+  s.dst = dst;
+  s.proto = proto;
+  s.gap_mean = gap_mean;
+  s.skip_prob = skip_prob;
+  s.min_repeat = min_rep;
+  s.max_repeat = max_rep;
+  return s;
+}
+
+TaskEndpoint subj(int i, std::uint16_t port = 0) {
+  return TaskEndpoint::subject(i, port);
+}
+TaskEndpoint svc(ServiceKind s) {
+  return TaskEndpoint::service_ep(s, default_port(s));
+}
+
+}  // namespace
+
+TaskProfile vm_migration_profile() {
+  TaskProfile p;
+  p.name = "vm_migration";
+  // a/b: source host <-> NFS image sync (may repeat for large images).
+  p.steps.push_back(step(subj(0), svc(ServiceKind::kNfs), of::Proto::kTcp,
+                         40 * kMillisecond, 0.0, 1, 3));
+  p.steps.push_back(step(svc(ServiceKind::kNfs), subj(0), of::Proto::kTcp,
+                         20 * kMillisecond, 0.0, 1, 3));
+  // c/d: migration handshake on port 8002, both directions.
+  p.steps.push_back(step(subj(0, kPortMigration), subj(1, kPortMigration),
+                         of::Proto::kTcp, 60 * kMillisecond));
+  p.steps.push_back(step(subj(1, kPortMigration), subj(0, kPortMigration),
+                         of::Proto::kTcp, 30 * kMillisecond));
+  // e/f: destination host <-> NFS state sync.
+  p.steps.push_back(step(subj(1), svc(ServiceKind::kNfs), of::Proto::kTcp,
+                         80 * kMillisecond));
+  p.steps.push_back(step(svc(ServiceKind::kNfs), subj(1), of::Proto::kTcp,
+                         20 * kMillisecond));
+  return p;
+}
+
+TaskProfile vm_startup_profile(int variant) {
+  TaskProfile p;
+  p.name = "vm_startup_" + std::to_string(variant);
+  // Shared base-OS boot sequence.
+  p.steps.push_back(step(subj(0, 68), svc(ServiceKind::kDhcp),
+                         of::Proto::kUdp, 100 * kMillisecond));
+  p.steps.push_back(step(subj(0), svc(ServiceKind::kDns), of::Proto::kUdp,
+                         60 * kMillisecond));
+  p.steps.push_back(step(subj(0), svc(ServiceKind::kNtp), of::Proto::kUdp,
+                         80 * kMillisecond));
+  if (variant == 3) {
+    // "Ubuntu" image: apt mirror + mDNS; no metadata service, no NetBIOS.
+    p.steps.push_back(step(subj(0), svc(ServiceKind::kAptMirror),
+                           of::Proto::kTcp, 70 * kMillisecond));
+    p.steps.push_back(
+        step(subj(0), TaskEndpoint::service_ep(ServiceKind::kDns, kPortMdns),
+             of::Proto::kUdp, 40 * kMillisecond, 0.2));
+    return p;
+  }
+  // "Amazon AMI" images share the base-OS core (metadata + NetBIOS name
+  // service)...
+  p.steps.push_back(step(subj(0), svc(ServiceKind::kMetadata),
+                         of::Proto::kTcp, 50 * kMillisecond, 0.0, 1, 2));
+  p.steps.push_back(step(subj(0), svc(ServiceKind::kNetbios),
+                         of::Proto::kUdp, 40 * kMillisecond));
+  // ...and differ in one image-specific flow each image always performs
+  // while the sibling images perform it only occasionally (configuration
+  // drift). This is what keeps masked cross-image matches rare but nonzero,
+  // as Table III observes.
+  const TaskStep distinctive[3] = {
+      // Image A: DNS-over-TCP fallback lookup.
+      step(subj(0), TaskEndpoint::service_ep(ServiceKind::kDns, kPortDns),
+           of::Proto::kTcp, 30 * kMillisecond),
+      // Image B: NetBIOS datagram service announce.
+      step(subj(0), TaskEndpoint::service_ep(ServiceKind::kNetbios, 138),
+           of::Proto::kUdp, 30 * kMillisecond),
+      // Image C: instance-identity check on the metadata service.
+      step(subj(0), TaskEndpoint::service_ep(ServiceKind::kMetadata, 8080),
+           of::Proto::kTcp, 30 * kMillisecond),
+  };
+  for (int d = 0; d < 3; ++d) {
+    TaskStep s = distinctive[d];
+    s.skip_prob = d == variant ? 0.0 : 0.9;
+    p.steps.push_back(s);
+  }
+  return p;
+}
+
+TaskProfile vm_stop_profile() {
+  TaskProfile p;
+  p.name = "vm_stop";
+  // Final state sync with NFS, then a DHCP release.
+  p.steps.push_back(step(subj(0), svc(ServiceKind::kNfs), of::Proto::kTcp,
+                         60 * kMillisecond, 0.0, 1, 2));
+  p.steps.push_back(step(svc(ServiceKind::kNfs), subj(0), of::Proto::kTcp,
+                         30 * kMillisecond));
+  p.steps.push_back(step(subj(0, 68), svc(ServiceKind::kDhcp),
+                         of::Proto::kUdp, 40 * kMillisecond));
+  return p;
+}
+
+TaskProfile mount_nfs_profile() {
+  TaskProfile p;
+  p.name = "mount_nfs";
+  p.steps.push_back(
+      step(subj(0), TaskEndpoint::service_ep(ServiceKind::kNfs, kPortPortmap),
+           of::Proto::kTcp, 40 * kMillisecond));
+  p.steps.push_back(step(subj(0), svc(ServiceKind::kNfs), of::Proto::kTcp,
+                         30 * kMillisecond, 0.0, 1, 2));
+  p.steps.push_back(step(svc(ServiceKind::kNfs), subj(0), of::Proto::kTcp,
+                         20 * kMillisecond));
+  return p;
+}
+
+TaskProfile unmount_nfs_profile() {
+  TaskProfile p;
+  p.name = "unmount_nfs";
+  p.steps.push_back(step(subj(0), svc(ServiceKind::kNfs), of::Proto::kTcp,
+                         40 * kMillisecond));
+  p.steps.push_back(
+      step(subj(0), TaskEndpoint::service_ep(ServiceKind::kNfs, kPortPortmap),
+           of::Proto::kTcp, 30 * kMillisecond));
+  return p;
+}
+
+TaskProfile software_upgrade_profile() {
+  TaskProfile p;
+  p.name = "software_upgrade";
+  // Resolve the mirror, then fetch package lists + packages.
+  p.steps.push_back(step(subj(0), svc(ServiceKind::kDns), of::Proto::kUdp,
+                         30 * kMillisecond));
+  p.steps.push_back(step(subj(0), svc(ServiceKind::kAptMirror),
+                         of::Proto::kTcp, 60 * kMillisecond, 0.0, 2, 4));
+  // Post-install service restart re-syncs the clock.
+  p.steps.push_back(step(subj(0), svc(ServiceKind::kNtp), of::Proto::kUdp,
+                         120 * kMillisecond));
+  return p;
+}
+
+TaskProfile data_backup_profile() {
+  TaskProfile p;
+  p.name = "data_backup";
+  // Several long streams to NFS, then a verification read-back.
+  p.steps.push_back(step(subj(0), svc(ServiceKind::kNfs), of::Proto::kTcp,
+                         80 * kMillisecond, 0.0, 2, 5));
+  p.steps.push_back(step(svc(ServiceKind::kNfs), subj(0), of::Proto::kTcp,
+                         50 * kMillisecond));
+  // Completion is registered with the catalog (DNS TXT-style update).
+  p.steps.push_back(step(subj(0), svc(ServiceKind::kDns), of::Proto::kTcp,
+                         40 * kMillisecond, 0.3));
+  return p;
+}
+
+std::vector<TaskProfile> all_task_profiles() {
+  return {vm_migration_profile(), vm_startup_profile(0),
+          vm_startup_profile(1), vm_startup_profile(2),
+          vm_startup_profile(3), vm_stop_profile(),
+          mount_nfs_profile(),   unmount_nfs_profile(),
+          software_upgrade_profile(), data_backup_profile()};
+}
+
+TaskExpansion expand_task(const TaskProfile& profile,
+                          const std::vector<Ipv4>& subjects,
+                          const ServiceCatalog& services, Rng& rng,
+                          SimTime t0) {
+  TaskExpansion out;
+  out.task = profile.name;
+  out.start = t0;
+
+  // One ephemeral port per (subject, peer endpoint) pair per run, so paired
+  // request/reply steps (a & b in Fig. 4) share a connection.
+  std::map<std::tuple<int, std::uint32_t, std::uint16_t>, std::uint16_t>
+      ephemerals;
+  std::uint16_t next_port = 47000 + static_cast<std::uint16_t>(
+                                        rng.uniform_int(0, 4000));
+
+  auto resolve_ip = [&](const TaskEndpoint& ep) {
+    return ep.kind == TaskEndpoint::Kind::kService
+               ? services.ip_of(ep.service)
+               : subjects[static_cast<std::size_t>(ep.subject_index) %
+                          subjects.size()];
+  };
+  auto resolve_port = [&](const TaskEndpoint& ep, Ipv4 peer,
+                          std::uint16_t peer_port) -> std::uint16_t {
+    if (ep.port != 0) return ep.port;
+    const auto key =
+        std::make_tuple(ep.subject_index, peer.raw(), peer_port);
+    auto it = ephemerals.find(key);
+    if (it != ephemerals.end()) return it->second;
+    const std::uint16_t port = next_port++;
+    ephemerals.emplace(key, port);
+    return port;
+  };
+
+  SimTime t = t0;
+  for (const auto& s : profile.steps) {
+    if (rng.bernoulli(s.skip_prob)) continue;
+    const int repeats = static_cast<int>(
+        rng.uniform_int(s.min_repeat, std::max(s.min_repeat, s.max_repeat)));
+    for (int r = 0; r < repeats; ++r) {
+      t += static_cast<SimDuration>(
+          rng.exponential(static_cast<double>(std::max<SimDuration>(
+              s.gap_mean, kMillisecond))));
+      const Ipv4 src_ip = resolve_ip(s.src);
+      const Ipv4 dst_ip = resolve_ip(s.dst);
+      // Ephemeral sides key on (peer, peer's fixed port) so that paired
+      // request/reply steps (a & b in Fig. 4) reuse the same connection.
+      const std::uint16_t dst_port =
+          s.dst.port != 0 ? s.dst.port
+                          : resolve_port(s.dst, src_ip, s.src.port);
+      const std::uint16_t src_port =
+          s.src.port != 0 ? s.src.port
+                          : resolve_port(s.src, dst_ip, dst_port);
+      out.flows.push_back(of::TimedFlow{
+          t, of::FlowKey{src_ip, dst_ip, src_port, dst_port, s.proto}});
+    }
+  }
+  out.end = t;
+  return out;
+}
+
+void run_task_on_network(sim::Network& net, const TaskExpansion& expansion) {
+  for (const auto& tf : expansion.flows) {
+    net.events().schedule(tf.ts, [&net, key = tf.key] {
+      sim::FlowSpec spec;
+      spec.key = key;
+      spec.bytes = 4000;
+      spec.duration = 5 * kMillisecond;
+      net.start_flow(std::move(spec));
+    });
+  }
+}
+
+of::FlowSequence merge_sequences(std::vector<of::FlowSequence> sequences) {
+  of::FlowSequence merged;
+  for (auto& s : sequences) {
+    merged.insert(merged.end(), s.begin(), s.end());
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const of::TimedFlow& a, const of::TimedFlow& b) {
+                     return a.ts < b.ts;
+                   });
+  return merged;
+}
+
+of::FlowSequence background_noise(const std::vector<Ipv4>& hosts,
+                                  std::size_t count, SimTime t0, SimTime t1,
+                                  Rng& rng) {
+  of::FlowSequence out;
+  if (hosts.size() < 2 || t1 <= t0) return out;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto a = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(hosts.size()) - 1));
+    std::size_t b = a;
+    while (b == a) {
+      b = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(hosts.size()) - 1));
+    }
+    of::TimedFlow tf;
+    tf.ts = t0 + static_cast<SimDuration>(
+                     rng.uniform(0.0, static_cast<double>(t1 - t0)));
+    tf.key = of::FlowKey{
+        hosts[a], hosts[b],
+        static_cast<std::uint16_t>(rng.uniform_int(32768, 60999)),
+        static_cast<std::uint16_t>(rng.uniform_int(1, 1023)),
+        of::Proto::kTcp};
+    out.push_back(tf);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const of::TimedFlow& a, const of::TimedFlow& b) {
+              return a.ts < b.ts;
+            });
+  return out;
+}
+
+}  // namespace flowdiff::wl

@@ -1,0 +1,119 @@
+// Operator-task flow generators.
+//
+// Each task (VM startup, stop, migration, NFS mount/unmount) is described as
+// a profile: an ordered list of steps between the task's subject hosts and
+// data-center services. Expanding a profile yields one run's flow sequence
+// with realistic variation — ephemeral ports, optional repeats, timing
+// jitter, occasionally skipped (cached) steps — the raw material both for
+// learning task automata (many runs) and for detection tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "openflow/timed_flow.h"
+#include "simnet/network.h"
+#include "util/rng.h"
+#include "workload/services.h"
+
+namespace flowdiff::wl {
+
+/// An endpoint of a task step: one of the task's subject hosts or a service.
+struct TaskEndpoint {
+  enum class Kind : std::uint8_t { kSubject, kService };
+  Kind kind = Kind::kSubject;
+  int subject_index = 0;        ///< 0-based (#1, #2 in the paper's notation).
+  ServiceKind service = ServiceKind::kDns;
+  std::uint16_t port = 0;       ///< 0 = ephemeral.
+
+  static TaskEndpoint subject(int index, std::uint16_t port = 0) {
+    TaskEndpoint e;
+    e.kind = Kind::kSubject;
+    e.subject_index = index;
+    e.port = port;
+    return e;
+  }
+  static TaskEndpoint service_ep(ServiceKind s, std::uint16_t port) {
+    TaskEndpoint e;
+    e.kind = Kind::kService;
+    e.service = s;
+    e.port = port;
+    return e;
+  }
+};
+
+struct TaskStep {
+  TaskEndpoint src;
+  TaskEndpoint dst;
+  of::Proto proto = of::Proto::kTcp;
+  SimDuration gap_mean = 50 * kMillisecond;  ///< Delay after previous step.
+  double skip_prob = 0.0;   ///< Cached / configuration-dependent steps.
+  int min_repeat = 1;
+  int max_repeat = 1;       ///< e.g. repeated NFS image reads.
+};
+
+struct TaskProfile {
+  std::string name;
+  std::vector<TaskStep> steps;
+};
+
+// --- Profile library ------------------------------------------------------
+
+/// VM migration per the paper's Fig. 4: source syncs the image with NFS,
+/// negotiates with the destination on port 8002, transfers state, and the
+/// destination re-syncs with NFS.
+TaskProfile vm_migration_profile();
+
+/// VM startup profiles. `variant` 0..2 are "Amazon AMI"-like images sharing
+/// a base-OS startup core (DHCP, DNS, NTP, metadata, NetBIOS) with
+/// per-image extras; variant 3 is a distinct "Ubuntu" image (no NetBIOS,
+/// apt-mirror + mDNS instead), mirroring the paper's EC2 VM mix.
+TaskProfile vm_startup_profile(int variant);
+
+TaskProfile vm_stop_profile();
+TaskProfile mount_nfs_profile();
+TaskProfile unmount_nfs_profile();
+
+/// Software upgrade on a host (the paper's intro names it as a common
+/// operator task): resolve the mirror, fetch packages over HTTP, then
+/// restart-time chatter (NTP resync).
+TaskProfile software_upgrade_profile();
+
+/// Data backup: the host streams state to NFS in several long transfers,
+/// then verifies.
+TaskProfile data_backup_profile();
+
+/// Every built-in profile, for sweeps.
+std::vector<TaskProfile> all_task_profiles();
+
+// --- Expansion ------------------------------------------------------------
+
+struct TaskExpansion {
+  std::string task;
+  SimTime start = 0;
+  SimTime end = 0;
+  of::FlowSequence flows;
+};
+
+/// Expands one run of a task into a concrete flow sequence starting at t0.
+/// `subjects` supplies the IPs bound to #1, #2, ...
+TaskExpansion expand_task(const TaskProfile& profile,
+                          const std::vector<Ipv4>& subjects,
+                          const ServiceCatalog& services, Rng& rng,
+                          SimTime t0);
+
+/// Replays an expanded task on the network as real flows (so the control log
+/// records it). Flow bytes/durations are small and fixed.
+void run_task_on_network(sim::Network& net, const TaskExpansion& expansion);
+
+/// Merges flow sequences by timestamp (e.g., task flows + background noise).
+of::FlowSequence merge_sequences(std::vector<of::FlowSequence> sequences);
+
+/// Generates unrelated background flows in [t0, t1) among the given hosts —
+/// interleaving noise for detector robustness tests.
+of::FlowSequence background_noise(const std::vector<Ipv4>& hosts,
+                                  std::size_t count, SimTime t0, SimTime t1,
+                                  Rng& rng);
+
+}  // namespace flowdiff::wl

@@ -1,0 +1,76 @@
+#include "flowdiff/app_groups.h"
+
+#include <gtest/gtest.h>
+
+namespace flowdiff::core {
+namespace {
+
+const Ipv4 kA(10, 0, 0, 1);
+const Ipv4 kB(10, 0, 0, 2);
+const Ipv4 kC(10, 0, 0, 3);
+const Ipv4 kD(10, 0, 0, 4);
+const Ipv4 kDns(10, 0, 10, 2);
+
+of::TimedFlow flow(Ipv4 src, Ipv4 dst, SimTime ts = 0) {
+  return of::TimedFlow{ts,
+                       of::FlowKey{src, dst, 40000, 80, of::Proto::kTcp}};
+}
+
+TEST(AppGroups, ConnectedHostsFormOneGroup) {
+  const AppGroups groups =
+      discover_groups({flow(kA, kB), flow(kB, kC)}, {});
+  ASSERT_EQ(groups.groups.size(), 1u);
+  EXPECT_EQ(groups.groups[0].size(), 3u);
+  EXPECT_EQ(groups.group_of(kA), groups.group_of(kC));
+}
+
+TEST(AppGroups, IndependentChainsAreSeparate) {
+  const AppGroups groups =
+      discover_groups({flow(kA, kB), flow(kC, kD)}, {});
+  EXPECT_EQ(groups.groups.size(), 2u);
+  EXPECT_NE(groups.group_of(kA), groups.group_of(kC));
+}
+
+TEST(AppGroups, SharedServiceDoesNotMergeGroups) {
+  // Two otherwise-independent apps both talk to DNS. With DNS declared
+  // special, they must remain two groups (the paper's key rule).
+  const std::vector<of::TimedFlow> flows{
+      flow(kA, kB), flow(kA, kDns), flow(kC, kD), flow(kC, kDns)};
+  const AppGroups merged = discover_groups(flows, {});
+  EXPECT_EQ(merged.groups.size(), 1u);  // Without domain knowledge: merged.
+  const AppGroups split = discover_groups(flows, {kDns});
+  EXPECT_EQ(split.groups.size(), 2u);
+}
+
+TEST(AppGroups, SpecialNodesAreNotMembers) {
+  const AppGroups groups = discover_groups(
+      {flow(kA, kB), flow(kA, kDns)}, {kDns});
+  ASSERT_EQ(groups.groups.size(), 1u);
+  EXPECT_FALSE(groups.groups[0].contains(kDns));
+  EXPECT_EQ(groups.group_of(kDns), -1);
+}
+
+TEST(AppGroups, SharedRealServerDoesMergeGroups) {
+  // Two apps sharing a real (non-special) app server merge — Table II
+  // case 1's S10/S20 sharing.
+  const AppGroups groups = discover_groups(
+      {flow(kA, kB), flow(kC, kB)}, {});
+  EXPECT_EQ(groups.groups.size(), 1u);
+}
+
+TEST(AppGroups, HostTalkingOnlyToServicesFormsNoGroup) {
+  // A host with no application peers has no application signatures to
+  // model; it must not surface as a (spurious) group.
+  const AppGroups groups = discover_groups({flow(kA, kDns)}, {kDns});
+  EXPECT_TRUE(groups.groups.empty());
+  EXPECT_EQ(groups.group_of(kA), -1);
+}
+
+TEST(AppGroups, EmptyLog) {
+  const AppGroups groups = discover_groups({}, {kDns});
+  EXPECT_TRUE(groups.groups.empty());
+  EXPECT_EQ(groups.group_of(kA), -1);
+}
+
+}  // namespace
+}  // namespace flowdiff::core

@@ -1,0 +1,260 @@
+// Multi-tier application behavior: request chains, responses, load
+// balancing, pinning, connection reuse R(m,n), and replication.
+#include "workload/app.h"
+
+#include <gtest/gtest.h>
+
+#include "controller/controller.h"
+#include "workload/scenario.h"
+
+namespace flowdiff::wl {
+namespace {
+
+struct LabFixture {
+  LabFixture()
+      : lab(build_lab_scenario()),
+        net(lab.topology, sim::NetworkConfig{}),
+        controller(net, ControllerId{0}, ctrl::ControllerConfig{}) {
+    net.set_controller(&controller);
+  }
+
+  LabScenario lab;
+  sim::Network net;
+  ctrl::Controller controller;
+};
+
+AppSpec simple_chain(const LabScenario& lab) {
+  AppSpec spec;
+  spec.name = "test-app";
+  TierSpec clients;
+  clients.nodes = {lab.host("S21")};
+  spec.tiers.push_back(clients);
+  TierSpec web;
+  web.nodes = {lab.host("S1")};
+  web.service_port = 80;
+  web.proc_mean = 5 * kMillisecond;
+  spec.tiers.push_back(web);
+  TierSpec db;
+  db.nodes = {lab.host("S8")};
+  db.service_port = 3306;
+  db.proc_mean = 5 * kMillisecond;
+  spec.tiers.push_back(db);
+  spec.client_rates_per_min = {600};
+  return spec;
+}
+
+/// Collects distinct host-level edges seen in PacketIns.
+std::set<std::pair<Ipv4, Ipv4>> observed_edges(const of::ControlLog& log) {
+  std::set<std::pair<Ipv4, Ipv4>> edges;
+  for (const auto& e : log.events()) {
+    if (const auto* pin = std::get_if<of::PacketIn>(&e.msg)) {
+      edges.insert({pin->key.src_ip, pin->key.dst_ip});
+    }
+  }
+  return edges;
+}
+
+TEST(MultiTierApp, SingleRequestWalksAllTiersAndBack) {
+  LabFixture f;
+  MultiTierApp app(f.net, simple_chain(f.lab), &f.lab.services, Rng(3));
+  app.issue_request(0);
+  f.net.events().run_until(10 * kSecond);
+
+  EXPECT_EQ(app.completed_requests(), 1u);
+  EXPECT_EQ(app.failed_requests(), 0u);
+  const auto edges = observed_edges(f.controller.log());
+  const Ipv4 client = f.lab.ip("S21");
+  const Ipv4 web = f.lab.ip("S1");
+  const Ipv4 db = f.lab.ip("S8");
+  // Forward chain and reverse (response) flows all appear as new flows.
+  EXPECT_TRUE(edges.contains({client, web}));
+  EXPECT_TRUE(edges.contains({web, db}));
+  EXPECT_TRUE(edges.contains({db, web}));
+  EXPECT_TRUE(edges.contains({web, client}));
+}
+
+TEST(MultiTierApp, PoissonArrivalsCompleteManyRequests) {
+  LabFixture f;
+  MultiTierApp app(f.net, simple_chain(f.lab), &f.lab.services, Rng(3));
+  app.start(0, 20 * kSecond);
+  f.net.events().run_until(40 * kSecond);
+  // 600/min = 10/s for 20s -> ~200 requests.
+  EXPECT_GT(app.completed_requests(), 120u);
+  EXPECT_LT(app.completed_requests(), 320u);
+}
+
+TEST(MultiTierApp, RoundRobinBalancesEvenly) {
+  LabFixture f;
+  AppSpec spec = simple_chain(f.lab);
+  spec.tiers[1].nodes = {f.lab.host("S1"), f.lab.host("S2")};
+  spec.tiers[1].lb = TierSpec::Lb::kRoundRobin;
+  MultiTierApp app(f.net, spec, &f.lab.services, Rng(3));
+  for (int i = 0; i < 20; ++i) app.issue_request(0);
+  f.net.events().run_until(30 * kSecond);
+
+  const auto edges = observed_edges(f.controller.log());
+  EXPECT_TRUE(edges.contains({f.lab.ip("S21"), f.lab.ip("S1")}));
+  EXPECT_TRUE(edges.contains({f.lab.ip("S21"), f.lab.ip("S2")}));
+}
+
+TEST(MultiTierApp, WeightedLbSkews) {
+  LabFixture f;
+  AppSpec spec = simple_chain(f.lab);
+  spec.tiers[1].nodes = {f.lab.host("S1"), f.lab.host("S2")};
+  spec.tiers[1].lb = TierSpec::Lb::kWeighted;
+  spec.tiers[1].lb_weights = {0.9, 0.1};
+  // No reuse so every request is a distinct observable flow.
+  spec.tiers[0].reuse_prob = 0.0;
+  MultiTierApp app(f.net, spec, &f.lab.services, Rng(5));
+  for (int i = 0; i < 200; ++i) app.issue_request(0);
+  f.net.events().run_until(60 * kSecond);
+
+  std::size_t to_s1 = 0;
+  std::size_t to_s2 = 0;
+  for (const auto& e : f.controller.log().events()) {
+    if (const auto* pin = std::get_if<of::PacketIn>(&e.msg)) {
+      if (pin->key.src_ip == f.lab.ip("S21")) {
+        if (pin->key.dst_ip == f.lab.ip("S1")) ++to_s1;
+        if (pin->key.dst_ip == f.lab.ip("S2")) ++to_s2;
+      }
+    }
+  }
+  EXPECT_GT(to_s1, to_s2 * 3);
+}
+
+TEST(MultiTierApp, PinnedTierMapsClientToitsWeb) {
+  LabFixture f;
+  AppSpec spec = simple_chain(f.lab);
+  spec.tiers[0].nodes = {f.lab.host("S21"), f.lab.host("S22")};
+  spec.client_rates_per_min = {300, 300};
+  spec.tiers[1].nodes = {f.lab.host("S1"), f.lab.host("S2")};
+  spec.tiers[1].pin_upstream = true;
+  MultiTierApp app(f.net, spec, &f.lab.services, Rng(3));
+  for (int i = 0; i < 10; ++i) {
+    app.issue_request(0);
+    app.issue_request(1);
+  }
+  f.net.events().run_until(30 * kSecond);
+
+  const auto edges = observed_edges(f.controller.log());
+  EXPECT_TRUE(edges.contains({f.lab.ip("S21"), f.lab.ip("S1")}));
+  EXPECT_TRUE(edges.contains({f.lab.ip("S22"), f.lab.ip("S2")}));
+  EXPECT_FALSE(edges.contains({f.lab.ip("S21"), f.lab.ip("S2")}));
+  EXPECT_FALSE(edges.contains({f.lab.ip("S22"), f.lab.ip("S1")}));
+}
+
+TEST(MultiTierApp, FullReuseSuppressesRepeatPacketIns) {
+  LabFixture f;
+  AppSpec spec = simple_chain(f.lab);
+  spec.tiers[0].reuse_prob = 1.0;
+  spec.tiers[1].reuse_prob = 1.0;
+  MultiTierApp app(f.net, spec, &f.lab.services, Rng(3));
+
+  app.issue_request(0);
+  f.net.events().run_until(2 * kSecond);
+  const auto first_batch = f.net.packet_in_count();
+  EXPECT_GT(first_batch, 0u);
+
+  // Entries still installed (default idle timeout 5s): full reuse means the
+  // second request is invisible to the controller.
+  app.issue_request(0);
+  f.net.events().run_until(4 * kSecond);
+  EXPECT_EQ(f.net.packet_in_count(), first_batch);
+  EXPECT_EQ(app.completed_requests(), 2u);
+}
+
+TEST(MultiTierApp, ReuseByUpstreamDifferentiates) {
+  // R(m, n): requests via S1 never reuse the S3->db connection, requests
+  // via S2 always do — so client-2 requests generate no new app->db flows
+  // after the first.
+  LabFixture f;
+  AppSpec spec;
+  spec.name = "case5ish";
+  TierSpec clients;
+  clients.nodes = {f.lab.host("S22"), f.lab.host("S21")};
+  spec.tiers.push_back(clients);
+  TierSpec web;
+  web.nodes = {f.lab.host("S1"), f.lab.host("S2")};
+  web.pin_upstream = true;
+  web.service_port = 80;
+  web.proc_mean = 3 * kMillisecond;
+  spec.tiers.push_back(web);
+  TierSpec app_tier;
+  app_tier.nodes = {f.lab.host("S3")};
+  app_tier.service_port = 8009;
+  app_tier.proc_mean = 3 * kMillisecond;
+  app_tier.reuse_by_upstream[f.lab.host("S1").value] = 0.0;
+  app_tier.reuse_by_upstream[f.lab.host("S2").value] = 1.0;
+  spec.tiers.push_back(app_tier);
+  TierSpec db;
+  db.nodes = {f.lab.host("S8")};
+  db.service_port = 3306;
+  db.proc_mean = 3 * kMillisecond;
+  spec.tiers.push_back(db);
+  spec.client_rates_per_min = {300, 300};
+  // Web tier must reach S3 on fresh connections so each request is visible.
+  spec.tiers[1].reuse_prob = 0.0;
+  spec.tiers[0].reuse_prob = 0.0;
+
+  MultiTierApp app(f.net, spec, &f.lab.services, Rng(3));
+  // Interleave: 10 requests per client, spaced so entries stay installed.
+  for (int i = 0; i < 10; ++i) {
+    const SimTime at = i * 300 * kMillisecond;
+    f.net.events().schedule(at, [&app] {
+      app.issue_request(0);
+      app.issue_request(1);
+    });
+  }
+  f.net.events().run_until(60 * kSecond);
+  ASSERT_EQ(app.completed_requests(), 20u);
+
+  // Count distinct S3->S8 connections (ephemeral ports).
+  std::set<std::uint16_t> s3_db_ports;
+  for (const auto& e : f.controller.log().events()) {
+    if (const auto* pin = std::get_if<of::PacketIn>(&e.msg)) {
+      if (pin->key.src_ip == f.lab.ip("S3") &&
+          pin->key.dst_ip == f.lab.ip("S8")) {
+        s3_db_ports.insert(pin->key.src_port);
+      }
+    }
+  }
+  // 10 no-reuse requests open ~10 connections; the always-reuse path rides
+  // the shared cached connection.
+  EXPECT_GE(s3_db_ports.size(), 8u);
+  EXPECT_LE(s3_db_ports.size(), 12u);
+}
+
+TEST(MultiTierApp, SlaveDbReplicationFlows) {
+  LabFixture f;
+  AppSpec spec = simple_chain(f.lab);
+  spec.slave_db = f.lab.host("S15");
+  MultiTierApp app(f.net, spec, &f.lab.services, Rng(3));
+  app.issue_request(0);
+  f.net.events().run_until(10 * kSecond);
+  const auto edges = observed_edges(f.controller.log());
+  EXPECT_TRUE(edges.contains({f.lab.ip("S8"), f.lab.ip("S15")}));
+}
+
+TEST(MultiTierApp, DnsLookupsTouchServiceNode) {
+  LabFixture f;
+  AppSpec spec = simple_chain(f.lab);
+  spec.dns_lookup_prob = 1.0;
+  MultiTierApp app(f.net, spec, &f.lab.services, Rng(3));
+  app.issue_request(0);
+  f.net.events().run_until(10 * kSecond);
+  const auto edges = observed_edges(f.controller.log());
+  EXPECT_TRUE(edges.contains({f.lab.ip("S21"), f.lab.services.dns}));
+}
+
+TEST(MultiTierApp, CrashedTierFailsRequests) {
+  LabFixture f;
+  MultiTierApp app(f.net, simple_chain(f.lab), &f.lab.services, Rng(3));
+  f.net.set_port_block(f.lab.ip("S8"), 3306, true);
+  app.issue_request(0);
+  f.net.events().run_until(10 * kSecond);
+  EXPECT_EQ(app.completed_requests(), 0u);
+  EXPECT_EQ(app.failed_requests(), 1u);
+}
+
+}  // namespace
+}  // namespace flowdiff::wl

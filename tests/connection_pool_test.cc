@@ -1,0 +1,85 @@
+#include "workload/connection_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace flowdiff::wl {
+namespace {
+
+const Ipv4 kSrc(10, 0, 0, 1);
+const Ipv4 kDst(10, 0, 0, 2);
+
+TEST(ConnectionPool, AlwaysReuseKeepsPort) {
+  ConnectionPool pool;
+  Rng rng(1);
+  const auto first = pool.get(kSrc, kDst, 80, 1.0, rng);
+  const auto second = pool.get(kSrc, kDst, 80, 1.0, rng);
+  EXPECT_EQ(first.src_port, second.src_port);
+  EXPECT_EQ(first, second);
+}
+
+TEST(ConnectionPool, NeverReuseAllocatesFreshPorts) {
+  ConnectionPool pool;
+  Rng rng(1);
+  const auto first = pool.get(kSrc, kDst, 80, 0.0, rng);
+  const auto second = pool.get(kSrc, kDst, 80, 0.0, rng);
+  EXPECT_NE(first.src_port, second.src_port);
+}
+
+TEST(ConnectionPool, DistinctDestinationsAreDistinctConnections) {
+  ConnectionPool pool;
+  Rng rng(1);
+  const auto a = pool.get(kSrc, kDst, 80, 1.0, rng);
+  const auto b = pool.get(kSrc, kDst, 443, 1.0, rng);
+  EXPECT_NE(a.src_port, b.src_port);
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(ConnectionPool, ReuseProbabilityIsHonored) {
+  ConnectionPool pool;
+  Rng rng(7);
+  // Prime the connection.
+  const auto primed = pool.get(kSrc, kDst, 80, 0.0, rng);
+  int reused = 0;
+  const int trials = 5000;
+  std::uint16_t last = primed.src_port;
+  for (int i = 0; i < trials; ++i) {
+    const auto k = pool.get(kSrc, kDst, 80, 0.6, rng);
+    if (k.src_port == last) {
+      ++reused;
+    }
+    last = k.src_port;
+  }
+  EXPECT_NEAR(reused / static_cast<double>(trials), 0.6, 0.05);
+}
+
+TEST(ConnectionPool, InvalidateForcesNewPort) {
+  ConnectionPool pool;
+  Rng rng(1);
+  const auto first = pool.get(kSrc, kDst, 80, 1.0, rng);
+  pool.invalidate(kSrc, kDst, 80);
+  const auto second = pool.get(kSrc, kDst, 80, 1.0, rng);
+  EXPECT_NE(first.src_port, second.src_port);
+}
+
+TEST(ConnectionPool, EphemeralRangeWraps) {
+  ConnectionPool pool;
+  Rng rng(1);
+  std::uint16_t port = 0;
+  for (int i = 0; i < 25000; ++i) {
+    port = pool.get(kSrc, kDst, static_cast<std::uint16_t>(i % 500), 0.0, rng)
+               .src_port;
+    EXPECT_GE(port, 40000);
+    EXPECT_LT(port, 60000);
+  }
+}
+
+TEST(ConnectionPool, UdpProtoPreserved) {
+  ConnectionPool pool;
+  Rng rng(1);
+  const auto k = pool.get(kSrc, kDst, 53, 0.0, rng, of::Proto::kUdp);
+  EXPECT_EQ(k.proto, of::Proto::kUdp);
+  EXPECT_EQ(k.dst_port, 53);
+}
+
+}  // namespace
+}  // namespace flowdiff::wl

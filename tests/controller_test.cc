@@ -1,0 +1,181 @@
+#include "controller/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "controller/distributed.h"
+
+namespace flowdiff::ctrl {
+namespace {
+
+struct Fixture {
+  sim::Topology build() {
+    sim::Topology topo;
+    h1 = topo.add_host("h1", Ipv4(10, 0, 0, 1));
+    h2 = topo.add_host("h2", Ipv4(10, 0, 0, 2));
+    sw1 = topo.add_of_switch("sw1");
+    sw2 = topo.add_of_switch("sw2");
+    sw3 = topo.add_of_switch("sw3");
+    topo.connect(h1.value, sw1.value);
+    topo.connect(sw1.value, sw2.value);
+    topo.connect(sw2.value, sw3.value);
+    topo.connect(sw3.value, h2.value);
+    return topo;
+  }
+
+  Fixture() : net(build(), sim::NetworkConfig{}) {}
+
+  of::FlowKey key(std::uint16_t sport = 40000) const {
+    return of::FlowKey{Ipv4(10, 0, 0, 1), Ipv4(10, 0, 0, 2), sport, 80,
+                       of::Proto::kTcp};
+  }
+
+  HostId h1, h2;
+  SwitchId sw1, sw2, sw3;
+  sim::Network net;
+};
+
+TEST(Controller, LogsPacketInBeforeFlowMod) {
+  Fixture f;
+  Controller c(f.net, ControllerId{0}, ControllerConfig{});
+  f.net.set_controller(&c);
+  f.net.start_flow(sim::FlowSpec{f.key(), 1000, 10 * kMillisecond, {}, {}});
+  f.net.events().run_until(kSecond);
+
+  // For each switch: PacketIn ts < FlowMod ts, and response time is
+  // positive (the CRT signature's raw material).
+  SimTime last_pin = -1;
+  int pairs = 0;
+  for (const auto& e : c.log().events()) {
+    if (std::holds_alternative<of::PacketIn>(e.msg)) {
+      last_pin = e.ts;
+    } else if (std::holds_alternative<of::FlowMod>(e.msg)) {
+      ASSERT_GE(last_pin, 0);
+      EXPECT_GT(e.ts, last_pin);
+      ++pairs;
+    }
+  }
+  EXPECT_EQ(pairs, 3);
+}
+
+TEST(Controller, InstallsTimeoutsFromConfig) {
+  Fixture f;
+  ControllerConfig config;
+  config.idle_timeout = 2 * kSecond;
+  config.hard_timeout = 30 * kSecond;
+  Controller c(f.net, ControllerId{0}, config);
+  f.net.set_controller(&c);
+  f.net.start_flow(sim::FlowSpec{f.key(), 1000, 10 * kMillisecond, {}, {}});
+  f.net.events().run_until(kSecond);
+  const auto& table = f.net.flow_table(f.sw1);
+  ASSERT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.entries()[0].idle_timeout, 2 * kSecond);
+  EXPECT_EQ(table.entries()[0].hard_timeout, 30 * kSecond);
+}
+
+TEST(Controller, OverloadInflatesResponseTime) {
+  auto response_gap = [](double overload) {
+    Fixture f;
+    Controller c(f.net, ControllerId{0}, ControllerConfig{});
+    c.set_overload_factor(overload);
+    f.net.set_controller(&c);
+    f.net.start_flow(
+        sim::FlowSpec{f.key(), 1000, 10 * kMillisecond, {}, {}});
+    f.net.events().run_until(kSecond);
+    SimTime pin = -1;
+    for (const auto& e : c.log().events()) {
+      if (std::holds_alternative<of::PacketIn>(e.msg)) pin = e.ts;
+      if (std::holds_alternative<of::FlowMod>(e.msg)) return e.ts - pin;
+    }
+    return SimTime{-1};
+  };
+  const SimTime normal = response_gap(1.0);
+  const SimTime overloaded = response_gap(50.0);
+  EXPECT_GT(normal, 0);
+  EXPECT_GT(overloaded, normal * 10);
+}
+
+TEST(Controller, QueueingDelaysBurstyPacketIns) {
+  // Many simultaneous new flows serialize on the controller; later
+  // responses see queueing delay.
+  Fixture f;
+  ControllerConfig config;
+  config.base_proc = 500;
+  config.proc_jitter = 0;
+  Controller c(f.net, ControllerId{0}, config);
+  f.net.set_controller(&c);
+  for (std::uint16_t i = 0; i < 30; ++i) {
+    f.net.start_flow(
+        sim::FlowSpec{f.key(static_cast<std::uint16_t>(40000 + i)), 1000,
+                      10 * kMillisecond, {}, {}});
+  }
+  f.net.events().run_until(5 * kSecond);
+  SimTime max_gap = 0;
+  SimTime pin = -1;
+  std::map<std::uint64_t, SimTime> pins;
+  for (const auto& e : c.log().events()) {
+    if (const auto* p = std::get_if<of::PacketIn>(&e.msg)) {
+      pins[p->flow_uid * 100 + p->sw.value] = e.ts;
+    } else if (const auto* fm = std::get_if<of::FlowMod>(&e.msg)) {
+      auto it = pins.find(fm->flow_uid * 100 + fm->sw.value);
+      if (it != pins.end()) max_gap = std::max(max_gap, e.ts - it->second);
+    }
+  }
+  (void)pin;
+  // 30 concurrent arrivals x 500us service: the worst response is far
+  // above one service time.
+  EXPECT_GT(max_gap, 3000);
+}
+
+TEST(Controller, NoRouteDropsFlow) {
+  Fixture f;
+  Controller c(f.net, ControllerId{0}, ControllerConfig{});
+  f.net.set_controller(&c);
+  f.net.set_node_up(f.sw3.value, false);  // h2 unreachable.
+  bool failed = false;
+  sim::FlowSpec spec;
+  spec.key = f.key();
+  spec.on_failed = [&](SimTime) { failed = true; };
+  f.net.start_flow(std::move(spec));
+  f.net.events().run_until(kSecond);
+  EXPECT_TRUE(failed);
+  // PacketIn was still logged by the first switch.
+  EXPECT_GE(c.log().count<of::PacketIn>(), 1u);
+  EXPECT_EQ(c.log().count<of::FlowMod>(), 0u);
+}
+
+TEST(DistributedControllerSet, PartitionsSwitchesAndMergesLogs) {
+  Fixture f;
+  DistributedControllerSet set(f.net, 2, ControllerConfig{});
+  f.net.set_controller(&set);
+  bool delivered = false;
+  sim::FlowSpec spec;
+  spec.key = f.key();
+  spec.on_delivered = [&](const sim::DeliveryInfo&) { delivered = true; };
+  f.net.start_flow(std::move(spec));
+  f.net.events().run_until(kSecond);
+
+  EXPECT_TRUE(delivered);
+  const auto merged = set.merged_log();
+  EXPECT_EQ(merged.count<of::PacketIn>(), 3u);
+  // Each instance handled its own switches; together they saw all three.
+  std::size_t sum = 0;
+  for (std::size_t i = 0; i < set.instance_count(); ++i) {
+    sum += set.instance(i).log().count<of::PacketIn>();
+  }
+  EXPECT_EQ(sum, 3u);
+  // Merged log is time-sorted.
+  SimTime prev = -1;
+  for (const auto& e : merged.events()) {
+    EXPECT_GE(e.ts, prev);
+    prev = e.ts;
+  }
+}
+
+TEST(DistributedControllerSet, ZeroInstancesClampedToOne) {
+  Fixture f;
+  DistributedControllerSet set(f.net, 0, ControllerConfig{});
+  EXPECT_EQ(set.instance_count(), 1u);
+}
+
+}  // namespace
+}  // namespace flowdiff::ctrl

@@ -1,0 +1,135 @@
+#include "flowdiff/diagnosis.h"
+
+#include <gtest/gtest.h>
+
+namespace flowdiff::core {
+namespace {
+
+Change change_of(SignatureKind kind, std::string component = "c") {
+  Change c;
+  c.kind = kind;
+  c.description = "x";
+  ComponentRef ref;
+  ref.label = std::move(component);
+  c.components = {ref};
+  return c;
+}
+
+TEST(DependencyMatrix, CongestionPattern) {
+  // Fig. 8(a): DD/PC/FS rows x ISL column are 1.
+  const auto matrix = build_dependency_matrix(
+      {change_of(SignatureKind::kDd), change_of(SignatureKind::kPc),
+       change_of(SignatureKind::kFs), change_of(SignatureKind::kIsl)});
+  // Rows: CG(0) DD(1) CI(2) PC(3) FS(4); cols: PT(0) ISL(1) CC(2).
+  EXPECT_FALSE(matrix.cells[0][1]);
+  EXPECT_TRUE(matrix.cells[1][1]);
+  EXPECT_TRUE(matrix.cells[3][1]);
+  EXPECT_TRUE(matrix.cells[4][1]);
+  EXPECT_FALSE(matrix.cells[1][0]);
+  EXPECT_FALSE(matrix.cells[1][2]);
+}
+
+TEST(DependencyMatrix, SwitchFailurePattern) {
+  // Fig. 8(b): CG x PT only.
+  const auto matrix = build_dependency_matrix(
+      {change_of(SignatureKind::kCg), change_of(SignatureKind::kPt)});
+  EXPECT_TRUE(matrix.cells[0][0]);
+  for (int r = 1; r < 5; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_FALSE(matrix.cells[static_cast<std::size_t>(r)]
+                               [static_cast<std::size_t>(c)]);
+    }
+  }
+}
+
+TEST(DependencyMatrix, RenderShowsGrid) {
+  const auto matrix = build_dependency_matrix(
+      {change_of(SignatureKind::kCg), change_of(SignatureKind::kPt)});
+  const std::string s = matrix.render();
+  EXPECT_NE(s.find("PT"), std::string::npos);
+  EXPECT_NE(s.find("CG"), std::string::npos);
+  EXPECT_NE(s.find("1"), std::string::npos);
+}
+
+TEST(Classify, CongestionRanksNetworkBottleneckFirst) {
+  const auto matrix = build_dependency_matrix(
+      {change_of(SignatureKind::kDd), change_of(SignatureKind::kPc),
+       change_of(SignatureKind::kFs), change_of(SignatureKind::kIsl)});
+  const auto ranked = classify(matrix);
+  ASSERT_FALSE(ranked.empty());
+  // Network bottleneck and switch overhead share the profile; both must
+  // top the ranking with a perfect score.
+  EXPECT_DOUBLE_EQ(ranked[0].score, 1.0);
+  EXPECT_TRUE(ranked[0].cls == ProblemClass::kNetworkBottleneck ||
+              ranked[0].cls == ProblemClass::kSwitchOverhead);
+}
+
+TEST(Classify, HostPerformanceFromDdPcFs) {
+  const auto matrix = build_dependency_matrix(
+      {change_of(SignatureKind::kDd), change_of(SignatureKind::kPc),
+       change_of(SignatureKind::kFs)});
+  const auto ranked = classify(matrix);
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_TRUE(ranked[0].cls == ProblemClass::kHostPerformance ||
+              ranked[0].cls == ProblemClass::kAppPerformance);
+  EXPECT_DOUBLE_EQ(ranked[0].score, 1.0);
+}
+
+TEST(Classify, UnauthorizedAccessPattern) {
+  const auto matrix = build_dependency_matrix(
+      {change_of(SignatureKind::kCg), change_of(SignatureKind::kCi),
+       change_of(SignatureKind::kFs)});
+  const auto ranked = classify(matrix);
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_EQ(ranked[0].cls, ProblemClass::kUnauthorizedAccess);
+}
+
+TEST(Classify, ControllerOverheadIncludesCrt) {
+  const auto matrix = build_dependency_matrix(
+      {change_of(SignatureKind::kDd), change_of(SignatureKind::kPc),
+       change_of(SignatureKind::kFs), change_of(SignatureKind::kCrt)});
+  const auto ranked = classify(matrix);
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_EQ(ranked[0].cls, ProblemClass::kControllerOverhead);
+}
+
+TEST(Classify, EmptyMatrixGivesNothing) {
+  EXPECT_TRUE(classify(build_dependency_matrix({})).empty());
+}
+
+TEST(Classify, ScoresAreSortedDescending) {
+  const auto matrix = build_dependency_matrix(
+      {change_of(SignatureKind::kCg), change_of(SignatureKind::kPt),
+       change_of(SignatureKind::kFs)});
+  const auto ranked = classify(matrix);
+  for (std::size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(ranked[i - 1].score, ranked[i].score);
+  }
+}
+
+TEST(RankComponents, CountsAcrossChanges) {
+  Change c1 = change_of(SignatureKind::kCg, "edgeAB");
+  c1.components[0].ips = {Ipv4(10, 0, 0, 1), Ipv4(10, 0, 0, 2)};
+  Change c2 = change_of(SignatureKind::kDd, "pairABC");
+  c2.components[0].ips = {Ipv4(10, 0, 0, 1), Ipv4(10, 0, 0, 2),
+                          Ipv4(10, 0, 0, 3)};
+  Change c3 = change_of(SignatureKind::kFs, "edgeAB2");
+  c3.components[0].ips = {Ipv4(10, 0, 0, 2), Ipv4(10, 0, 0, 3)};
+  const auto ranked = rank_components({c1, c2, c3});
+  ASSERT_FALSE(ranked.empty());
+  // 10.0.0.2 appears in all three changes: it tops the ranking.
+  EXPECT_EQ(ranked[0].first, "10.0.0.2");
+  EXPECT_EQ(ranked[0].second, 3);
+}
+
+TEST(ProblemProfiles, EveryClassHasAProfileAndName) {
+  for (const ProblemClass cls : all_problem_classes()) {
+    EXPECT_TRUE(problem_profiles().contains(cls));
+    EXPECT_FALSE(problem_profiles().at(cls).empty());
+    EXPECT_STRNE(to_string(cls), "?");
+  }
+  EXPECT_EQ(all_problem_classes().size(), 12u);  // Fig. 2(b).
+}
+
+}  // namespace
+}  // namespace flowdiff::core

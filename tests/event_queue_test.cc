@@ -1,0 +1,82 @@
+#include "simnet/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace flowdiff::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(300, [&] { order.push_back(3); });
+  q.schedule(100, [&] { order.push_back(1); });
+  q.schedule(200, [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 300);
+}
+
+TEST(EventQueue, SameTimeIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(100, [&order, i] { order.push_back(i); });
+  }
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CallbacksCanScheduleMore) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(10, [&] {
+    ++fired;
+    q.schedule_in(5, [&] { ++fired; });
+  });
+  q.run_all();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), 15);
+}
+
+TEST(EventQueue, PastEventsClampToNow) {
+  EventQueue q;
+  SimTime seen = -1;
+  q.schedule(100, [&] {
+    q.schedule(50, [&] { seen = q.now(); });  // In the past.
+  });
+  q.run_all();
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(100, [&] { ++fired; });
+  q.schedule(200, [&] { ++fired; });
+  q.run_until(150);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), 150);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_until(200);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWhenIdle) {
+  EventQueue q;
+  q.run_until(500);
+  EXPECT_EQ(q.now(), 500);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+  q.schedule(1, [] {});
+  EXPECT_TRUE(q.step());
+  EXPECT_FALSE(q.step());
+}
+
+}  // namespace
+}  // namespace flowdiff::sim

@@ -1,0 +1,118 @@
+// FlowDiff facade: configuration propagation, report rendering paths, and
+// the learn_task convenience wrapper.
+#include <gtest/gtest.h>
+
+#include "experiment/lab_experiment.h"
+#include "flowdiff/flowdiff.h"
+#include "workload/tasks.h"
+
+namespace flowdiff::core {
+namespace {
+
+TEST(FlowDiffConfig, SetSpecialNodesPropagatesEverywhere) {
+  FlowDiffConfig config;
+  const std::set<Ipv4> nodes{Ipv4(1, 2, 3, 4), Ipv4(5, 6, 7, 8)};
+  config.set_special_nodes(nodes);
+  EXPECT_EQ(config.model.special_nodes, nodes);
+  EXPECT_EQ(config.validation.service_ips, nodes);
+  EXPECT_EQ(config.detector.service_ips, nodes);
+}
+
+TEST(FlowDiffFacade, LearnTaskUsesConfiguredServices) {
+  exp::LabExperiment lab{exp::LabExperimentConfig{}};
+  const FlowDiff flowdiff(lab.flowdiff_config());
+  Rng rng(3);
+  std::vector<of::FlowSequence> runs;
+  for (int i = 0; i < 8; ++i) {
+    runs.push_back(
+        wl::expand_task(wl::vm_migration_profile(),
+                        {lab.lab().ip("VM1"), lab.lab().ip("VM2")},
+                        lab.lab().services, rng, 0)
+            .flows);
+  }
+  const MinedTask mined = flowdiff.learn_task("migration", runs, true);
+  ASSERT_FALSE(mined.automaton.empty());
+  // Masked: service endpoints stayed literal, subjects became variables.
+  bool literal_service = false;
+  bool variable_subject = false;
+  for (const auto& state : mined.automaton.states) {
+    for (const auto& token : state) {
+      for (const auto& ep : {token.src, token.dst}) {
+        if (ep.kind == TokenEndpoint::Kind::kLiteral &&
+            ep.ip == lab.lab().services.nfs) {
+          literal_service = true;
+        }
+        if (ep.kind == TokenEndpoint::Kind::kVariable) {
+          variable_subject = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(literal_service);
+  EXPECT_TRUE(variable_subject);
+}
+
+TEST(DiffReport, CleanRenderSaysSo) {
+  DiffReport report;
+  const std::string text = report.render();
+  EXPECT_NE(text.find("no unknown changes"), std::string::npos);
+  EXPECT_EQ(text.find("UNKNOWN"), std::string::npos);
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(DiffReport, RenderListsTasksKnownAndUnknown) {
+  DiffReport report;
+  TaskOccurrence occ;
+  occ.task = "vm_migration";
+  occ.begin = 5 * kSecond;
+  occ.end = 6 * kSecond;
+  occ.involved = {Ipv4(10, 0, 9, 1)};
+  report.detected_tasks = {occ};
+
+  Change known;
+  known.kind = SignatureKind::kCg;
+  known.description = "new edge A->B";
+  report.known = {known};
+  report.known_explanations = {"explained by task 'vm_migration' at t=5s"};
+
+  Change unknown;
+  unknown.kind = SignatureKind::kDd;
+  unknown.description = "delay peak shifted 60ms";
+  report.unknown = {unknown};
+  report.matrix = build_dependency_matrix(report.unknown);
+  report.problems = classify(report.matrix, report.unknown);
+  report.component_ranking = {{"10.0.0.1", 3}};
+
+  const std::string text = report.render();
+  EXPECT_NE(text.find("detected operator tasks"), std::string::npos);
+  EXPECT_NE(text.find("vm_migration"), std::string::npos);
+  EXPECT_NE(text.find("known changes"), std::string::npos);
+  EXPECT_NE(text.find("UNKNOWN changes"), std::string::npos);
+  EXPECT_NE(text.find("dependency matrix"), std::string::npos);
+  EXPECT_NE(text.find("implicated components"), std::string::npos);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(FlowDiffFacade, ModelRespectsSignatureConfig) {
+  // A facade configured with a coarser DD bin produces coarser peaks.
+  exp::LabExperiment lab{exp::LabExperimentConfig{}};
+  const auto log = lab.run_window();
+
+  FlowDiffConfig fine = lab.flowdiff_config();
+  FlowDiffConfig coarse = lab.flowdiff_config();
+  coarse.model.app.dd_bin_ms = 100.0;
+  const auto fine_model = FlowDiff(fine).model(log);
+  const auto coarse_model = FlowDiff(coarse).model(log);
+  ASSERT_FALSE(fine_model.groups.empty());
+  ASSERT_FALSE(coarse_model.groups.empty());
+  for (const auto& group : coarse_model.groups) {
+    for (const auto& [pair, dd] : group.sig.dd.per_pair) {
+      // All peaks land on 100 ms bin centers.
+      const double offset = dd.peak_ms - 50.0;
+      EXPECT_NEAR(offset, std::round(offset / 100.0) * 100.0, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flowdiff::core

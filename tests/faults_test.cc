@@ -1,0 +1,169 @@
+#include "faults/faults.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/app.h"
+#include "workload/scenario.h"
+
+namespace flowdiff::faults {
+namespace {
+
+using wl::LabScenario;
+
+struct Fixture {
+  Fixture()
+      : lab(wl::build_lab_scenario()),
+        net(lab.topology, sim::NetworkConfig{}),
+        controller(net, ControllerId{0}, ctrl::ControllerConfig{}) {
+    net.set_controller(&controller);
+  }
+
+  LabScenario lab;
+  sim::Network net;
+  ctrl::Controller controller;
+};
+
+TEST(LinkLossFault, AppliesAndRestoresRates) {
+  Fixture f;
+  const LinkId link{0};
+  f.net.topology().link(link).loss_rate = 0.001;  // Pre-existing loss.
+  LinkLossFault fault(f.net, {link}, 0.05);
+  fault.apply();
+  EXPECT_DOUBLE_EQ(f.net.topology().link(link).loss_rate, 0.05);
+  fault.revert();
+  EXPECT_DOUBLE_EQ(f.net.topology().link(link).loss_rate, 0.001);
+}
+
+TEST(ServerSlowdownFault, TogglesHostDelay) {
+  Fixture f;
+  const HostId s3 = f.lab.host("S3");
+  ServerSlowdownFault fault(f.net, s3, 50 * kMillisecond, "logging");
+  EXPECT_EQ(fault.name(), "logging");
+  fault.apply();
+
+  SimTime normal = 0;
+  SimTime slowed = 0;
+  auto measure = [&](SimTime* out, std::uint16_t port) {
+    sim::FlowSpec spec;
+    spec.key = of::FlowKey{f.lab.ip("S1"), f.lab.ip("S3"), port, 8009,
+                           of::Proto::kTcp};
+    spec.duration = 5 * kMillisecond;
+    spec.on_delivered = [out](const sim::DeliveryInfo& info) {
+      *out = info.complete - info.first_packet;
+    };
+    f.net.start_flow(std::move(spec));
+    f.net.events().run_until(f.net.now() + 5 * kSecond);
+  };
+  measure(&slowed, 40001);
+  fault.revert();
+  measure(&normal, 40002);
+  EXPECT_GT(slowed, normal + 40 * kMillisecond);
+}
+
+TEST(AppCrashAndFirewall, BlockOnlyTheirPort) {
+  Fixture f;
+  AppCrashFault crash(f.net, f.lab.ip("S8"), 3306);
+  crash.apply();
+
+  auto attempt = [&](std::uint16_t dst_port, std::uint16_t src_port) {
+    bool ok = false;
+    bool failed = false;
+    sim::FlowSpec spec;
+    spec.key = of::FlowKey{f.lab.ip("S3"), f.lab.ip("S8"), src_port,
+                           dst_port, of::Proto::kTcp};
+    spec.on_delivered = [&](const sim::DeliveryInfo&) { ok = true; };
+    spec.on_failed = [&](SimTime) { failed = true; };
+    f.net.start_flow(std::move(spec));
+    f.net.events().run_until(f.net.now() + 5 * kSecond);
+    return std::pair{ok, failed};
+  };
+
+  EXPECT_EQ(attempt(3306, 41000), (std::pair{false, true}));
+  EXPECT_EQ(attempt(22, 41001), (std::pair{true, false}));
+  crash.revert();
+  EXPECT_EQ(attempt(3306, 41002), (std::pair{true, false}));
+}
+
+TEST(HostShutdownFault, HostUnreachableWhileDown) {
+  Fixture f;
+  HostShutdownFault fault(f.net, f.lab.host("S8"));
+  fault.apply();
+  EXPECT_FALSE(f.net.topology().node(f.lab.host("S8").value).up);
+  fault.revert();
+  EXPECT_TRUE(f.net.topology().node(f.lab.host("S8").value).up);
+}
+
+TEST(BackgroundTrafficFault, LoadsAndUnloadsPath) {
+  Fixture f;
+  BackgroundTrafficFault fault(f.net, f.lab.host("S1"), f.lab.host("S6"),
+                               0.8e9);
+  fault.apply();
+  double max_util = 0.0;
+  for (std::size_t i = 0; i < f.net.topology().link_count(); ++i) {
+    max_util = std::max(
+        max_util,
+        f.net.topology().link(LinkId{static_cast<std::uint32_t>(i)})
+            .utilization());
+  }
+  EXPECT_GT(max_util, 0.5);
+  fault.revert();
+  for (std::size_t i = 0; i < f.net.topology().link_count(); ++i) {
+    EXPECT_LT(f.net.topology()
+                  .link(LinkId{static_cast<std::uint32_t>(i)})
+                  .utilization(),
+              0.01);
+  }
+}
+
+TEST(SwitchFailureFault, ReroutesOrDisconnects) {
+  Fixture f;
+  // agg1 failure: edge switches still reach each other via agg2.
+  SwitchFailureFault fault(f.net, f.lab.agg_switches[0]);
+  fault.apply();
+  const auto path = f.net.topology().shortest_path(
+      f.lab.host("S1").value, f.lab.host("S6").value);
+  ASSERT_FALSE(path.empty());
+  for (const auto n : path) {
+    EXPECT_NE(n, f.lab.agg_switches[0].value);
+  }
+  fault.revert();
+  EXPECT_TRUE(f.net.topology().node(f.lab.agg_switches[0].value).up);
+}
+
+TEST(ControllerOverloadFault, TogglesFactor) {
+  Fixture f;
+  ControllerOverloadFault fault(f.controller, 25.0);
+  fault.apply();
+  // Observable via response gap (covered in controller_test); here just
+  // verify revert restores normal behavior end to end.
+  fault.revert();
+  bool delivered = false;
+  sim::FlowSpec spec;
+  spec.key = of::FlowKey{f.lab.ip("S1"), f.lab.ip("S6"), 42000, 80,
+                         of::Proto::kTcp};
+  spec.on_delivered = [&](const sim::DeliveryInfo&) { delivered = true; };
+  f.net.start_flow(std::move(spec));
+  f.net.events().run_until(5 * kSecond);
+  EXPECT_TRUE(delivered);
+}
+
+TEST(UnauthorizedAccessFault, InjectsFlowsInWindow) {
+  Fixture f;
+  UnauthorizedAccessFault fault(f.net, f.lab.host("S21"), f.lab.host("S14"),
+                                3306, kSecond, 3 * kSecond, 10);
+  fault.apply();
+  f.net.events().run_until(10 * kSecond);
+  std::size_t intruder_flows = 0;
+  for (const auto& e : f.controller.log().events()) {
+    if (const auto* pin = std::get_if<of::PacketIn>(&e.msg)) {
+      if (pin->key.src_ip == f.lab.ip("S21") &&
+          pin->key.dst_ip == f.lab.ip("S14")) {
+        ++intruder_flows;
+      }
+    }
+  }
+  EXPECT_GT(intruder_flows, 0u);
+}
+
+}  // namespace
+}  // namespace flowdiff::faults

@@ -1,0 +1,200 @@
+#include "openflow/flow_table.h"
+
+#include <gtest/gtest.h>
+
+#include "util/time.h"
+
+namespace flowdiff::of {
+namespace {
+
+const FlowKey kKey{Ipv4(10, 0, 0, 1), Ipv4(10, 0, 0, 2), 40000, 80,
+                   Proto::kTcp};
+
+FlowEntry make_entry(SimTime now, SimDuration idle, SimDuration hard) {
+  FlowEntry e;
+  e.match = FlowMatch::exact(kKey);
+  e.out_port = PortId{2};
+  e.priority = 10;
+  e.idle_timeout = idle;
+  e.hard_timeout = hard;
+  e.install_time = now;
+  e.last_match_time = now;
+  e.key = kKey;
+  return e;
+}
+
+TEST(FlowTable, LookupHitAndMiss) {
+  FlowTable t;
+  t.install(make_entry(0, kSecond, 0));
+  EXPECT_NE(t.lookup(kKey, PortId{1}), nullptr);
+  FlowKey other = kKey;
+  other.dst_port = 443;
+  EXPECT_EQ(t.lookup(other, PortId{1}), nullptr);
+}
+
+TEST(FlowTable, PriorityWins) {
+  FlowTable t;
+  FlowEntry wildcard = make_entry(0, 0, 0);
+  wildcard.match = FlowMatch::host_pair(kKey.src_ip, kKey.dst_ip);
+  wildcard.priority = 1;
+  wildcard.out_port = PortId{9};
+  t.install(wildcard);
+  t.install(make_entry(0, kSecond, 0));  // Exact, priority 10.
+  const FlowEntry* hit = t.lookup(kKey, PortId{1});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->out_port, PortId{2});
+}
+
+TEST(FlowTable, SpecificityBreaksPriorityTies) {
+  FlowTable t;
+  FlowEntry wildcard = make_entry(0, 0, 0);
+  wildcard.match = FlowMatch::host_pair(kKey.src_ip, kKey.dst_ip);
+  wildcard.priority = 5;
+  wildcard.out_port = PortId{9};
+  FlowEntry exact = make_entry(0, 0, 0);
+  exact.priority = 5;
+  exact.out_port = PortId{3};
+  t.install(wildcard);
+  t.install(exact);
+  const FlowEntry* hit = t.lookup(kKey, PortId{1});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->out_port, PortId{3});
+}
+
+TEST(FlowTable, AccountUpdatesCountersAndIdleTimer) {
+  FlowTable t;
+  t.install(make_entry(0, kSecond, 0));
+  EXPECT_TRUE(t.account(kKey, PortId{1}, 500 * kMillisecond, 1000, 2));
+  const FlowEntry* e = t.lookup(kKey, PortId{1});
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->byte_count, 1000u);
+  EXPECT_EQ(e->packet_count, 2u);
+  EXPECT_EQ(e->last_match_time, 500 * kMillisecond);
+  // Idle expiry moved out: entry survives t=1s, expires at 1.5s.
+  EXPECT_TRUE(t.expire(kSecond).empty());
+  EXPECT_EQ(t.expire(1500 * kMillisecond).size(), 1u);
+}
+
+TEST(FlowTable, AccountMissReturnsFalse) {
+  FlowTable t;
+  EXPECT_FALSE(t.account(kKey, PortId{1}, 0, 10, 1));
+}
+
+TEST(FlowTable, IdleExpiry) {
+  FlowTable t;
+  t.install(make_entry(0, kSecond, 0));
+  EXPECT_TRUE(t.expire(999 * kMillisecond).empty());
+  const auto expired = t.expire(kSecond);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].expiry_reason(), RemovedReason::kIdleTimeout);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(FlowTable, HardExpiryEvenWhenBusy) {
+  FlowTable t;
+  t.install(make_entry(0, kSecond, 3 * kSecond));
+  // Keep refreshing the idle timer; the hard timeout must still fire.
+  for (SimTime ts = 0; ts <= 3 * kSecond; ts += 500 * kMillisecond) {
+    t.account(kKey, PortId{1}, ts, 1, 1);
+  }
+  const auto expired = t.expire(3 * kSecond + 1);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].expiry_reason(), RemovedReason::kHardTimeout);
+}
+
+TEST(FlowTable, ZeroTimeoutsNeverExpire) {
+  FlowTable t;
+  t.install(make_entry(0, 0, 0));
+  EXPECT_TRUE(t.expire(1000 * kSecond).empty());
+  EXPECT_FALSE(t.next_expiry().has_value());
+}
+
+TEST(FlowTable, NextExpiryIsEarliest) {
+  FlowTable t;
+  t.install(make_entry(0, 2 * kSecond, 0));
+  FlowEntry second = make_entry(0, kSecond, 0);
+  FlowKey k2 = kKey;
+  k2.dst_port = 443;
+  second.match = FlowMatch::exact(k2);
+  second.key = k2;
+  t.install(second);
+  ASSERT_TRUE(t.next_expiry().has_value());
+  EXPECT_EQ(*t.next_expiry(), kSecond);
+}
+
+TEST(FlowTable, ReinstallKeepsCounters) {
+  FlowTable t;
+  t.install(make_entry(0, kSecond, 0));
+  t.account(kKey, PortId{1}, 10, 500, 1);
+  t.install(make_entry(kSecond, kSecond, 0));  // Same match re-installed.
+  EXPECT_EQ(t.size(), 1u);
+  const FlowEntry* e = t.lookup(kKey, PortId{1});
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->byte_count, 500u);
+  EXPECT_EQ(e->install_time, kSecond);
+}
+
+TEST(FlowTable, CapacityEvictsLeastRecentlyMatched) {
+  FlowTable t;
+  t.set_capacity(2);
+  FlowEntry first = make_entry(0, 0, 0);
+  FlowKey k2 = kKey;
+  k2.src_port = 40001;
+  FlowEntry second = make_entry(0, 0, 0);
+  second.match = FlowMatch::exact(k2);
+  second.key = k2;
+  EXPECT_FALSE(t.install(first).has_value());
+  EXPECT_FALSE(t.install(second).has_value());
+
+  // Touch the first entry so the second becomes the LRU victim.
+  t.account(kKey, PortId{1}, 100, 10, 1);
+
+  FlowKey k3 = kKey;
+  k3.src_port = 40002;
+  FlowEntry third = make_entry(200, 0, 0);
+  third.match = FlowMatch::exact(k3);
+  third.key = k3;
+  const auto evicted = t.install(third);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->key, k2);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_NE(t.lookup(kKey, PortId{1}), nullptr);
+  EXPECT_NE(t.lookup(k3, PortId{1}), nullptr);
+  EXPECT_EQ(t.lookup(k2, PortId{1}), nullptr);
+}
+
+TEST(FlowTable, ReinstallDoesNotEvictWhenFull) {
+  FlowTable t;
+  t.set_capacity(1);
+  EXPECT_FALSE(t.install(make_entry(0, kSecond, 0)).has_value());
+  // Same match again: replaces in place, nothing evicted.
+  EXPECT_FALSE(t.install(make_entry(100, kSecond, 0)).has_value());
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(FlowTable, UnboundedByDefault) {
+  FlowTable t;
+  for (std::uint16_t i = 0; i < 500; ++i) {
+    FlowKey k = kKey;
+    k.src_port = static_cast<std::uint16_t>(40000 + i);
+    FlowEntry e = make_entry(0, 0, 0);
+    e.match = FlowMatch::exact(k);
+    EXPECT_FALSE(t.install(e).has_value());
+  }
+  EXPECT_EQ(t.size(), 500u);
+}
+
+TEST(FlowTable, ClearReturnsEverything) {
+  FlowTable t;
+  t.install(make_entry(0, kSecond, 0));
+  FlowEntry second = make_entry(0, kSecond, 0);
+  FlowKey k2 = kKey;
+  k2.src_port = 40001;
+  second.match = FlowMatch::exact(k2);
+  t.install(second);
+  EXPECT_EQ(t.clear().size(), 2u);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+}  // namespace
+}  // namespace flowdiff::of

@@ -1,0 +1,263 @@
+// Robustness sweeps: the analysis pipeline must behave sanely on random,
+// adversarial, and degenerate inputs — no crashes, no self-diff changes,
+// serialization round-trips, detector stability under noise floods.
+#include <gtest/gtest.h>
+
+#include "controller/controller.h"
+#include "flowdiff/flowdiff.h"
+#include "openflow/log_io.h"
+#include "workload/tasks.h"
+
+namespace flowdiff {
+namespace {
+
+of::ControlLog random_log(std::uint64_t seed, int events) {
+  Rng rng(seed);
+  of::ControlLog log;
+  auto random_key = [&rng] {
+    return of::FlowKey{
+        Ipv4(static_cast<std::uint32_t>(rng.uniform_int(0x0a000001,
+                                                        0x0a0000ff))),
+        Ipv4(static_cast<std::uint32_t>(rng.uniform_int(0x0a000001,
+                                                        0x0a0000ff))),
+        static_cast<std::uint16_t>(rng.uniform_int(1, 65535)),
+        static_cast<std::uint16_t>(rng.uniform_int(1, 65535)),
+        rng.bernoulli(0.7) ? of::Proto::kTcp : of::Proto::kUdp};
+  };
+  SimTime ts = 0;
+  for (int i = 0; i < events; ++i) {
+    ts += static_cast<SimDuration>(rng.exponential(5000.0));
+    const auto kind = rng.uniform_int(0, 4);
+    of::ControlEvent event;
+    event.ts = ts;
+    event.controller = ControllerId{0};
+    const auto key = random_key();
+    const auto sw =
+        SwitchId{static_cast<std::uint32_t>(rng.uniform_int(0, 7))};
+    switch (kind) {
+      case 0: {
+        of::PacketIn pin;
+        pin.sw = sw;
+        pin.in_port = PortId{1};
+        pin.key = key;
+        event.msg = pin;
+        break;
+      }
+      case 1: {
+        of::FlowMod fm;
+        fm.sw = sw;
+        fm.out_port = PortId{2};
+        fm.key = key;
+        fm.match = rng.bernoulli(0.5)
+                       ? of::FlowMatch::exact(key)
+                       : of::FlowMatch::host_pair(key.src_ip, key.dst_ip);
+        event.msg = fm;
+        break;
+      }
+      case 2: {
+        of::PacketOut po;
+        po.sw = sw;
+        po.out_port = PortId{2};
+        po.key = key;
+        event.msg = po;
+        break;
+      }
+      case 3: {
+        of::FlowRemoved fr;
+        fr.sw = sw;
+        fr.key = key;
+        fr.match = of::FlowMatch::exact(key);
+        fr.byte_count = static_cast<std::uint64_t>(
+            rng.uniform_int(0, 1000000));
+        fr.packet_count = static_cast<std::uint64_t>(
+            rng.uniform_int(0, 1000));
+        fr.duration = static_cast<SimDuration>(rng.uniform_int(0, kSecond));
+        event.msg = fr;
+        break;
+      }
+      default: {
+        of::FlowStatsReply st;
+        st.sw = sw;
+        st.key = key;
+        st.match = of::FlowMatch::exact(key);
+        st.age = static_cast<SimDuration>(rng.uniform_int(1, 10 * kSecond));
+        st.byte_count = static_cast<std::uint64_t>(
+            rng.uniform_int(0, 1000000));
+        event.msg = st;
+        break;
+      }
+    }
+    log.append(std::move(event));
+  }
+  return log;
+}
+
+class RandomLogTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomLogTest, PipelineNeverChokesAndSelfDiffIsClean) {
+  const auto log =
+      random_log(static_cast<std::uint64_t>(GetParam()) * 131, 800);
+  const core::FlowDiff flowdiff{core::FlowDiffConfig{}};
+  const auto model = flowdiff.model(log);
+  // Self-diff must be clean whatever garbage went in.
+  const auto report = flowdiff.diff(model, model);
+  EXPECT_TRUE(report.changes.empty());
+  // Rendering must not throw on any content.
+  EXPECT_FALSE(report.render().empty());
+}
+
+TEST_P(RandomLogTest, SerializationRoundTripsExactly) {
+  const auto log =
+      random_log(static_cast<std::uint64_t>(GetParam()) * 977, 500);
+  const std::string text = of::serialize(log);
+  const auto parsed = of::parse_control_log(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->size(), log.size());
+  EXPECT_EQ(of::serialize(*parsed), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLogTest, ::testing::Range(1, 9));
+
+// ---------------------------------------------------------------------------
+// Detector robustness across noise densities.
+
+class NoiseFloodTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NoiseFloodTest, MigrationStillDetectedUnderNoise) {
+  wl::ServiceCatalog services;
+  services.nfs = Ipv4(10, 0, 10, 1);
+  services.dns = Ipv4(10, 0, 10, 2);
+  services.dhcp = Ipv4(10, 0, 10, 3);
+  services.ntp = Ipv4(10, 0, 10, 4);
+  services.netbios = Ipv4(10, 0, 10, 5);
+  services.metadata = Ipv4(10, 0, 10, 6);
+  services.apt_mirror = Ipv4(10, 0, 10, 7);
+  std::set<Ipv4> service_ips;
+  for (const Ipv4 ip : services.special_nodes()) service_ips.insert(ip);
+
+  Rng rng(321);
+  std::vector<of::FlowSequence> runs;
+  for (int i = 0; i < 12; ++i) {
+    runs.push_back(wl::expand_task(wl::vm_migration_profile(),
+                                   {Ipv4(10, 0, 1, 1), Ipv4(10, 0, 2, 1)},
+                                   services, rng, 0)
+                       .flows);
+  }
+  core::MiningConfig mining;
+  mining.mask_subjects = true;
+  mining.service_ips = service_ips;
+  const auto automaton =
+      core::mine_task("vm_migration", runs, mining).automaton;
+
+  // One migration of a new pair, flooded with `GetParam()` noise flows
+  // between OTHER hosts in the same window.
+  const auto task = wl::expand_task(wl::vm_migration_profile(),
+                                    {Ipv4(10, 0, 3, 1), Ipv4(10, 0, 4, 1)},
+                                    services, rng, kSecond);
+  std::vector<Ipv4> noisy_hosts;
+  for (int i = 0; i < 10; ++i) {
+    noisy_hosts.push_back(Ipv4(10, 0, 7, static_cast<std::uint8_t>(i + 1)));
+  }
+  const auto noise =
+      wl::background_noise(noisy_hosts, static_cast<std::size_t>(GetParam()),
+                           0, task.end + kSecond, rng);
+  const auto stream = wl::merge_sequences({task.flows, noise});
+
+  core::DetectorConfig det;
+  det.service_ips = service_ips;
+  const core::TaskDetector detector({automaton}, det);
+  const auto found = detector.detect(stream);
+  bool hit = false;
+  for (const auto& occ : found) {
+    for (const Ipv4 ip : occ.involved) {
+      if (ip == Ipv4(10, 0, 3, 1)) hit = true;
+    }
+  }
+  EXPECT_TRUE(hit) << "migration lost among " << GetParam()
+                   << " noise flows";
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, NoiseFloodTest,
+                         ::testing::Values(0, 50, 200, 800, 2000));
+
+// ---------------------------------------------------------------------------
+// Partial-correlation option.
+
+TEST(PartialCorrelationOption, RemovesWorkloadCommonMode) {
+  // One bursty global workload drives two chains: client->a->backend (a
+  // per-request dependency) and a's cache refreshes a->cache whose *rate*
+  // follows the bursts but not individual requests. A second chain
+  // client2->b->backend2 follows the same bursts and supplies the control
+  // series. Pearson sees common-mode correlation on (client->a, a->cache);
+  // the partial option, controlling for the rest of the group, removes it
+  // while the true dependency pair keeps its correlation.
+  core::ParsedLog log;
+  log.begin = 0;
+  const Ipv4 client(10, 0, 0, 1);
+  const Ipv4 a(10, 0, 0, 2);
+  const Ipv4 cache(10, 0, 0, 3);
+  const Ipv4 backend(10, 0, 0, 4);
+  const Ipv4 client2(10, 0, 0, 5);
+  const Ipv4 b(10, 0, 0, 6);
+  const Ipv4 backend2(10, 0, 0, 7);
+  Rng rng(5);
+  std::uint16_t sport = 40000;
+  auto emit = [&](Ipv4 src, Ipv4 dst, std::uint16_t dport, SimTime t) {
+    core::FlowOccurrence occ;
+    occ.key = of::FlowKey{src, dst, sport++, dport, of::Proto::kTcp};
+    occ.first_ts = t;
+    log.occurrences.push_back(occ);
+  };
+  for (int epoch = 0; epoch < 80; ++epoch) {
+    const bool hot = rng.bernoulli(0.5);
+    const SimTime base = epoch * kSecond;
+    // Chain 1: each request triggers the backend call (true dependency),
+    // with per-epoch noise.
+    const auto n1 = (hot ? 7 : 1) + rng.uniform_int(0, 2);
+    for (int i = 0; i < n1; ++i) {
+      const SimTime t = base + i * 9 * kMillisecond;
+      emit(client, a, 80, t);
+      emit(a, backend, 3306, t + 5 * kMillisecond);
+    }
+    // a's cache refreshes follow the burst level with independent noise.
+    const auto nc = (hot ? 5 : 0) + rng.uniform_int(0, 3);
+    for (int i = 0; i < nc; ++i) {
+      emit(a, cache, 9000, base + 100 * kMillisecond + i * 11 * kMillisecond);
+    }
+    // Chain 2: same global bursts, independent noise — the control signal.
+    const auto n2 = (hot ? 7 : 1) + rng.uniform_int(0, 2);
+    for (int i = 0; i < n2; ++i) {
+      const SimTime t = base + 40 * kMillisecond + i * 9 * kMillisecond;
+      emit(client2, b, 80, t);
+      emit(b, backend2, 3306, t + 5 * kMillisecond);
+    }
+  }
+  std::sort(log.occurrences.begin(), log.occurrences.end(),
+            [](const core::FlowOccurrence& x, const core::FlowOccurrence& y) {
+              return x.first_ts < y.first_ts;
+            });
+  log.end = 80 * kSecond;
+
+  core::AppSignatureConfig plain;
+  plain.min_edge_flows = 5;
+  core::AppSignatureConfig partial = plain;
+  partial.pc_control_for_group = true;
+  const std::set<Ipv4> members{client, a, cache, backend,
+                               client2, b, backend2};
+
+  const auto sig_plain = extract_group_signatures(log, members, plain);
+  const auto sig_partial = extract_group_signatures(log, members, partial);
+  const core::EdgePair cross_pair{client, a, cache};   // Common-mode only.
+  const core::EdgePair true_pair{client, a, backend};  // Real dependency.
+  ASSERT_TRUE(sig_plain.pc.rho.contains(cross_pair));
+  ASSERT_TRUE(sig_partial.pc.rho.contains(cross_pair));
+  // Pearson sees the workload's common mode on the unrelated edge...
+  EXPECT_GT(sig_plain.pc.rho.at(cross_pair), 0.6);
+  // ...partial correlation slashes it while the real dependency survives.
+  EXPECT_LT(sig_partial.pc.rho.at(cross_pair),
+            sig_plain.pc.rho.at(cross_pair) - 0.25);
+  EXPECT_GT(sig_partial.pc.rho.at(true_pair), 0.5);
+}
+
+}  // namespace
+}  // namespace flowdiff

@@ -1,0 +1,82 @@
+#include "util/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace flowdiff {
+namespace {
+
+TEST(Digraph, EdgesAndNodes) {
+  Digraph<std::string> g;
+  g.add_edge("a", "b");
+  g.add_edge("b", "c");
+  EXPECT_TRUE(g.has_edge("a", "b"));
+  EXPECT_FALSE(g.has_edge("b", "a"));
+  EXPECT_TRUE(g.has_node("c"));
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 2u);
+}
+
+TEST(Digraph, SuccessorsAndPredecessors) {
+  Digraph<int> g;
+  g.add_edge(1, 2);
+  g.add_edge(1, 3);
+  g.add_edge(4, 3);
+  EXPECT_EQ(g.successors(1), (std::vector<int>{2, 3}));
+  EXPECT_EQ(g.predecessors(3), (std::vector<int>{1, 4}));
+  EXPECT_TRUE(g.successors(99).empty());
+}
+
+TEST(Digraph, EdgesOnlyIn) {
+  Digraph<int> base;
+  base.add_edge(1, 2);
+  base.add_edge(2, 3);
+  Digraph<int> cur;
+  cur.add_edge(1, 2);
+  cur.add_edge(3, 4);
+  const auto added = base.edges_only_in(cur);    // In cur, not base.
+  const auto removed = cur.edges_only_in(base);  // In base, not cur.
+  ASSERT_EQ(added.size(), 1u);
+  EXPECT_EQ(added[0], (std::pair<int, int>{3, 4}));
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0], (std::pair<int, int>{2, 3}));
+}
+
+TEST(Digraph, ConnectedComponentsIgnoreDirection) {
+  Digraph<int> g;
+  g.add_edge(1, 2);
+  g.add_edge(3, 2);  // 1,2,3 connected (direction ignored).
+  g.add_edge(4, 5);
+  g.add_node(6);  // Isolated.
+  const auto components = g.connected_components();
+  EXPECT_EQ(components.size(), 3u);
+  std::size_t sizes[3] = {components[0].size(), components[1].size(),
+                          components[2].size()};
+  std::sort(sizes, sizes + 3);
+  EXPECT_EQ(sizes[0], 1u);
+  EXPECT_EQ(sizes[1], 2u);
+  EXPECT_EQ(sizes[2], 3u);
+}
+
+TEST(Digraph, EqualityIsStructural) {
+  Digraph<int> a;
+  a.add_edge(1, 2);
+  Digraph<int> b;
+  b.add_edge(1, 2);
+  EXPECT_EQ(a, b);
+  b.add_edge(2, 1);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Digraph, SelfLoopAndDuplicateEdges) {
+  Digraph<int> g;
+  g.add_edge(1, 1);
+  g.add_edge(1, 1);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.node_count(), 1u);
+  EXPECT_EQ(g.connected_components().size(), 1u);
+}
+
+}  // namespace
+}  // namespace flowdiff

@@ -1,0 +1,87 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace flowdiff {
+namespace {
+
+TEST(Histogram, BinningBoundaries) {
+  Histogram h(20.0);
+  h.add(0.0);    // bin 0
+  h.add(19.99);  // bin 0
+  h.add(20.0);   // bin 1
+  h.add(59.0);   // bin 2
+  EXPECT_EQ(h.count_at(0), 2u);
+  EXPECT_EQ(h.count_at(1), 1u);
+  EXPECT_EQ(h.count_at(2), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, NegativeValuesClampToFirstBin) {
+  Histogram h(10.0);
+  h.add(-5.0);
+  EXPECT_EQ(h.count_at(0), 1u);
+}
+
+TEST(Histogram, BinCenter) {
+  Histogram h(20.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(2), 50.0);
+}
+
+TEST(Histogram, ModeBin) {
+  Histogram h(10.0);
+  for (int i = 0; i < 3; ++i) h.add(5.0);
+  for (int i = 0; i < 7; ++i) h.add(25.0);
+  h.add(45.0);
+  EXPECT_EQ(h.mode_bin(), 2u);
+  EXPECT_DOUBLE_EQ(h.top_peak().center, 25.0);
+  EXPECT_EQ(h.top_peak().count, 7u);
+}
+
+TEST(Histogram, EmptyTopPeakIsZero) {
+  Histogram h(20.0);
+  const auto peak = h.top_peak();
+  EXPECT_EQ(peak.count, 0u);
+  EXPECT_DOUBLE_EQ(peak.center, 0.0);
+}
+
+TEST(Histogram, PeaksFindsLocalMaxima) {
+  Histogram h(10.0);
+  // Bimodal: peaks around 15 and 55; the single 35 sample (5%) stays below
+  // the 10% peak threshold.
+  for (int i = 0; i < 10; ++i) h.add(15.0);
+  h.add(35.0);
+  for (int i = 0; i < 8; ++i) h.add(55.0);
+  const auto peaks = h.peaks(0.1);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_DOUBLE_EQ(peaks[0].center, 15.0);  // Strongest first.
+  EXPECT_DOUBLE_EQ(peaks[1].center, 55.0);
+}
+
+TEST(Histogram, PeaksRespectsMinFraction) {
+  Histogram h(10.0);
+  for (int i = 0; i < 95; ++i) h.add(15.0);
+  for (int i = 0; i < 5; ++i) h.add(55.0);
+  EXPECT_EQ(h.peaks(0.10).size(), 1u);
+  EXPECT_EQ(h.peaks(0.01).size(), 2u);
+}
+
+TEST(Histogram, RecoversKnownDelayPeak) {
+  // DD-style use: noisy delays around a 55 ms processing time, 20 ms bins,
+  // peak must land in the [40, 60) bin (center 50) — the paper's Fig. 10
+  // invariant.
+  Histogram h(20.0);
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    h.add(rng.normal(55.0, 4.0));
+  }
+  // Uniform background noise.
+  for (int i = 0; i < 400; ++i) h.add(rng.uniform(0.0, 400.0));
+  EXPECT_DOUBLE_EQ(h.top_peak().center, 50.0);
+}
+
+}  // namespace
+}  // namespace flowdiff

@@ -1,0 +1,114 @@
+#include "flowdiff/infra_signatures.h"
+
+#include <gtest/gtest.h>
+
+#include "controller/controller.h"
+#include "simnet/network.h"
+
+namespace flowdiff::core {
+namespace {
+
+const Ipv4 kA(10, 0, 0, 1);
+const Ipv4 kB(10, 0, 0, 2);
+
+
+/// PT edges are canonicalized (undirected); check both orders.
+bool pt_adjacent(const PhysicalTopologySig& pt, const PtNode& a,
+                 const PtNode& b) {
+  return pt.graph.has_edge(a, b) || pt.graph.has_edge(b, a);
+}
+
+ParsedLog synthetic_log() {
+  // Flow A -> B through sw1 then sw2; PacketIn/FlowMod timestamps chosen so
+  // ISL(sw1, sw2) = 2 ms.
+  ParsedLog log;
+  FlowOccurrence occ;
+  occ.key = of::FlowKey{kA, kB, 40000, 80, of::Proto::kTcp};
+  occ.first_ts = 1000;
+  occ.hops.push_back(SwitchHop{SwitchId{1}, PortId{1}, PortId{2}, 1000, 1500});
+  occ.hops.push_back(SwitchHop{SwitchId{2}, PortId{1}, PortId{2}, 3500, 4000});
+  log.occurrences.push_back(occ);
+  log.crt_samples_ms = {0.5, 0.5};
+  log.begin = 0;
+  log.end = 10000;
+  return log;
+}
+
+TEST(InfraSignatures, TopologyFromHops) {
+  const auto infra = extract_infra_signatures(synthetic_log());
+  EXPECT_TRUE(pt_adjacent(infra.pt, pt_host_node(kA),
+                          pt_switch_node(SwitchId{1})));
+  EXPECT_TRUE(pt_adjacent(infra.pt, pt_switch_node(SwitchId{1}),
+                          pt_switch_node(SwitchId{2})));
+  EXPECT_TRUE(pt_adjacent(infra.pt, pt_switch_node(SwitchId{2}),
+                          pt_host_node(kB)));
+  EXPECT_FALSE(pt_adjacent(infra.pt, pt_switch_node(SwitchId{1}),
+                           pt_host_node(kB)));
+}
+
+TEST(InfraSignatures, IslFromControllerTimestamps) {
+  const auto infra = extract_infra_signatures(synthetic_log());
+  const auto& isl = infra.isl.latency_ms.at({1, 2});
+  EXPECT_EQ(isl.count(), 1u);
+  EXPECT_DOUBLE_EQ(isl.mean(), 2.0);  // 3500 - 1500 us.
+}
+
+TEST(InfraSignatures, CrtAggregated) {
+  const auto infra = extract_infra_signatures(synthetic_log());
+  EXPECT_EQ(infra.crt.response_ms.count(), 2u);
+  EXPECT_DOUBLE_EQ(infra.crt.response_ms.mean(), 0.5);
+}
+
+TEST(InfraSignatures, UnansweredHopYieldsNoIslSample) {
+  ParsedLog log = synthetic_log();
+  log.occurrences[0].hops[0].flow_mod_ts = -1;
+  const auto infra = extract_infra_signatures(log);
+  EXPECT_FALSE(infra.isl.latency_ms.contains({1, 2}));
+}
+
+TEST(PhysicalTopologySig, DiffDetectsReroute) {
+  const auto base = extract_infra_signatures(synthetic_log());
+  ParsedLog rerouted_log = synthetic_log();
+  rerouted_log.occurrences[0].hops[1].sw = SwitchId{3};
+  const auto cur = extract_infra_signatures(rerouted_log);
+  const auto diff = base.pt.diff(cur.pt);
+  // New: sw1->sw3, sw3->host B. Missing: sw1->sw2, sw2->host B.
+  EXPECT_EQ(diff.added.size(), 2u);
+  EXPECT_EQ(diff.removed.size(), 2u);
+}
+
+TEST(InfraSignatures, EndToEndInferredTopologyMatchesGroundTruth) {
+  // Simulate a linear network and check the inferred topology contains the
+  // exact host/switch chain.
+  sim::Topology topo;
+  const HostId h1 = topo.add_host("h1", kA);
+  const HostId h2 = topo.add_host("h2", kB);
+  const SwitchId sw1 = topo.add_of_switch("sw1");
+  const SwitchId sw2 = topo.add_of_switch("sw2");
+  const SwitchId sw3 = topo.add_of_switch("sw3");
+  topo.connect(h1.value, sw1.value);
+  topo.connect(sw1.value, sw2.value);
+  topo.connect(sw2.value, sw3.value);
+  topo.connect(sw3.value, h2.value);
+  sim::Network net(std::move(topo), sim::NetworkConfig{});
+  ctrl::Controller controller(net, ControllerId{0}, ctrl::ControllerConfig{});
+  net.set_controller(&controller);
+  net.start_flow(sim::FlowSpec{
+      of::FlowKey{kA, kB, 40000, 80, of::Proto::kTcp}, 1000,
+      10 * kMillisecond, {}, {}});
+  net.events().run_until(kSecond);
+
+  const auto infra =
+      extract_infra_signatures(parse_log(controller.log()));
+  EXPECT_TRUE(pt_adjacent(infra.pt, pt_host_node(kA), pt_switch_node(sw1)));
+  EXPECT_TRUE(pt_adjacent(infra.pt, pt_switch_node(sw1), pt_switch_node(sw2)));
+  EXPECT_TRUE(pt_adjacent(infra.pt, pt_switch_node(sw2), pt_switch_node(sw3)));
+  EXPECT_TRUE(pt_adjacent(infra.pt, pt_switch_node(sw3), pt_host_node(kB)));
+  // ISL samples exist for both adjacent pairs and are sane (sub-10 ms).
+  ASSERT_TRUE(infra.isl.latency_ms.contains({sw1.value, sw2.value}));
+  EXPECT_LT(infra.isl.latency_ms.at({sw1.value, sw2.value}).mean(), 10.0);
+  EXPECT_GT(infra.crt.response_ms.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace flowdiff::core

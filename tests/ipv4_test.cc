@@ -1,0 +1,46 @@
+#include "util/ipv4.h"
+
+#include <gtest/gtest.h>
+
+namespace flowdiff {
+namespace {
+
+TEST(Ipv4, OctetConstructionAndToString) {
+  const Ipv4 ip(10, 0, 1, 7);
+  EXPECT_EQ(ip.to_string(), "10.0.1.7");
+  EXPECT_EQ(ip.raw(), 0x0A000107u);
+}
+
+TEST(Ipv4, ParseRoundTrip) {
+  for (const char* text :
+       {"0.0.0.0", "255.255.255.255", "192.168.1.1", "10.0.10.3"}) {
+    const auto ip = Ipv4::parse(text);
+    ASSERT_TRUE(ip.has_value()) << text;
+    EXPECT_EQ(ip->to_string(), text);
+  }
+}
+
+TEST(Ipv4, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4::parse("").has_value());
+  EXPECT_FALSE(Ipv4::parse("10.0.0").has_value());
+  EXPECT_FALSE(Ipv4::parse("10.0.0.0.1").has_value());
+  EXPECT_FALSE(Ipv4::parse("256.0.0.1").has_value());
+  EXPECT_FALSE(Ipv4::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4::parse("10..0.1").has_value());
+  EXPECT_FALSE(Ipv4::parse("10.0.0.1x").has_value());
+}
+
+TEST(Ipv4, Ordering) {
+  EXPECT_LT(Ipv4(10, 0, 0, 1), Ipv4(10, 0, 0, 2));
+  EXPECT_LT(Ipv4(9, 255, 255, 255), Ipv4(10, 0, 0, 0));
+  EXPECT_EQ(Ipv4(10, 0, 0, 1), Ipv4(10, 0, 0, 1));
+}
+
+TEST(Ipv4, HashDistinguishes) {
+  std::hash<Ipv4> h;
+  EXPECT_NE(h(Ipv4(10, 0, 0, 1)), h(Ipv4(10, 0, 0, 2)));
+  EXPECT_EQ(h(Ipv4(10, 0, 0, 1)), h(Ipv4(10, 0, 0, 1)));
+}
+
+}  // namespace
+}  // namespace flowdiff

@@ -1,0 +1,165 @@
+#include "openflow/log_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "controller/controller.h"
+#include "simnet/network.h"
+
+namespace flowdiff::of {
+namespace {
+
+FlowKey key(std::uint16_t sport = 40000) {
+  return FlowKey{Ipv4(10, 0, 0, 1), Ipv4(10, 0, 0, 2), sport, 80,
+                 Proto::kTcp};
+}
+
+ControlLog sample_log() {
+  ControlLog log;
+  PacketIn pin;
+  pin.sw = SwitchId{3};
+  pin.in_port = PortId{1};
+  pin.key = key();
+  pin.flow_uid = 42;
+  log.append(ControlEvent{1000, ControllerId{0}, pin});
+
+  FlowMod fm;
+  fm.sw = SwitchId{3};
+  fm.out_port = PortId{2};
+  fm.idle_timeout = 5 * kSecond;
+  fm.hard_timeout = 60 * kSecond;
+  fm.match = FlowMatch::exact(key());
+  fm.key = key();
+  fm.flow_uid = 42;
+  log.append(ControlEvent{1200, ControllerId{0}, fm});
+
+  PacketOut po;
+  po.sw = SwitchId{3};
+  po.out_port = PortId{2};
+  po.key = key();
+  po.flow_uid = 42;
+  log.append(ControlEvent{1200, ControllerId{0}, po});
+
+  FlowRemoved fr;
+  fr.sw = SwitchId{3};
+  fr.reason = RemovedReason::kIdleTimeout;
+  fr.duration = 7 * kSecond;
+  fr.byte_count = 123456;
+  fr.packet_count = 99;
+  fr.match = FlowMatch::host_pair(key().src_ip, key().dst_ip);
+  fr.key = key();
+  log.append(ControlEvent{9 * kSecond, ControllerId{0}, fr});
+
+  log.append(ControlEvent{10 * kSecond, ControllerId{1},
+                          EchoReply{SwitchId{3}}});
+  return log;
+}
+
+TEST(LogIo, ControlLogRoundTrip) {
+  const ControlLog original = sample_log();
+  const std::string text = serialize(original);
+  const auto parsed = parse_control_log(text);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), original.size());
+
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const auto& a = original.events()[i];
+    const auto& b = parsed->events()[i];
+    EXPECT_EQ(a.ts, b.ts);
+    EXPECT_EQ(a.controller, b.controller);
+    EXPECT_EQ(a.msg.index(), b.msg.index());
+  }
+  // Spot-check deep fields.
+  const auto* fm = std::get_if<FlowMod>(&parsed->events()[1].msg);
+  ASSERT_NE(fm, nullptr);
+  EXPECT_EQ(fm->idle_timeout, 5 * kSecond);
+  EXPECT_EQ(fm->match, FlowMatch::exact(key()));
+  EXPECT_EQ(fm->flow_uid, 42u);
+  const auto* fr = std::get_if<FlowRemoved>(&parsed->events()[3].msg);
+  ASSERT_NE(fr, nullptr);
+  EXPECT_EQ(fr->byte_count, 123456u);
+  EXPECT_FALSE(fr->match.src_port.has_value());  // Wildcard survived.
+  EXPECT_EQ(fr->match.src_ip, key().src_ip);
+}
+
+TEST(LogIo, SerializedTwiceIsIdentical) {
+  const std::string once = serialize(sample_log());
+  const auto parsed = parse_control_log(once);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(serialize(*parsed), once);
+}
+
+TEST(LogIo, RejectsMalformedInput) {
+  EXPECT_FALSE(parse_control_log("BOGUS 1 2 3").has_value());
+  EXPECT_FALSE(parse_control_log("PIN 100").has_value());
+  EXPECT_FALSE(
+      parse_control_log("PIN abc 0 1 1 10.0.0.1 1 10.0.0.2 2 6 0")
+          .has_value());
+  // Comments and blank lines are fine.
+  const auto ok = parse_control_log("# comment\n\n");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(ok->empty());
+}
+
+TEST(LogIo, FlowSequenceRoundTrip) {
+  FlowSequence flows;
+  for (int i = 0; i < 5; ++i) {
+    flows.push_back(TimedFlow{i * kSecond,
+                              key(static_cast<std::uint16_t>(40000 + i))});
+  }
+  const auto parsed = parse_flow_sequence(serialize(flows));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, flows);
+}
+
+TEST(LogIo, FlowSequenceRejectsGarbage) {
+  EXPECT_FALSE(parse_flow_sequence("FLOW 1 nonsense").has_value());
+  EXPECT_FALSE(parse_flow_sequence("NOTFLOW 1").has_value());
+}
+
+TEST(LogIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/flowdiff_log_io_test.log";
+  const std::string content = serialize(sample_log());
+  ASSERT_TRUE(write_file(path, content));
+  const auto back = read_file(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, content);
+  std::remove(path.c_str());
+  EXPECT_FALSE(read_file(path + ".does.not.exist").has_value());
+}
+
+TEST(LogIo, SimulatedLogSurvivesRoundTrip) {
+  // A real captured log (hundreds of events) must round-trip exactly.
+  sim::Topology topo;
+  const HostId h1 = topo.add_host("h1", Ipv4(10, 0, 0, 1));
+  const HostId h2 = topo.add_host("h2", Ipv4(10, 0, 0, 2));
+  const SwitchId sw = topo.add_of_switch("sw");
+  topo.connect(h1.value, sw.value);
+  topo.connect(sw.value, h2.value);
+  sim::NetworkConfig config;
+  config.idle_timeout = kSecond;
+  sim::Network net(std::move(topo), config);
+  ctrl::Controller controller(net, ControllerId{0}, ctrl::ControllerConfig{});
+  net.set_controller(&controller);
+  for (std::uint16_t i = 0; i < 50; ++i) {
+    sim::FlowSpec spec;
+    spec.key = key(static_cast<std::uint16_t>(41000 + i));
+    net.events().schedule(i * 100 * kMillisecond, [&net, spec]() mutable {
+      net.start_flow(std::move(spec));
+    });
+  }
+  net.events().run_until(30 * kSecond);
+
+  const std::string text = serialize(controller.log());
+  const auto parsed = parse_control_log(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->size(), controller.log().size());
+  EXPECT_EQ(serialize(*parsed), text);
+  EXPECT_EQ(parsed->count<PacketIn>(), controller.log().count<PacketIn>());
+  EXPECT_EQ(parsed->count<FlowRemoved>(),
+            controller.log().count<FlowRemoved>());
+}
+
+}  // namespace
+}  // namespace flowdiff::of

@@ -1,0 +1,58 @@
+#include "openflow/match.h"
+
+#include <gtest/gtest.h>
+
+namespace flowdiff::of {
+namespace {
+
+const FlowKey kKey{Ipv4(10, 0, 0, 1), Ipv4(10, 0, 0, 2), 40000, 80,
+                   Proto::kTcp};
+
+TEST(FlowMatch, ExactMatchesOnlyThatFlow) {
+  const FlowMatch m = FlowMatch::exact(kKey);
+  EXPECT_TRUE(m.matches(kKey, PortId{1}));
+  EXPECT_TRUE(m.matches(kKey, PortId{7}));  // in_port unset.
+  FlowKey other = kKey;
+  other.src_port = 40001;
+  EXPECT_FALSE(m.matches(other, PortId{1}));
+  EXPECT_FALSE(m.matches(kKey.reverse(), PortId{1}));
+  EXPECT_TRUE(m.is_exact());
+  EXPECT_EQ(m.specificity(), 5);
+}
+
+TEST(FlowMatch, HostPairWildcardsPorts) {
+  const FlowMatch m = FlowMatch::host_pair(kKey.src_ip, kKey.dst_ip);
+  FlowKey other = kKey;
+  other.src_port = 50123;
+  other.dst_port = 443;
+  other.proto = Proto::kUdp;
+  EXPECT_TRUE(m.matches(kKey, PortId{1}));
+  EXPECT_TRUE(m.matches(other, PortId{1}));
+  EXPECT_FALSE(m.matches(kKey.reverse(), PortId{1}));
+  EXPECT_FALSE(m.is_exact());
+  EXPECT_EQ(m.specificity(), 2);
+}
+
+TEST(FlowMatch, InPortConstrains) {
+  FlowMatch m = FlowMatch::host_pair(kKey.src_ip, kKey.dst_ip);
+  m.in_port = PortId{3};
+  EXPECT_TRUE(m.matches(kKey, PortId{3}));
+  EXPECT_FALSE(m.matches(kKey, PortId{4}));
+}
+
+TEST(FlowMatch, EmptyMatchIsCatchAll) {
+  const FlowMatch m;
+  EXPECT_TRUE(m.matches(kKey, PortId{1}));
+  EXPECT_TRUE(m.matches(kKey.reverse(), PortId{9}));
+  EXPECT_EQ(m.specificity(), 0);
+}
+
+TEST(FlowMatch, ToStringShowsWildcards) {
+  const FlowMatch m = FlowMatch::host_pair(kKey.src_ip, kKey.dst_ip);
+  const std::string s = m.to_string();
+  EXPECT_NE(s.find("10.0.0.1:*"), std::string::npos);
+  EXPECT_NE(s.find("10.0.0.2:*"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flowdiff::of

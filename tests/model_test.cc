@@ -1,0 +1,164 @@
+// BehaviorModel construction on simulated lab runs: group discovery,
+// signature presence, and stability analysis.
+#include "flowdiff/model.h"
+
+#include <gtest/gtest.h>
+
+#include "controller/controller.h"
+#include "workload/app.h"
+#include "workload/scenario.h"
+
+namespace flowdiff::core {
+namespace {
+
+struct LabRun {
+  explicit LabRun(int case_no, SimDuration duration = 40 * kSecond,
+                  std::uint64_t seed = 3)
+      : lab(wl::build_lab_scenario()),
+        net(lab.topology, sim::NetworkConfig{}),
+        controller(net, ControllerId{0}, ctrl::ControllerConfig{}) {
+    net.set_controller(&controller);
+    Rng rng(seed);
+    for (const auto& spec : wl::table2_apps(case_no, lab)) {
+      apps.push_back(std::make_unique<wl::MultiTierApp>(
+          net, spec, &lab.services, rng.fork()));
+    }
+    for (auto& app : apps) app->start(0, duration);
+    net.events().run_until(duration + 20 * kSecond);
+  }
+
+  ModelConfig model_config() const {
+    ModelConfig config;
+    const auto specials = lab.services.special_nodes();
+    config.special_nodes = {specials.begin(), specials.end()};
+    return config;
+  }
+
+  wl::LabScenario lab;
+  sim::Network net;
+  ctrl::Controller controller;
+  std::vector<std::unique_ptr<wl::MultiTierApp>> apps;
+};
+
+TEST(BuildModel, DiscoversCase2Groups) {
+  LabRun run(2);
+  const BehaviorModel model =
+      build_model(run.controller.log(), run.model_config());
+  // Case 2: Rubbis (S25,S12,S4,S14,S15) and osCommerce (S23,S7,S10,S20).
+  ASSERT_EQ(model.groups.size(), 2u);
+  const int rubbis = match_group(model, {run.lab.ip("S25")});
+  const int oscommerce = match_group(model, {run.lab.ip("S23")});
+  ASSERT_GE(rubbis, 0);
+  ASSERT_GE(oscommerce, 0);
+  EXPECT_NE(rubbis, oscommerce);
+  const auto& rubbis_members =
+      model.groups[static_cast<std::size_t>(rubbis)].sig.members;
+  EXPECT_TRUE(rubbis_members.contains(run.lab.ip("S12")));
+  EXPECT_TRUE(rubbis_members.contains(run.lab.ip("S14")));
+  EXPECT_TRUE(rubbis_members.contains(run.lab.ip("S15")));  // Slave db.
+  EXPECT_FALSE(rubbis_members.contains(run.lab.ip("S23")));
+}
+
+TEST(BuildModel, Case1SharedServersMergeGroups) {
+  LabRun run(1);
+  const BehaviorModel model =
+      build_model(run.controller.log(), run.model_config());
+  // Rubbis-b and osCommerce share S10/S20: they form one group; rubbis-a
+  // is separate -> 2 groups total.
+  EXPECT_EQ(model.groups.size(), 2u);
+  const int merged = match_group(model, {run.lab.ip("S24")});
+  ASSERT_GE(merged, 0);
+  const auto& members =
+      model.groups[static_cast<std::size_t>(merged)].sig.members;
+  EXPECT_TRUE(members.contains(run.lab.ip("S23")));
+  EXPECT_TRUE(members.contains(run.lab.ip("S10")));
+}
+
+TEST(BuildModel, SignaturesPopulated) {
+  LabRun run(2);
+  const BehaviorModel model =
+      build_model(run.controller.log(), run.model_config());
+  const int g = match_group(model, {run.lab.ip("S25")});
+  ASSERT_GE(g, 0);
+  const auto& sig = model.groups[static_cast<std::size_t>(g)].sig;
+  EXPECT_GT(sig.cg.graph.edge_count(), 0u);
+  EXPECT_FALSE(sig.fs.per_edge.empty());
+  EXPECT_FALSE(sig.ci.per_node.empty());
+  EXPECT_FALSE(sig.dd.per_pair.empty());
+  EXPECT_FALSE(sig.pc.rho.empty());
+  // Infra signatures: topology seen, ISL and CRT sampled.
+  EXPECT_GT(model.infra.pt.graph.edge_count(), 0u);
+  EXPECT_FALSE(model.infra.isl.latency_ms.empty());
+  EXPECT_GT(model.infra.crt.response_ms.count(), 10u);
+  EXPECT_FALSE(model.flow_starts.empty());
+}
+
+TEST(BuildModel, DdPeakNearGroundTruthProcessingTime) {
+  LabRun run(5, 60 * kSecond);
+  const BehaviorModel model =
+      build_model(run.controller.log(), run.model_config());
+  const int g = match_group(model, {run.lab.ip("S3")});
+  ASSERT_GE(g, 0);
+  const auto& dd = model.groups[static_cast<std::size_t>(g)].sig.dd;
+  // S1->S3->S8: the app-server processing time (~55 ms + transfer) puts
+  // the peak in the [40,60) or [60,80) bin — the paper's Fig. 10 range.
+  const EdgePair pair{run.lab.ip("S1"), run.lab.ip("S3"),
+                      run.lab.ip("S8")};
+  ASSERT_TRUE(dd.per_pair.contains(pair));
+  const double peak = dd.per_pair.at(pair).peak_ms;
+  EXPECT_GE(peak, 40.0);
+  EXPECT_LE(peak, 80.0);
+}
+
+TEST(BuildModel, SkewedLbMarksCiUnstable) {
+  LabRun run(5, 60 * kSecond);
+  const BehaviorModel model =
+      build_model(run.controller.log(), run.model_config());
+  const int g = match_group(model, {run.lab.ip("S5")});
+  ASSERT_GE(g, 0);
+  const auto& group = model.groups[static_cast<std::size_t>(g)];
+  // S5 splits traffic 75/25 randomly: its CI wobbles across segments and
+  // should not necessarily be trusted. We only require the stability
+  // analysis to have run and produced a subset of real nodes.
+  for (const Ipv4 ip : group.unstable_ci_nodes) {
+    EXPECT_TRUE(group.sig.members.contains(ip));
+  }
+}
+
+TEST(BuildModel, StableWorkloadKeepsDdStable) {
+  LabRun run(2, 60 * kSecond);
+  const BehaviorModel model =
+      build_model(run.controller.log(), run.model_config());
+  const int g = match_group(model, {run.lab.ip("S25")});
+  ASSERT_GE(g, 0);
+  const auto& group = model.groups[static_cast<std::size_t>(g)];
+  // The healthy chain's main dependency pair must be stable (used in diff).
+  const EdgePair chain{run.lab.ip("S12"), run.lab.ip("S4"),
+                       run.lab.ip("S14")};
+  if (group.sig.dd.per_pair.contains(chain)) {
+    EXPECT_FALSE(group.unstable_dd_pairs.contains(chain));
+  }
+}
+
+TEST(MatchGroup, PicksLargestOverlap) {
+  BehaviorModel model;
+  GroupModel g1;
+  g1.sig.members = {Ipv4(10, 0, 0, 1), Ipv4(10, 0, 0, 2)};
+  GroupModel g2;
+  g2.sig.members = {Ipv4(10, 0, 0, 3), Ipv4(10, 0, 0, 4), Ipv4(10, 0, 0, 5)};
+  model.groups.push_back(std::move(g1));
+  model.groups.push_back(std::move(g2));
+  EXPECT_EQ(match_group(model, {Ipv4(10, 0, 0, 1)}), 0);
+  EXPECT_EQ(
+      match_group(model, {Ipv4(10, 0, 0, 4), Ipv4(10, 0, 0, 5)}), 1);
+  EXPECT_EQ(match_group(model, {Ipv4(9, 9, 9, 9)}), -1);
+}
+
+TEST(BuildModel, EmptyLogYieldsEmptyModel) {
+  const BehaviorModel model = build_model(of::ControlLog{}, ModelConfig{});
+  EXPECT_TRUE(model.groups.empty());
+  EXPECT_EQ(model.infra.pt.graph.edge_count(), 0u);
+}
+
+}  // namespace
+}  // namespace flowdiff::core

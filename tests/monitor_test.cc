@@ -1,0 +1,144 @@
+// SlidingMonitor: continuous windows over the lab testbed's control
+// stream — no alarms while healthy, a localized alarm when a fault window
+// passes by, task-validated changes stay silent.
+#include "flowdiff/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "experiment/lab_experiment.h"
+#include "workload/tasks.h"
+
+namespace flowdiff::core {
+namespace {
+
+// Each lab run_window() production (window + drain) is treated as one
+// monitor window by flushing after feeding it; the large window size keeps
+// feed() from splitting a single capture at an arbitrary boundary.
+MonitorConfig monitor_config(const exp::LabExperiment& lab,
+                             SimDuration window = 300 * kSecond) {
+  MonitorConfig config;
+  config.flowdiff = lab.flowdiff_config();
+  config.window = window;
+  return config;
+}
+
+TEST(SlidingMonitor, FirstWindowBecomesBaseline) {
+  exp::LabExperiment lab{exp::LabExperimentConfig{}};
+  SlidingMonitor monitor(monitor_config(lab));
+  EXPECT_FALSE(monitor.has_baseline());
+  monitor.feed(lab.run_window());
+  monitor.flush();
+  EXPECT_TRUE(monitor.has_baseline());
+  EXPECT_TRUE(monitor.alarms().empty());
+}
+
+TEST(SlidingMonitor, HealthyStreamRaisesNoAlarms) {
+  exp::LabExperiment lab{exp::LabExperimentConfig{}};
+  SlidingMonitor monitor(monitor_config(lab));
+  for (int w = 0; w < 3; ++w) {
+    monitor.feed(lab.run_window());
+    monitor.flush();
+  }
+  EXPECT_EQ(monitor.windows_processed(), 3u);
+  EXPECT_TRUE(monitor.alarms().empty());
+}
+
+TEST(SlidingMonitor, FaultWindowAlarmsAndLocatesInTime) {
+  exp::LabExperiment lab{exp::LabExperimentConfig{}};
+  SlidingMonitor monitor(monitor_config(lab));
+  monitor.feed(lab.run_window());  // Baseline.
+  monitor.flush();
+  monitor.feed(lab.run_window());  // Healthy.
+  monitor.flush();
+  faults::ServerSlowdownFault fault(lab.net(), lab.lab().host("S4"),
+                                    60 * kMillisecond, "logging");
+  const SimTime fault_begin = lab.now();
+  monitor.feed(lab.run_window(&fault));  // Faulty.
+  monitor.flush();
+  monitor.feed(lab.run_window());        // Healthy again.
+  monitor.flush();
+
+  ASSERT_FALSE(monitor.alarms().empty());
+  // Every alarm lies within the faulty wall-clock region (the fault window
+  // plus its drain), and at least one carries a DD change.
+  bool dd_seen = false;
+  for (const auto& alarm : monitor.alarms()) {
+    EXPECT_GE(alarm.window_end, fault_begin);
+    for (const auto& change : alarm.report.unknown) {
+      if (change.kind == SignatureKind::kDd) dd_seen = true;
+    }
+  }
+  EXPECT_TRUE(dd_seen);
+}
+
+TEST(SlidingMonitor, RollingBaselineAdvancesOnCleanWindows) {
+  exp::LabExperiment lab{exp::LabExperimentConfig{}};
+  MonitorConfig config = monitor_config(lab);
+  config.rolling_baseline = true;
+  SlidingMonitor monitor(config);
+  monitor.feed(lab.run_window());
+  monitor.flush();
+  const SimTime first_baseline = monitor.baseline_captured_at();
+  monitor.feed(lab.run_window());
+  monitor.flush();
+  EXPECT_GT(monitor.baseline_captured_at(), first_baseline);
+}
+
+TEST(SlidingMonitor, TaskSignaturesSuppressMigrationAlarm) {
+  exp::LabExperiment lab{exp::LabExperimentConfig{}};
+  // Learn the migration automaton.
+  Rng rng(9);
+  std::vector<of::FlowSequence> runs;
+  for (int i = 0; i < 12; ++i) {
+    runs.push_back(
+        wl::expand_task(wl::vm_migration_profile(),
+                        {lab.lab().ip("VM1"), lab.lab().ip("VM2")},
+                        lab.lab().services, rng, 0)
+            .flows);
+  }
+  const core::FlowDiff learner(lab.flowdiff_config());
+  const auto mined = learner.learn_task("vm_migration", runs, true);
+
+  auto run_stream = [&](bool with_tasks) {
+    exp::LabExperiment fresh{exp::LabExperimentConfig{}};
+    MonitorConfig config = monitor_config(fresh);
+    if (with_tasks) config.tasks = {mined.automaton};
+    SlidingMonitor monitor(config);
+    monitor.feed(fresh.run_window());  // Baseline.
+    monitor.flush();
+    const SimTime start = fresh.now() + 5 * kSecond;
+    const auto migration = wl::expand_task(
+        wl::vm_migration_profile(),
+        {fresh.lab().ip("VM3"), fresh.lab().ip("VM4")},
+        fresh.lab().services, rng, start);
+    wl::run_task_on_network(fresh.net(), migration);
+    monitor.feed(fresh.run_window());
+    monitor.flush();
+    return monitor.alarms().size();
+  };
+
+  EXPECT_GT(run_stream(false), 0u);   // Blind monitor pages the operator.
+  EXPECT_EQ(run_stream(true), 0u);    // Task-aware monitor stays silent.
+}
+
+TEST(SlidingMonitor, IdleGapsSkipEmptyWindows) {
+  // A long silent gap must not produce empty-window alarms.
+  exp::LabExperiment lab{exp::LabExperimentConfig{}};
+  SlidingMonitor monitor(monitor_config(lab, 50 * kSecond));
+  auto log = lab.run_window();
+  // Shift a copy far into the future to create a multi-window gap.
+  of::ControlLog shifted;
+  const SimDuration gap = 500 * kSecond;
+  for (auto event : log.events()) {
+    event.ts += gap;
+    shifted.append(event);
+  }
+  monitor.feed(log);
+  monitor.feed(shifted);
+  monitor.flush();
+  EXPECT_TRUE(monitor.alarms().empty());
+  EXPECT_LT(monitor.windows_processed(), 20u);  // Not one per empty slot.
+}
+
+}  // namespace
+}  // namespace flowdiff::core

@@ -1,0 +1,338 @@
+// End-to-end tests of the reactive OpenFlow data-plane simulation: control
+// traffic causality, buffering, table hits on reuse, timeouts/FlowRemoved,
+// loss, and fault hooks.
+#include "simnet/network.h"
+
+#include <gtest/gtest.h>
+
+#include "controller/controller.h"
+
+namespace flowdiff::sim {
+namespace {
+
+struct Fixture {
+  Topology build() {
+    Topology topo;
+    h1 = topo.add_host("h1", Ipv4(10, 0, 0, 1));
+    h2 = topo.add_host("h2", Ipv4(10, 0, 0, 2));
+    sw1 = topo.add_of_switch("sw1");
+    sw2 = topo.add_of_switch("sw2");
+    topo.connect(h1.value, sw1.value);
+    topo.connect(sw1.value, sw2.value);
+    topo.connect(sw2.value, h2.value);
+    return topo;
+  }
+
+  explicit Fixture(NetworkConfig config = {})
+      : net(build(), config),
+        controller(net, ControllerId{0}, ctrl::ControllerConfig{}) {
+    net.set_controller(&controller);
+  }
+
+  of::FlowKey key(std::uint16_t src_port = 40000,
+                  std::uint16_t dst_port = 80) const {
+    return of::FlowKey{Ipv4(10, 0, 0, 1), Ipv4(10, 0, 0, 2), src_port,
+                       dst_port, of::Proto::kTcp};
+  }
+
+  HostId h1, h2;
+  SwitchId sw1, sw2;
+  Network net;
+  ctrl::Controller controller;
+};
+
+TEST(Network, FirstFlowRaisesPacketInPerSwitch) {
+  Fixture f;
+  bool delivered = false;
+  FlowSpec spec;
+  spec.key = f.key();
+  spec.bytes = 3000;
+  spec.duration = 10 * kMillisecond;
+  spec.on_delivered = [&](const DeliveryInfo& info) {
+    delivered = true;
+    EXPECT_GT(info.complete, info.first_packet);
+  };
+  EXPECT_NE(f.net.start_flow(std::move(spec)), 0u);
+  f.net.events().run_until(5 * kSecond);
+
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(f.net.packet_in_count(), 2u);  // One per OpenFlow switch.
+  EXPECT_EQ(f.controller.log().count<of::PacketIn>(), 2u);
+  EXPECT_EQ(f.controller.log().count<of::FlowMod>(), 2u);
+  EXPECT_EQ(f.controller.log().count<of::PacketOut>(), 2u);
+}
+
+TEST(Network, UnknownEndpointFails) {
+  Fixture f;
+  FlowSpec spec;
+  spec.key = of::FlowKey{Ipv4(1, 1, 1, 1), Ipv4(10, 0, 0, 2), 1, 2,
+                         of::Proto::kTcp};
+  EXPECT_EQ(f.net.start_flow(std::move(spec)), 0u);
+}
+
+TEST(Network, ReusedConnectionRaisesNoNewPacketIn) {
+  Fixture f;
+  FlowSpec first;
+  first.key = f.key();
+  f.net.start_flow(std::move(first));
+  f.net.events().run_until(kSecond);
+  const auto after_first = f.net.packet_in_count();
+  EXPECT_EQ(after_first, 2u);
+
+  // Same 5-tuple again while the entries are installed: pure table hits.
+  bool delivered = false;
+  FlowSpec second;
+  second.key = f.key();
+  second.on_delivered = [&](const DeliveryInfo&) { delivered = true; };
+  f.net.start_flow(std::move(second));
+  f.net.events().run_until(2 * kSecond);
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(f.net.packet_in_count(), after_first);
+}
+
+TEST(Network, NewConnectionAfterExpiryTriggersControlTrafficAgain) {
+  NetworkConfig config;
+  config.idle_timeout = kSecond;
+  Fixture f(config);
+  FlowSpec first;
+  first.key = f.key();
+  first.duration = 10 * kMillisecond;
+  f.net.start_flow(std::move(first));
+  // Run far past idle expiry.
+  f.net.events().run_until(10 * kSecond);
+  EXPECT_EQ(f.controller.log().count<of::FlowRemoved>(), 2u);
+
+  FlowSpec again;
+  again.key = f.key();
+  f.net.start_flow(std::move(again));
+  f.net.events().run_until(15 * kSecond);
+  EXPECT_EQ(f.net.packet_in_count(), 4u);
+}
+
+TEST(Network, FlowRemovedCarriesCounters) {
+  NetworkConfig config;
+  config.idle_timeout = kSecond;
+  Fixture f(config);
+  FlowSpec spec;
+  spec.key = f.key();
+  spec.bytes = 14600;  // 10 packets.
+  spec.duration = 20 * kMillisecond;
+  f.net.start_flow(std::move(spec));
+  f.net.events().run_until(10 * kSecond);
+
+  int removed_seen = 0;
+  for (const auto& e : f.controller.log().events()) {
+    if (const auto* fr = std::get_if<of::FlowRemoved>(&e.msg)) {
+      ++removed_seen;
+      // First packet accounted at install + the chunked transfer.
+      EXPECT_GE(fr->byte_count, 14600u);
+      EXPECT_GE(fr->packet_count, 10u);
+      EXPECT_GT(fr->duration, 0);
+    }
+  }
+  EXPECT_EQ(removed_seen, 2);
+}
+
+TEST(Network, FlowRemovedCanBeDisabled) {
+  NetworkConfig config;
+  config.idle_timeout = kSecond;
+  config.send_flow_removed = false;
+  Fixture f(config);
+  FlowSpec spec;
+  spec.key = f.key();
+  f.net.start_flow(std::move(spec));
+  f.net.events().run_until(10 * kSecond);
+  EXPECT_EQ(f.controller.log().count<of::FlowRemoved>(), 0u);
+}
+
+TEST(Network, LossAddsRetransmissionBytesAndDelay) {
+  NetworkConfig lossless_cfg;
+  lossless_cfg.idle_timeout = kSecond;
+  NetworkConfig lossy_cfg = lossless_cfg;
+
+  auto run = [](NetworkConfig config, double loss) {
+    Fixture f(config);
+    if (loss > 0) {
+      // Loss on the sw1-sw2 link.
+      Link* link = f.net.topology().link_between(f.sw1.value, f.sw2.value);
+      link->loss_rate = loss;
+    }
+    SimTime completed = 0;
+    std::uint64_t removed_bytes = 0;
+    FlowSpec spec;
+    spec.key = f.key();
+    spec.bytes = 146000;  // 100 packets: expected ~5 retx at 5% loss.
+    spec.duration = 50 * kMillisecond;
+    spec.on_delivered = [&](const DeliveryInfo& info) {
+      completed = info.complete;
+    };
+    f.net.start_flow(std::move(spec));
+    f.net.events().run_until(20 * kSecond);
+    for (const auto& e : f.controller.log().events()) {
+      if (const auto* fr = std::get_if<of::FlowRemoved>(&e.msg)) {
+        removed_bytes = std::max(removed_bytes, fr->byte_count);
+      }
+    }
+    return std::pair{completed, removed_bytes};
+  };
+
+  const auto [clean_time, clean_bytes] = run(lossless_cfg, 0.0);
+  const auto [lossy_time, lossy_bytes] = run(lossy_cfg, 0.05);
+  EXPECT_GT(lossy_bytes, clean_bytes);
+  EXPECT_GT(lossy_time, clean_time);
+}
+
+TEST(Network, DownSwitchFailsFlows) {
+  Fixture f;
+  f.net.set_node_up(f.sw2.value, false);
+  bool failed = false;
+  FlowSpec spec;
+  spec.key = f.key();
+  spec.on_failed = [&](SimTime) { failed = true; };
+  spec.on_delivered = [](const DeliveryInfo&) { FAIL() << "delivered"; };
+  f.net.start_flow(std::move(spec));
+  f.net.events().run_until(5 * kSecond);
+  EXPECT_TRUE(failed);
+}
+
+TEST(Network, BlockedPortFailsAtHostButStillRaisesPacketIns) {
+  Fixture f;
+  f.net.set_port_block(Ipv4(10, 0, 0, 2), 80, true);
+  bool failed = false;
+  FlowSpec spec;
+  spec.key = f.key();
+  spec.on_failed = [&](SimTime) { failed = true; };
+  f.net.start_flow(std::move(spec));
+  f.net.events().run_until(5 * kSecond);
+  EXPECT_TRUE(failed);
+  // The network still routed it: both switches asked the controller.
+  EXPECT_EQ(f.net.packet_in_count(), 2u);
+
+  // Other ports unaffected.
+  f.net.set_port_block(Ipv4(10, 0, 0, 2), 80, false);
+  bool delivered = false;
+  FlowSpec ok;
+  ok.key = f.key(40001, 80);
+  ok.on_delivered = [&](const DeliveryInfo&) { delivered = true; };
+  f.net.start_flow(std::move(ok));
+  f.net.events().run_until(10 * kSecond);
+  EXPECT_TRUE(delivered);
+}
+
+TEST(Network, HostExtraDelayShiftsCompletion) {
+  auto run = [](SimDuration extra) {
+    Fixture f;
+    if (extra > 0) f.net.set_host_extra_delay(f.h2, extra);
+    SimTime completed = 0;
+    FlowSpec spec;
+    spec.key = f.key();
+    spec.duration = 10 * kMillisecond;
+    spec.on_delivered = [&](const DeliveryInfo& info) {
+      completed = info.complete;
+    };
+    f.net.start_flow(std::move(spec));
+    f.net.events().run_until(5 * kSecond);
+    return completed;
+  };
+  const SimTime base = run(0);
+  const SimTime slowed = run(40 * kMillisecond);
+  EXPECT_GT(base, 0);
+  EXPECT_NEAR(static_cast<double>(slowed - base), 40e3, 5e3);
+}
+
+TEST(Network, BackgroundLoadStretchesTransfers) {
+  auto run = [](bool congested) {
+    Fixture f;
+    std::vector<LinkId> loaded;
+    if (congested) {
+      loaded = f.net.add_background_load(f.h1, f.h2, 0.9e9);
+      EXPECT_FALSE(loaded.empty());
+    }
+    SimTime completed = 0;
+    FlowSpec spec;
+    spec.key = f.key();
+    spec.duration = 20 * kMillisecond;
+    spec.on_delivered = [&](const DeliveryInfo& info) {
+      completed = info.complete;
+    };
+    f.net.start_flow(std::move(spec));
+    f.net.events().run_until(5 * kSecond);
+    return completed;
+  };
+  EXPECT_GT(run(true), run(false) + 10 * kMillisecond);
+}
+
+TEST(Network, UndersizedTableChurns) {
+  // A 4-entry table serving 20 concurrent connections thrashes: evictions
+  // raise FlowRemoved(kDelete) and previously-installed flows miss again —
+  // the PacketIn churn an operator sees when TCAM is too small.
+  NetworkConfig config;
+  config.switch_table_capacity = 4;
+  Fixture f(config);
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint16_t i = 0; i < 20; ++i) {
+      const SimTime at = f.net.now() + round * kSecond +
+                         i * 10 * kMillisecond;
+      const auto key = f.key(static_cast<std::uint16_t>(41000 + i));
+      f.net.events().schedule(at, [&f, key] {
+        sim::FlowSpec spec;
+        spec.key = key;
+        f.net.start_flow(std::move(spec));
+      });
+    }
+  }
+  f.net.events().run_until(20 * kSecond);
+
+  // With unbounded tables, 20 connections -> 40 PacketIns (2 switches) and
+  // later rounds all hit. With capacity 4 the same traffic re-misses.
+  EXPECT_GT(f.net.packet_in_count(), 60u);
+  std::size_t deletes = 0;
+  for (const auto& e : f.controller.log().events()) {
+    if (const auto* fr = std::get_if<of::FlowRemoved>(&e.msg)) {
+      if (fr->reason == of::RemovedReason::kDelete) ++deletes;
+    }
+  }
+  EXPECT_GT(deletes, 20u);
+  // The table never exceeds its capacity.
+  EXPECT_LE(f.net.flow_table(f.sw1).size(), 4u);
+}
+
+TEST(Network, ProactiveRulesSuppressControlTraffic) {
+  Fixture f;
+  f.controller.install_proactive_rules();
+  bool delivered = false;
+  FlowSpec spec;
+  spec.key = f.key();
+  spec.on_delivered = [&](const DeliveryInfo&) { delivered = true; };
+  f.net.start_flow(std::move(spec));
+  f.net.events().run_until(5 * kSecond);
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(f.net.packet_in_count(), 0u);
+}
+
+TEST(Network, WildcardRulesCoverSecondConnection) {
+  Fixture f;
+  ctrl::ControllerConfig wc_config;
+  wc_config.granularity = ctrl::RuleGranularity::kHostPair;
+  ctrl::Controller wildcard_ctrl(f.net, ControllerId{1}, wc_config);
+  f.net.set_controller(&wildcard_ctrl);
+
+  FlowSpec first;
+  first.key = f.key(40000, 80);
+  f.net.start_flow(std::move(first));
+  f.net.events().run_until(kSecond);
+  EXPECT_EQ(f.net.packet_in_count(), 2u);
+
+  // Different ports, same host pair: covered by the wildcard entries.
+  bool delivered = false;
+  FlowSpec second;
+  second.key = f.key(41234, 443);
+  second.on_delivered = [&](const DeliveryInfo&) { delivered = true; };
+  f.net.start_flow(std::move(second));
+  f.net.events().run_until(2 * kSecond);
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(f.net.packet_in_count(), 2u);
+}
+
+}  // namespace
+}  // namespace flowdiff::sim

@@ -1,0 +1,84 @@
+#include "workload/onoff.h"
+
+#include <gtest/gtest.h>
+
+#include "controller/controller.h"
+#include "workload/scenario.h"
+
+namespace flowdiff::wl {
+namespace {
+
+struct TreeFixture {
+  TreeFixture()
+      : tree(build_tree_320()),
+        hosts(tree.hosts),
+        net(std::move(tree.topology), make_config()),
+        controller(net, ControllerId{0}, ctrl::ControllerConfig{}) {
+    net.set_controller(&controller);
+  }
+
+  static sim::NetworkConfig make_config() {
+    sim::NetworkConfig c;
+    c.idle_timeout = kSecond;
+    return c;
+  }
+
+  TreeScenario tree;
+  std::vector<HostId> hosts;
+  sim::Network net;
+  ctrl::Controller controller;
+};
+
+TEST(OnOffTraffic, GeneratesBurstsOverTheWindow) {
+  TreeFixture f;
+  OnOffTraffic traffic(f.net, OnOffSpec{}, Rng(3));
+  traffic.add_pair(f.hosts[0], f.hosts[50]);
+  traffic.start(0, 5 * kSecond);
+  f.net.events().run_until(10 * kSecond);
+  // ON+OFF ~200 ms -> roughly 25 bursts in 5 s.
+  EXPECT_GT(traffic.flows_started(), 10u);
+  EXPECT_LT(traffic.flows_started(), 60u);
+  EXPECT_GT(f.net.packet_in_count(), 0u);
+}
+
+TEST(OnOffTraffic, ReuseSuppressesMostPacketIns) {
+  // With reuse 1.0 and idle timeout > OFF period, only the very first burst
+  // per pair misses in the flow tables.
+  TreeFixture f;
+  OnOffSpec spec;
+  spec.reuse_prob = 1.0;
+  OnOffTraffic traffic(f.net, spec, Rng(3));
+  traffic.add_pair(f.hosts[0], f.hosts[50]);
+  traffic.start(0, 5 * kSecond);
+  f.net.events().run_until(10 * kSecond);
+  ASSERT_GT(traffic.flows_started(), 10u);
+  // One path = host->ToR->agg->core->agg->ToR->host: up to 5 OF switches.
+  EXPECT_LE(f.net.packet_in_count(), 5u);
+}
+
+TEST(OnOffTraffic, NoReuseTriggersPacketInsPerBurst) {
+  TreeFixture f;
+  OnOffSpec spec;
+  spec.reuse_prob = 0.0;
+  OnOffTraffic traffic(f.net, spec, Rng(3));
+  traffic.add_pair(f.hosts[0], f.hosts[50]);
+  traffic.start(0, 5 * kSecond);
+  f.net.events().run_until(10 * kSecond);
+  // Every burst is a fresh connection: PacketIns scale with bursts.
+  EXPECT_GT(f.net.packet_in_count(), traffic.flows_started());
+}
+
+TEST(OnOffTraffic, MultiplePairsIndependentPhases) {
+  TreeFixture f;
+  OnOffTraffic traffic(f.net, OnOffSpec{}, Rng(7));
+  for (int i = 0; i < 10; ++i) {
+    traffic.add_pair(f.hosts[static_cast<std::size_t>(i)],
+                     f.hosts[static_cast<std::size_t>(100 + i)]);
+  }
+  traffic.start(0, 3 * kSecond);
+  f.net.events().run_until(6 * kSecond);
+  EXPECT_GT(traffic.flows_started(), 80u);
+}
+
+}  // namespace
+}  // namespace flowdiff::wl

@@ -1,0 +1,195 @@
+#include "workload/scenario.h"
+
+#include <gtest/gtest.h>
+
+namespace flowdiff::wl {
+namespace {
+
+TEST(LabScenario, ShapeMatchesPaperTestbed) {
+  const LabScenario lab = build_lab_scenario();
+  // 25 servers + 5 VMs + 7 service hosts.
+  EXPECT_EQ(lab.topology.hosts().size(), 37u);
+  // 7 OpenFlow switches (5 edge + 2 aggregation).
+  EXPECT_EQ(lab.topology.of_switches().size(), 7u);
+  EXPECT_EQ(lab.edge_switches.size(), 5u);
+  EXPECT_EQ(lab.agg_switches.size(), 2u);
+  EXPECT_EQ(lab.legacy_switches.size(), 2u);
+  // Named lookups work.
+  EXPECT_EQ(lab.ip("S1"), Ipv4(10, 0, 1, 1));
+  EXPECT_EQ(lab.ip("S25"), Ipv4(10, 0, 5, 5));
+  EXPECT_EQ(lab.services.nfs, lab.ip("NFS"));
+}
+
+TEST(LabScenario, AllServerPairsRouteThroughAnOpenFlowSwitch) {
+  const LabScenario lab = build_lab_scenario();
+  const auto& topo = lab.topology;
+  const std::vector<std::string> sample{"S1", "S6", "S13", "S21", "VM3",
+                                        "NFS"};
+  for (const auto& a : sample) {
+    for (const auto& b : sample) {
+      if (a == b) continue;
+      const auto path =
+          topo.shortest_path(lab.host(a).value, lab.host(b).value);
+      ASSERT_GE(path.size(), 3u) << a << "->" << b;
+      bool crosses_of = false;
+      for (const auto n : path) {
+        if (topo.node(n).kind == sim::NodeKind::kOfSwitch) crosses_of = true;
+      }
+      EXPECT_TRUE(crosses_of) << a << "->" << b;
+    }
+  }
+}
+
+TEST(Table2Apps, AllCasesProduceApps) {
+  const LabScenario lab = build_lab_scenario();
+  EXPECT_EQ(table2_apps(1, lab).size(), 3u);
+  EXPECT_EQ(table2_apps(2, lab).size(), 2u);
+  EXPECT_EQ(table2_apps(3, lab).size(), 2u);
+  EXPECT_EQ(table2_apps(4, lab).size(), 2u);
+  EXPECT_EQ(table2_apps(5, lab).size(), 2u);
+  EXPECT_TRUE(table2_apps(9, lab).empty());
+}
+
+TEST(Table2Apps, Case1MatchesTable) {
+  const LabScenario lab = build_lab_scenario();
+  const auto apps = table2_apps(1, lab);
+  const auto& rubbis = apps[0];
+  ASSERT_EQ(rubbis.tiers.size(), 4u);
+  EXPECT_EQ(rubbis.tiers[0].nodes[0], lab.host("S25"));
+  EXPECT_EQ(rubbis.tiers[1].nodes[0], lab.host("S13"));
+  EXPECT_EQ(rubbis.tiers[2].nodes[0], lab.host("S4"));
+  EXPECT_EQ(rubbis.tiers[3].nodes[0], lab.host("S14"));
+  ASSERT_TRUE(rubbis.slave_db.has_value());
+  EXPECT_EQ(*rubbis.slave_db, lab.host("S15"));
+}
+
+TEST(Table2Apps, Case5KnobsAreWired) {
+  const LabScenario lab = build_lab_scenario();
+  Case5Knobs knobs;
+  knobs.rate_x = 111;
+  knobs.rate_y = 222;
+  knobs.reuse_m = 0.5;
+  knobs.reuse_n = 0.9;
+  const auto apps = table2_apps(5, lab, knobs);
+  ASSERT_EQ(apps.size(), 2u);
+  const auto& custom_a = apps[0];
+  EXPECT_EQ(custom_a.client_rates_per_min,
+            (std::vector<double>{111, 222}));
+  const auto& s3 = custom_a.tiers[2];
+  EXPECT_DOUBLE_EQ(s3.reuse_by_upstream.at(lab.host("S1").value), 0.5);
+  EXPECT_DOUBLE_EQ(s3.reuse_by_upstream.at(lab.host("S2").value), 0.9);
+  // Group B: weighted (skewed) LB at the app tier.
+  EXPECT_EQ(apps[1].tiers[2].lb, TierSpec::Lb::kWeighted);
+}
+
+TEST(Table2Description, ListsEveryCase) {
+  for (int c = 1; c <= 5; ++c) {
+    EXPECT_FALSE(table2_description(c).empty()) << "case " << c;
+  }
+  EXPECT_EQ(table2_description(5).size(), 4u);
+}
+
+TEST(Tree320, ShapeMatchesScalabilitySetup) {
+  const TreeScenario tree = build_tree_320();
+  EXPECT_EQ(tree.hosts.size(), 320u);
+  EXPECT_EQ(tree.tor_switches.size(), 16u);
+  EXPECT_EQ(tree.agg_switches.size(), 8u);
+  EXPECT_EQ(tree.core_switches.size(), 2u);
+  // 20 servers per rack: every host connects to exactly one ToR.
+  for (const HostId h : tree.hosts) {
+    EXPECT_EQ(tree.topology.host(h).links.size(), 1u);
+  }
+  // Cross-rack reachability.
+  const auto path = tree.topology.shortest_path(tree.hosts.front().value,
+                                                tree.hosts.back().value);
+  EXPECT_GE(path.size(), 5u);  // host-tor-agg-...-tor-host at minimum.
+}
+
+TEST(FatTree, K4ShapeMatchesAlFares) {
+  const TreeScenario ft = build_fat_tree(4);
+  EXPECT_EQ(ft.hosts.size(), 16u);          // k^3/4.
+  EXPECT_EQ(ft.core_switches.size(), 4u);   // (k/2)^2.
+  EXPECT_EQ(ft.agg_switches.size(), 8u);    // k pods x k/2.
+  EXPECT_EQ(ft.tor_switches.size(), 8u);
+  // Every host has one uplink; every edge switch has k ports used.
+  for (const HostId h : ft.hosts) {
+    EXPECT_EQ(ft.topology.host(h).links.size(), 1u);
+  }
+  for (const SwitchId sw : ft.tor_switches) {
+    EXPECT_EQ(ft.topology.node(sw.value).links.size(), 4u);
+  }
+}
+
+TEST(FatTree, AllPairsReachableWithBoundedHops) {
+  const TreeScenario ft = build_fat_tree(4);
+  const auto& topo = ft.topology;
+  for (std::size_t a = 0; a < ft.hosts.size(); a += 3) {
+    for (std::size_t b = 0; b < ft.hosts.size(); b += 5) {
+      if (a == b) continue;
+      const auto path =
+          topo.shortest_path(ft.hosts[a].value, ft.hosts[b].value);
+      ASSERT_FALSE(path.empty()) << a << "->" << b;
+      // Longest shortest path in a fat tree: host-edge-agg-core-agg-edge-
+      // host = 7 nodes.
+      EXPECT_LE(path.size(), 7u);
+    }
+  }
+}
+
+TEST(FatTree, SurvivesSingleCoreFailure) {
+  TreeScenario ft = build_fat_tree(4);
+  ft.topology.node(ft.core_switches[0].value).up = false;
+  // Cross-pod pair must still be reachable via the remaining cores.
+  const auto path = ft.topology.shortest_path(ft.hosts.front().value,
+                                              ft.hosts.back().value);
+  EXPECT_FALSE(path.empty());
+}
+
+TEST(FatTree, OddAndTinyKAreNormalized) {
+  const TreeScenario odd = build_fat_tree(3);  // Rounded up to 4.
+  EXPECT_EQ(odd.hosts.size(), 16u);
+  const TreeScenario tiny = build_fat_tree(1);  // Clamped to 2.
+  EXPECT_EQ(tiny.hosts.size(), 2u);
+  EXPECT_FALSE(tiny.topology
+                   .shortest_path(tiny.hosts[0].value, tiny.hosts[1].value)
+                   .empty());
+}
+
+TEST(FatTree, RandomThreeTierPlacementWorksOnIt) {
+  const TreeScenario ft = build_fat_tree(6);  // 54 hosts.
+  Rng rng(5);
+  std::set<std::size_t> used;
+  const AppSpec a = random_three_tier(ft, rng, 0, &used);
+  const AppSpec b = random_three_tier(ft, rng, 1, &used);
+  EXPECT_EQ(used.size(), 16u);  // 8 distinct hosts per app.
+  (void)a;
+  (void)b;
+}
+
+TEST(RandomThreeTier, DrawsDistinctHostsAndAllPairsTiers) {
+  const TreeScenario tree = build_tree_320();
+  Rng rng(11);
+  const AppSpec app = random_three_tier(tree, rng, 0);
+  ASSERT_EQ(app.tiers.size(), 4u);
+  EXPECT_EQ(app.tiers[1].nodes.size(), 2u);
+  EXPECT_EQ(app.tiers[2].nodes.size(), 3u);
+  EXPECT_EQ(app.tiers[3].nodes.size(), 2u);
+  std::set<std::uint32_t> all;
+  for (const auto& tier : app.tiers) {
+    for (const HostId h : tier.nodes) all.insert(h.value);
+  }
+  EXPECT_EQ(all.size(), 8u);  // 1 client + 2 + 3 + 2, all distinct.
+  EXPECT_DOUBLE_EQ(app.tiers[1].reuse_prob, 0.6);
+}
+
+TEST(RandomThreeTier, DifferentSeedsDifferentPlacements) {
+  const TreeScenario tree = build_tree_320();
+  Rng a(1);
+  Rng b(2);
+  const AppSpec app_a = random_three_tier(tree, a, 0);
+  const AppSpec app_b = random_three_tier(tree, b, 1);
+  EXPECT_NE(app_a.tiers[1].nodes, app_b.tiers[1].nodes);
+}
+
+}  // namespace
+}  // namespace flowdiff::wl

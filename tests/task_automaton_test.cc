@@ -1,0 +1,263 @@
+// Online task detection: interleaving tolerance, the 1 s threshold,
+// variable binding (masked automata), and Table III-style cross-VM
+// generalization.
+#include "flowdiff/task_automaton.h"
+
+#include <gtest/gtest.h>
+
+#include "flowdiff/task_mining.h"
+#include "workload/tasks.h"
+
+namespace flowdiff::core {
+namespace {
+
+wl::ServiceCatalog services() {
+  wl::ServiceCatalog s;
+  s.nfs = Ipv4(10, 0, 10, 1);
+  s.dns = Ipv4(10, 0, 10, 2);
+  s.dhcp = Ipv4(10, 0, 10, 3);
+  s.ntp = Ipv4(10, 0, 10, 4);
+  s.netbios = Ipv4(10, 0, 10, 5);
+  s.metadata = Ipv4(10, 0, 10, 6);
+  s.apt_mirror = Ipv4(10, 0, 10, 7);
+  return s;
+}
+
+std::set<Ipv4> service_set() {
+  const auto s = services();
+  const auto v = s.special_nodes();
+  return {v.begin(), v.end()};
+}
+
+const Ipv4 kVmA(10, 0, 1, 1);
+const Ipv4 kVmB(10, 0, 2, 1);
+const Ipv4 kVmC(10, 0, 3, 1);
+const Ipv4 kVmD(10, 0, 4, 1);
+
+TaskAutomaton learn_migration(bool masked, int runs_count = 12,
+                              std::uint64_t seed = 21) {
+  Rng rng(seed);
+  std::vector<of::FlowSequence> runs;
+  for (int i = 0; i < runs_count; ++i) {
+    runs.push_back(wl::expand_task(wl::vm_migration_profile(), {kVmA, kVmB},
+                                   services(), rng, 0)
+                       .flows);
+  }
+  MiningConfig config;
+  config.mask_subjects = masked;
+  config.service_ips = service_set();
+  return mine_task("vm_migration", runs, config).automaton;
+}
+
+DetectorConfig detector_config() {
+  DetectorConfig c;
+  c.service_ips = service_set();
+  return c;
+}
+
+TEST(TaskDetector, DetectsFreshRunOfLearnedTask) {
+  const auto automaton = learn_migration(false);
+  Rng rng(99);
+  const auto fresh = wl::expand_task(wl::vm_migration_profile(),
+                                     {kVmA, kVmB}, services(), rng,
+                                     5 * kSecond);
+  const TaskDetector detector({automaton}, detector_config());
+  const auto occurrences = detector.detect(fresh.flows);
+  ASSERT_FALSE(occurrences.empty());
+  EXPECT_EQ(occurrences[0].task, "vm_migration");
+  EXPECT_GE(occurrences[0].begin, 5 * kSecond);
+  EXPECT_LE(occurrences[0].begin, occurrences[0].end);
+}
+
+TEST(TaskDetector, OccurrenceRecordsInvolvedHosts) {
+  const auto automaton = learn_migration(false);
+  Rng rng(99);
+  const auto fresh = wl::expand_task(wl::vm_migration_profile(),
+                                     {kVmA, kVmB}, services(), rng, 0);
+  const TaskDetector detector({automaton}, detector_config());
+  const auto occurrences = detector.detect(fresh.flows);
+  ASSERT_FALSE(occurrences.empty());
+  const auto& involved = occurrences[0].involved;
+  EXPECT_NE(std::find(involved.begin(), involved.end(), kVmA),
+            involved.end());
+  EXPECT_NE(std::find(involved.begin(), involved.end(), kVmB),
+            involved.end());
+}
+
+TEST(TaskDetector, ToleratesInterleavedNoise) {
+  const auto automaton = learn_migration(false);
+  Rng rng(99);
+  auto fresh = wl::expand_task(wl::vm_migration_profile(), {kVmA, kVmB},
+                               services(), rng, kSecond);
+  // Mix in unrelated flows between other hosts within the same window.
+  const auto noise = wl::background_noise({kVmC, kVmD}, 60, kSecond,
+                                          fresh.end + kSecond, rng);
+  const auto mixed = wl::merge_sequences({fresh.flows, noise});
+  const TaskDetector detector({automaton}, detector_config());
+  EXPECT_FALSE(detector.detect(mixed).empty());
+}
+
+TEST(TaskDetector, KillsMatcherAfterInterleaveThreshold) {
+  const auto automaton = learn_migration(false);
+  Rng rng(99);
+  auto fresh = wl::expand_task(wl::vm_migration_profile(), {kVmA, kVmB},
+                               services(), rng, 0);
+  // Stretch the gap between consecutive task flows far past 1 s.
+  of::FlowSequence stretched = fresh.flows;
+  for (std::size_t i = 0; i < stretched.size(); ++i) {
+    stretched[i].ts = static_cast<SimTime>(i) * 3 * kSecond;
+  }
+  const TaskDetector detector({automaton}, detector_config());
+  EXPECT_TRUE(detector.detect(stretched).empty());
+}
+
+TEST(TaskDetector, InterleaveThresholdIsConfigurable) {
+  const auto automaton = learn_migration(false);
+  Rng rng(99);
+  auto fresh = wl::expand_task(wl::vm_migration_profile(), {kVmA, kVmB},
+                               services(), rng, 0);
+  of::FlowSequence stretched = fresh.flows;
+  for (std::size_t i = 0; i < stretched.size(); ++i) {
+    stretched[i].ts = static_cast<SimTime>(i) * 3 * kSecond;
+  }
+  DetectorConfig generous = detector_config();
+  generous.interleave_threshold = 10 * kSecond;
+  const TaskDetector detector({automaton}, generous);
+  EXPECT_FALSE(detector.detect(stretched).empty());
+}
+
+TEST(TaskDetector, UnmaskedAutomatonDoesNotMatchOtherVms) {
+  // Paper Table III: without masking there are no cross-VM matches.
+  const auto automaton = learn_migration(false);
+  Rng rng(7);
+  const auto other = wl::expand_task(wl::vm_migration_profile(),
+                                     {kVmC, kVmD}, services(), rng, 0);
+  const TaskDetector detector({automaton}, detector_config());
+  EXPECT_TRUE(detector.detect(other.flows).empty());
+}
+
+TEST(TaskDetector, MaskedAutomatonGeneralizesAcrossVms) {
+  const auto automaton = learn_migration(true);
+  Rng rng(7);
+  const auto other = wl::expand_task(wl::vm_migration_profile(),
+                                     {kVmC, kVmD}, services(), rng, 0);
+  const TaskDetector detector({automaton}, detector_config());
+  const auto occurrences = detector.detect(other.flows);
+  ASSERT_FALSE(occurrences.empty());
+  const auto& involved = occurrences[0].involved;
+  EXPECT_NE(std::find(involved.begin(), involved.end(), kVmC),
+            involved.end());
+}
+
+TEST(TaskDetector, VariableBindingIsConsistent) {
+  // A masked automaton must not accept a "run" whose subject changes
+  // mid-task: #1 bound to VM C cannot later be VM D.
+  const auto automaton = learn_migration(true);
+  Rng rng(7);
+  auto run = wl::expand_task(wl::vm_migration_profile(), {kVmC, kVmD},
+                             services(), rng, 0);
+  // Corrupt: replace the source of every NFS-bound flow after the first
+  // with a different host.
+  bool first = true;
+  for (auto& tf : run.flows) {
+    if (tf.key.dst_ip == services().nfs && tf.key.src_ip == kVmC) {
+      if (!first) tf.key.src_ip = Ipv4(10, 0, 9, 9);
+      first = false;
+    }
+  }
+  const TaskDetector detector({automaton}, detector_config());
+  EXPECT_TRUE(detector.detect(run.flows).empty());
+}
+
+TEST(TaskDetector, MultipleAutomataIndependent) {
+  const auto migration = learn_migration(true);
+  Rng rng(31);
+  // Learn mount_nfs with masking too.
+  std::vector<of::FlowSequence> mount_runs;
+  for (int i = 0; i < 10; ++i) {
+    mount_runs.push_back(wl::expand_task(wl::mount_nfs_profile(), {kVmA},
+                                         services(), rng, 0)
+                             .flows);
+  }
+  MiningConfig config;
+  config.mask_subjects = true;
+  config.service_ips = service_set();
+  const auto mount = mine_task("mount_nfs", mount_runs, config).automaton;
+
+  const TaskDetector detector({migration, mount}, detector_config());
+  Rng rng2(55);
+  const auto mig_run = wl::expand_task(wl::vm_migration_profile(),
+                                       {kVmC, kVmD}, services(), rng2, 0);
+  const auto mount_run = wl::expand_task(
+      wl::mount_nfs_profile(), {kVmC}, services(), rng2,
+      mig_run.end + 5 * kSecond);
+  const auto merged = wl::merge_sequences({mig_run.flows, mount_run.flows});
+  const auto occurrences = detector.detect(merged);
+  std::set<std::string> names;
+  for (const auto& o : occurrences) names.insert(o.task);
+  EXPECT_TRUE(names.contains("vm_migration"));
+  EXPECT_TRUE(names.contains("mount_nfs"));
+}
+
+TEST(TaskDetector, DuplicateDetectionsAreCollapsed) {
+  const auto automaton = learn_migration(false);
+  Rng rng(99);
+  const auto fresh = wl::expand_task(wl::vm_migration_profile(),
+                                     {kVmA, kVmB}, services(), rng, 0);
+  const TaskDetector detector({automaton}, detector_config());
+  const auto occurrences = detector.detect(fresh.flows);
+  // One physical run: at most a couple of (non-identical) detections, not
+  // one per spawned matcher.
+  EXPECT_LE(occurrences.size(), 2u);
+}
+
+TEST(TaskAutomaton, SerializeParseRoundTrip) {
+  for (const bool masked : {false, true}) {
+    const auto original = learn_migration(masked);
+    const auto parsed = TaskAutomaton::parse(original.serialize());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, original);
+    // A reparsed automaton detects exactly like the original.
+    Rng rng(123);
+    const auto run = wl::expand_task(
+        wl::vm_migration_profile(),
+        masked ? std::vector<Ipv4>{kVmC, kVmD}
+               : std::vector<Ipv4>{kVmA, kVmB},
+        services(), rng, 0);
+    const TaskDetector a({original}, detector_config());
+    const TaskDetector b({*parsed}, detector_config());
+    EXPECT_EQ(a.detect(run.flows).size(), b.detect(run.flows).size());
+  }
+}
+
+TEST(TaskAutomaton, ParseRejectsMalformed) {
+  EXPECT_FALSE(TaskAutomaton::parse("").has_value());
+  EXPECT_FALSE(TaskAutomaton::parse("STATE 0\n").has_value());  // No TASK.
+  EXPECT_FALSE(
+      TaskAutomaton::parse("TASK x\nSTATE 5\n").has_value());  // Bad index.
+  EXPECT_FALSE(TaskAutomaton::parse("TASK x\nTOKEN #0 * 1.2.3.4 80 6\n")
+                   .has_value());  // Token before any state.
+  EXPECT_FALSE(TaskAutomaton::parse("TASK x\nSTATE 0\nTRANS 7\n")
+                   .has_value());  // Dangling transition.
+  EXPECT_FALSE(TaskAutomaton::parse("TASK x\nGARBAGE\n").has_value());
+}
+
+TEST(TaskAutomaton, ParseToleratesCommentsAndBlankLines) {
+  const auto original = learn_migration(true);
+  const std::string text =
+      "# learned automaton\n\n" + original.serialize() + "\n# end\n";
+  const auto parsed = TaskAutomaton::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, original);
+}
+
+TEST(TaskAutomaton, ToStringListsStates) {
+  const auto automaton = learn_migration(true);
+  const std::string s = automaton.to_string();
+  EXPECT_NE(s.find("[start]"), std::string::npos);
+  EXPECT_NE(s.find("[accept]"), std::string::npos);
+  EXPECT_NE(s.find("#1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flowdiff::core

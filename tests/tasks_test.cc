@@ -1,0 +1,253 @@
+#include "workload/tasks.h"
+
+#include <gtest/gtest.h>
+
+#include "controller/controller.h"
+#include "flowdiff/task_mining.h"
+#include "workload/scenario.h"
+
+namespace flowdiff::wl {
+namespace {
+
+ServiceCatalog test_services() {
+  ServiceCatalog s;
+  s.dns = Ipv4(10, 0, 10, 2);
+  s.nfs = Ipv4(10, 0, 10, 1);
+  s.dhcp = Ipv4(10, 0, 10, 3);
+  s.ntp = Ipv4(10, 0, 10, 4);
+  s.netbios = Ipv4(10, 0, 10, 5);
+  s.metadata = Ipv4(10, 0, 10, 6);
+  s.apt_mirror = Ipv4(10, 0, 10, 7);
+  return s;
+}
+
+const Ipv4 kVmA(10, 0, 1, 1);
+const Ipv4 kVmB(10, 0, 2, 1);
+
+TEST(TaskProfiles, MigrationFollowsFig4Structure) {
+  const TaskProfile p = vm_migration_profile();
+  EXPECT_EQ(p.name, "vm_migration");
+  ASSERT_EQ(p.steps.size(), 6u);
+  // c/d: handshake on 8002 between the two subjects.
+  EXPECT_EQ(p.steps[2].src.port, kPortMigration);
+  EXPECT_EQ(p.steps[2].dst.port, kPortMigration);
+  EXPECT_EQ(p.steps[2].src.subject_index, 0);
+  EXPECT_EQ(p.steps[2].dst.subject_index, 1);
+}
+
+TEST(ExpandTask, MigrationFlowsHitNfsAndPeer) {
+  Rng rng(3);
+  const auto run = expand_task(vm_migration_profile(), {kVmA, kVmB},
+                               test_services(), rng, 10 * kSecond);
+  EXPECT_EQ(run.task, "vm_migration");
+  EXPECT_GE(run.flows.size(), 6u);
+  EXPECT_GE(run.flows.front().ts, 10 * kSecond);
+  // Time-ordered.
+  for (std::size_t i = 1; i < run.flows.size(); ++i) {
+    EXPECT_GE(run.flows[i].ts, run.flows[i - 1].ts);
+  }
+  bool a_to_nfs = false;
+  bool handshake = false;
+  bool b_to_nfs = false;
+  for (const auto& tf : run.flows) {
+    if (tf.key.src_ip == kVmA && tf.key.dst_ip == test_services().nfs &&
+        tf.key.dst_port == kPortNfs) {
+      a_to_nfs = true;
+    }
+    if (tf.key.src_ip == kVmA && tf.key.dst_ip == kVmB &&
+        tf.key.src_port == kPortMigration &&
+        tf.key.dst_port == kPortMigration) {
+      handshake = true;
+    }
+    if (tf.key.src_ip == kVmB && tf.key.dst_ip == test_services().nfs) {
+      b_to_nfs = true;
+    }
+  }
+  EXPECT_TRUE(a_to_nfs);
+  EXPECT_TRUE(handshake);
+  EXPECT_TRUE(b_to_nfs);
+}
+
+TEST(ExpandTask, PairedStepsShareEphemeralPortWithinARun) {
+  // Fig. 4's a/b flows: #1:* -> NFS:2049 and NFS:2049 -> #1:* use the same
+  // connection, i.e. the same ephemeral port on #1.
+  Rng rng(3);
+  const auto run = expand_task(vm_migration_profile(), {kVmA, kVmB},
+                               test_services(), rng, 0);
+  std::uint16_t a_port = 0;
+  std::uint16_t b_port = 0;
+  for (const auto& tf : run.flows) {
+    if (tf.key.src_ip == kVmA && tf.key.dst_port == kPortNfs) {
+      a_port = tf.key.src_port;
+    }
+    if (tf.key.src_ip == test_services().nfs && tf.key.dst_ip == kVmA) {
+      b_port = tf.key.dst_port;
+    }
+  }
+  ASSERT_NE(a_port, 0);
+  EXPECT_EQ(a_port, b_port);
+}
+
+TEST(ExpandTask, RunsVaryButKeepCommonCore) {
+  Rng rng(5);
+  const auto s = test_services();
+  const auto r1 = expand_task(vm_migration_profile(), {kVmA, kVmB}, s, rng, 0);
+  const auto r2 = expand_task(vm_migration_profile(), {kVmA, kVmB}, s, rng, 0);
+  // Ephemeral ports differ across runs.
+  EXPECT_NE(r1.flows.front().key.src_port, r2.flows.front().key.src_port);
+}
+
+TEST(StartupProfiles, AmiVariantsShareBaseUbuntuDiffers) {
+  const auto s = test_services();
+  auto endpoints = [&s](int variant) {
+    Rng rng(9);
+    std::set<std::pair<std::uint32_t, std::uint16_t>> eps;
+    // Skip-steps could hide endpoints in one run; union over several runs.
+    for (int i = 0; i < 5; ++i) {
+      const auto run =
+          expand_task(vm_startup_profile(variant), {kVmA}, s, rng, 0);
+      for (const auto& tf : run.flows) {
+        eps.insert({tf.key.dst_ip.raw(), tf.key.dst_port});
+      }
+    }
+    return eps;
+  };
+  const auto ami0 = endpoints(0);
+  const auto ami1 = endpoints(1);
+  const auto ubuntu = endpoints(3);
+  // AMI images share the DHCP/DNS/NTP/metadata/NetBIOS base.
+  const std::vector<std::pair<std::uint32_t, std::uint16_t>> base{
+      {s.dhcp.raw(), kPortDhcp},     {s.dns.raw(), kPortDns},
+      {s.ntp.raw(), kPortNtp},       {s.metadata.raw(), kPortHttp},
+      {s.netbios.raw(), kPortNetbios}};
+  for (const auto& ep : base) {
+    EXPECT_TRUE(ami0.contains(ep)) << "AMI base endpoint missing in v0";
+    EXPECT_TRUE(ami1.contains(ep)) << "AMI base endpoint missing in v1";
+  }
+  // Each AMI image always performs its distinctive flow.
+  EXPECT_TRUE(ami0.contains({s.dns.raw(), kPortDns}));       // DNS/TCP base port.
+  EXPECT_TRUE(ami1.contains({s.netbios.raw(), 138}));
+  // Ubuntu has no NetBIOS and no metadata service.
+  EXPECT_FALSE(ubuntu.contains({s.netbios.raw(), kPortNetbios}));
+  EXPECT_FALSE(ubuntu.contains({s.metadata.raw(), kPortHttp}));
+  EXPECT_TRUE(ubuntu.contains({s.apt_mirror.raw(), kPortHttp}));
+}
+
+TEST(TaskProfiles, SoftwareUpgradeFetchesFromMirror) {
+  Rng rng(3);
+  const auto run = expand_task(software_upgrade_profile(), {kVmA},
+                               test_services(), rng, 0);
+  std::size_t mirror_fetches = 0;
+  bool dns = false;
+  bool ntp = false;
+  for (const auto& tf : run.flows) {
+    if (tf.key.dst_ip == test_services().apt_mirror) ++mirror_fetches;
+    dns |= tf.key.dst_ip == test_services().dns;
+    ntp |= tf.key.dst_ip == test_services().ntp;
+  }
+  EXPECT_GE(mirror_fetches, 2u);  // 2-4 package fetches.
+  EXPECT_LE(mirror_fetches, 4u);
+  EXPECT_TRUE(dns);
+  EXPECT_TRUE(ntp);
+}
+
+TEST(TaskProfiles, DataBackupStreamsToNfs) {
+  Rng rng(3);
+  const auto run =
+      expand_task(data_backup_profile(), {kVmA}, test_services(), rng, 0);
+  std::size_t to_nfs = 0;
+  bool verify_back = false;
+  for (const auto& tf : run.flows) {
+    if (tf.key.src_ip == kVmA && tf.key.dst_ip == test_services().nfs) {
+      ++to_nfs;
+    }
+    if (tf.key.src_ip == test_services().nfs && tf.key.dst_ip == kVmA) {
+      verify_back = true;
+    }
+  }
+  EXPECT_GE(to_nfs, 2u);
+  EXPECT_TRUE(verify_back);
+}
+
+TEST(TaskProfiles, AllProfilesExpandAndAreMineable) {
+  // Every built-in profile must expand deterministically, produce a
+  // non-empty run, and yield a non-empty automaton from 8 runs.
+  const auto s = test_services();
+  for (const auto& profile : all_task_profiles()) {
+    Rng rng(11);
+    std::vector<of::FlowSequence> runs;
+    for (int i = 0; i < 8; ++i) {
+      const auto run = expand_task(profile, {kVmA, kVmB}, s, rng, 0);
+      EXPECT_FALSE(run.flows.empty()) << profile.name;
+      runs.push_back(run.flows);
+    }
+    core::MiningConfig mining;
+    mining.mask_subjects = true;
+    const auto specials = s.special_nodes();
+    mining.service_ips = {specials.begin(), specials.end()};
+    const auto mined = core::mine_task(profile.name, runs, mining);
+    EXPECT_FALSE(mined.automaton.empty()) << profile.name;
+    for (const auto& filtered : mined.filtered_runs) {
+      EXPECT_TRUE(mined.automaton.accepts(filtered)) << profile.name;
+    }
+  }
+}
+
+TEST(MergeSequences, InterleavesByTimestamp) {
+  of::FlowSequence a{{100, {}}, {300, {}}};
+  of::FlowSequence b{{200, {}}};
+  const auto merged = merge_sequences({a, b});
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].ts, 100);
+  EXPECT_EQ(merged[1].ts, 200);
+  EXPECT_EQ(merged[2].ts, 300);
+}
+
+TEST(BackgroundNoise, GeneratesBoundedFlows) {
+  Rng rng(2);
+  const std::vector<Ipv4> hosts{kVmA, kVmB, Ipv4(10, 0, 3, 1)};
+  const auto noise = background_noise(hosts, 50, kSecond, 2 * kSecond, rng);
+  EXPECT_EQ(noise.size(), 50u);
+  for (const auto& tf : noise) {
+    EXPECT_GE(tf.ts, kSecond);
+    EXPECT_LT(tf.ts, 2 * kSecond);
+    EXPECT_NE(tf.key.src_ip, tf.key.dst_ip);
+  }
+}
+
+TEST(BackgroundNoise, DegenerateInputsYieldNothing) {
+  Rng rng(2);
+  EXPECT_TRUE(background_noise({kVmA}, 10, 0, kSecond, rng).empty());
+  EXPECT_TRUE(background_noise({kVmA, kVmB}, 10, kSecond, kSecond, rng).empty());
+}
+
+TEST(RunTaskOnNetwork, FlowsAppearInControlLog) {
+  LabScenario lab = build_lab_scenario();
+  const ServiceCatalog services = lab.services;
+  const Ipv4 vm1 = lab.ip("VM1");
+  const Ipv4 vm2 = lab.ip("VM2");
+  sim::Network net(std::move(lab.topology), sim::NetworkConfig{});
+  ctrl::Controller controller(net, ControllerId{0},
+                              ctrl::ControllerConfig{});
+  net.set_controller(&controller);
+
+  Rng rng(4);
+  const auto run = expand_task(vm_migration_profile(), {vm1, vm2}, services,
+                               rng, kSecond);
+  run_task_on_network(net, run);
+  net.events().run_until(run.end + 10 * kSecond);
+
+  bool saw_handshake = false;
+  for (const auto& e : controller.log().events()) {
+    if (const auto* pin = std::get_if<of::PacketIn>(&e.msg)) {
+      if (pin->key.src_ip == vm1 && pin->key.dst_ip == vm2 &&
+          pin->key.dst_port == kPortMigration) {
+        saw_handshake = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_handshake);
+}
+
+}  // namespace
+}  // namespace flowdiff::wl

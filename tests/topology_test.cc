@@ -1,0 +1,133 @@
+#include "simnet/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace flowdiff::sim {
+namespace {
+
+/// h1 - sw1 - sw2 - h2, plus a detour sw1 - sw3 - sw2.
+struct DiamondTopo {
+  Topology topo;
+  HostId h1, h2;
+  SwitchId sw1, sw2, sw3;
+
+  DiamondTopo() {
+    h1 = topo.add_host("h1", Ipv4(10, 0, 0, 1));
+    h2 = topo.add_host("h2", Ipv4(10, 0, 0, 2));
+    sw1 = topo.add_of_switch("sw1");
+    sw2 = topo.add_of_switch("sw2");
+    sw3 = topo.add_of_switch("sw3");
+    topo.connect(h1.value, sw1.value);
+    topo.connect(sw1.value, sw2.value);
+    topo.connect(sw1.value, sw3.value);
+    topo.connect(sw3.value, sw2.value);
+    topo.connect(sw2.value, h2.value);
+  }
+};
+
+TEST(Topology, LookupsByIpAndName) {
+  DiamondTopo d;
+  EXPECT_EQ(d.topo.host_by_ip(Ipv4(10, 0, 0, 2)), d.h2);
+  EXPECT_FALSE(d.topo.host_by_ip(Ipv4(1, 1, 1, 1)).has_value());
+  EXPECT_EQ(d.topo.node_by_name("sw3"), d.sw3.value);
+  EXPECT_FALSE(d.topo.node_by_name("nope").has_value());
+}
+
+TEST(Topology, PortsAreAssignedPerNode) {
+  DiamondTopo d;
+  // sw1 has three links: to h1 (port 1), sw2 (port 2), sw3 (port 3).
+  const Link* via_port2 = d.topo.link_at(d.sw1.value, PortId{2});
+  ASSERT_NE(via_port2, nullptr);
+  EXPECT_EQ(via_port2->other(d.sw1.value), d.sw2.value);
+  EXPECT_EQ(d.topo.link_at(d.sw1.value, PortId{9}), nullptr);
+}
+
+TEST(Topology, ShortestPathPrefersFewestHops) {
+  DiamondTopo d;
+  const auto path = d.topo.shortest_path(d.h1.value, d.h2.value);
+  ASSERT_EQ(path.size(), 4u);  // h1, sw1, sw2, h2.
+  EXPECT_EQ(path.front(), d.h1.value);
+  EXPECT_EQ(path[1], d.sw1.value);
+  EXPECT_EQ(path[2], d.sw2.value);
+  EXPECT_EQ(path.back(), d.h2.value);
+}
+
+TEST(Topology, PathAvoidsDownSwitch) {
+  DiamondTopo d;
+  d.topo.node(d.sw2.value).up = false;
+  const auto path = d.topo.shortest_path(d.h1.value, d.h2.value);
+  // h2 hangs off sw2, so h2 is unreachable.
+  EXPECT_TRUE(path.empty());
+}
+
+TEST(Topology, PathAvoidsDownLink) {
+  DiamondTopo d;
+  d.topo.link_between(d.sw1.value, d.sw2.value)->up = false;
+  const auto path = d.topo.shortest_path(d.h1.value, d.h2.value);
+  ASSERT_EQ(path.size(), 5u);  // Detour via sw3.
+  EXPECT_EQ(path[2], d.sw3.value);
+}
+
+TEST(Topology, HostsAreNotTransit) {
+  Topology topo;
+  const HostId h1 = topo.add_host("h1", Ipv4(10, 0, 0, 1));
+  const HostId mid = topo.add_host("mid", Ipv4(10, 0, 0, 3));
+  const HostId h2 = topo.add_host("h2", Ipv4(10, 0, 0, 2));
+  topo.connect(h1.value, mid.value);
+  topo.connect(mid.value, h2.value);
+  // The only route is through a host, which must be refused.
+  EXPECT_TRUE(topo.shortest_path(h1.value, h2.value).empty());
+}
+
+TEST(Topology, NextHopIsSecondPathNode) {
+  DiamondTopo d;
+  const auto next = d.topo.next_hop(d.sw1.value, d.h2.value);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(*next, d.sw2.value);
+  EXPECT_FALSE(d.topo.next_hop(d.h1.value, d.h1.value).has_value());
+}
+
+TEST(Topology, NextHopAlwaysApproachesDestination) {
+  // Whatever the tie-break, following next_hop must reach the target
+  // without loops (distance strictly decreases).
+  DiamondTopo d;
+  for (std::uint64_t tie = 0; tie < 8; ++tie) {
+    NodeIndex cur = d.h1.value;
+    int hops = 0;
+    while (cur != d.h2.value) {
+      const auto next = d.topo.next_hop(cur, d.h2.value, tie);
+      ASSERT_TRUE(next.has_value());
+      cur = *next;
+      ASSERT_LT(++hops, 10) << "routing loop with tie_break " << tie;
+    }
+  }
+}
+
+TEST(Topology, LinkBetween) {
+  DiamondTopo d;
+  EXPECT_NE(d.topo.link_between(d.sw1.value, d.sw3.value), nullptr);
+  EXPECT_EQ(d.topo.link_between(d.h1.value, d.h2.value), nullptr);
+}
+
+TEST(Topology, SwitchAndHostEnumeration) {
+  DiamondTopo d;
+  EXPECT_EQ(d.topo.of_switches().size(), 3u);
+  EXPECT_EQ(d.topo.hosts().size(), 2u);
+}
+
+TEST(Link, QueueingDelayGrowsWithUtilization) {
+  Link link;
+  link.base_latency = 50;
+  link.capacity_bps = 1e9;
+  const SimDuration idle = link.current_delay();
+  link.offered_bps = 0.8e9;
+  const SimDuration busy = link.current_delay();
+  EXPECT_EQ(idle, 50);
+  EXPECT_GT(busy, idle + 1000);  // Milliseconds of queueing at 80%.
+  link.offered_bps = 5e9;        // Oversubscribed: capped, still finite.
+  EXPECT_GT(link.current_delay(), busy);
+  EXPECT_LT(link.current_delay(), kSecond);
+}
+
+}  // namespace
+}  // namespace flowdiff::sim

@@ -1,0 +1,329 @@
+// flowdiff — command-line front end to the library.
+//
+//   flowdiff summary <log> [--services FILE]       model one control log
+//   flowdiff diff <baseline.log> <current.log>     diff two control logs
+//        [--services FILE] [--task AUTOMATON]...
+//   flowdiff mine <name> <run.flows>... [--mask]   learn a task automaton
+//        [--services FILE] [--out FILE]
+//   flowdiff detect <AUTOMATON>... --in <capture.flows> [--services FILE]
+//   flowdiff monitor <log> [--window SECONDS] [--services FILE]
+//        [--task AUTOMATON]... [--rolling]
+//
+// Control logs use the openflow/log_io.h text format; flow-sequence files
+// hold FLOW lines; automata use TaskAutomaton::serialize(). A services
+// file lists special-purpose node IPs, one per line.
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "flowdiff/flowdiff.h"
+#include "flowdiff/monitor.h"
+#include "openflow/log_io.h"
+
+namespace {
+
+using namespace flowdiff;
+
+int fail(const std::string& message) {
+  std::fprintf(stderr, "flowdiff: %s\n", message.c_str());
+  return 2;
+}
+
+int usage() {
+  std::fputs(
+      "usage:\n"
+      "  flowdiff summary <log> [--services FILE]\n"
+      "  flowdiff diff <baseline.log> <current.log> [--services FILE] "
+      "[--task FILE]...\n"
+      "  flowdiff mine <name> <run.flows>... [--mask] [--services FILE] "
+      "[--out FILE]\n"
+      "  flowdiff detect <automaton>... --in <capture.flows> "
+      "[--services FILE]\n"
+      "  flowdiff monitor <log> [--window SECONDS] [--services FILE] "
+      "[--task FILE]... [--rolling]\n",
+      stderr);
+  return 2;
+}
+
+std::optional<std::set<Ipv4>> load_services(const std::string& path) {
+  const auto text = of::read_file(path);
+  if (!text) return std::nullopt;
+  std::set<Ipv4> services;
+  std::size_t pos = 0;
+  while (pos <= text->size()) {
+    const auto end = text->find('\n', pos);
+    const std::string line = text->substr(
+        pos, end == std::string::npos ? std::string::npos : end - pos);
+    if (const auto ip = Ipv4::parse(line)) services.insert(*ip);
+    if (end == std::string::npos) break;
+    pos = end + 1;
+  }
+  return services;
+}
+
+std::optional<of::ControlLog> load_log(const std::string& path) {
+  const auto text = of::read_file(path);
+  if (!text) return std::nullopt;
+  return of::parse_control_log(*text);
+}
+
+int cmd_summary(const std::vector<std::string>& args) {
+  std::string services_path;
+  std::vector<std::string> positional;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--services" && i + 1 < args.size()) {
+      services_path = args[++i];
+    } else {
+      positional.push_back(args[i]);
+    }
+  }
+  if (positional.size() != 1) return usage();
+  const auto log = load_log(positional[0]);
+  if (!log) return fail("cannot load control log " + positional[0]);
+  core::FlowDiffConfig config;
+  if (!services_path.empty()) {
+    auto services = load_services(services_path);
+    if (!services) return fail("cannot load services " + services_path);
+    config.set_special_nodes(std::move(*services));
+  }
+  const core::FlowDiff flowdiff(config);
+  const auto model = flowdiff.model(*log);
+  std::printf("log: %zu events over %.1fs (%zu PacketIn, %zu FlowMod, "
+              "%zu FlowRemoved)\n",
+              log->size(), to_seconds(log->end_time() - log->begin_time()),
+              log->count<of::PacketIn>(), log->count<of::FlowMod>(),
+              log->count<of::FlowRemoved>());
+  std::printf("application groups: %zu\n", model.groups.size());
+  for (std::size_t g = 0; g < model.groups.size(); ++g) {
+    const auto& group = model.groups[g];
+    std::printf("  group %zu: %zu hosts, %zu edges, %zu dd-pairs, "
+                "%zu pc-pairs\n",
+                g, group.sig.members.size(),
+                group.sig.cg.graph.edge_count(),
+                group.sig.dd.per_pair.size(), group.sig.pc.rho.size());
+    for (const Ipv4 ip : group.sig.members) {
+      std::printf("    %s\n", ip.to_string().c_str());
+    }
+  }
+  std::printf("infrastructure: %zu topology edges, %zu ISL pairs, "
+              "CRT mean %.3fms over %zu samples\n",
+              model.infra.pt.graph.edge_count(),
+              model.infra.isl.latency_ms.size(),
+              model.infra.crt.response_ms.mean(),
+              model.infra.crt.response_ms.count());
+  return 0;
+}
+
+int cmd_diff(std::vector<std::string> args) {
+  std::string services_path;
+  std::vector<std::string> task_paths;
+  std::vector<std::string> positional;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--services" && i + 1 < args.size()) {
+      services_path = args[++i];
+    } else if (args[i] == "--task" && i + 1 < args.size()) {
+      task_paths.push_back(args[++i]);
+    } else {
+      positional.push_back(args[i]);
+    }
+  }
+  if (positional.size() != 2) return usage();
+
+  core::FlowDiffConfig config;
+  if (!services_path.empty()) {
+    auto services = load_services(services_path);
+    if (!services) return fail("cannot load services " + services_path);
+    config.set_special_nodes(std::move(*services));
+  }
+  std::vector<core::TaskAutomaton> tasks;
+  for (const auto& path : task_paths) {
+    const auto text = of::read_file(path);
+    if (!text) return fail("cannot read automaton " + path);
+    auto automaton = core::TaskAutomaton::parse(*text);
+    if (!automaton) return fail("malformed automaton " + path);
+    tasks.push_back(std::move(*automaton));
+  }
+
+  const auto baseline = load_log(positional[0]);
+  const auto current = load_log(positional[1]);
+  if (!baseline || !current) return fail("cannot load control logs");
+
+  const core::FlowDiff flowdiff(config);
+  const auto report = flowdiff.diff(flowdiff.model(*baseline),
+                                    flowdiff.model(*current), tasks);
+  std::fputs(report.render().c_str(), stdout);
+  return report.clean() ? 0 : 1;
+}
+
+int cmd_mine(std::vector<std::string> args) {
+  if (args.empty()) return usage();
+  const std::string name = args.front();
+  args.erase(args.begin());
+  bool mask = false;
+  std::string services_path;
+  std::string out_path;
+  std::vector<std::string> run_paths;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--mask") {
+      mask = true;
+    } else if (args[i] == "--services" && i + 1 < args.size()) {
+      services_path = args[++i];
+    } else if (args[i] == "--out" && i + 1 < args.size()) {
+      out_path = args[++i];
+    } else {
+      run_paths.push_back(args[i]);
+    }
+  }
+  if (run_paths.empty()) return usage();
+
+  core::MiningConfig mining;
+  mining.mask_subjects = mask;
+  if (!services_path.empty()) {
+    auto services = load_services(services_path);
+    if (!services) return fail("cannot load services " + services_path);
+    mining.service_ips = std::move(*services);
+  }
+  std::vector<of::FlowSequence> runs;
+  for (const auto& path : run_paths) {
+    const auto text = of::read_file(path);
+    if (!text) return fail("cannot read run " + path);
+    auto flows = of::parse_flow_sequence(*text);
+    if (!flows) return fail("malformed flow sequence " + path);
+    runs.push_back(std::move(*flows));
+  }
+
+  const auto mined = core::mine_task(name, runs, mining);
+  std::fprintf(stderr,
+               "mined '%s': %zu common flows, %zu closed patterns, "
+               "%zu automaton states\n",
+               name.c_str(), mined.common_flows.size(),
+               mined.patterns.size(), mined.automaton.state_count());
+  const std::string serialized = mined.automaton.serialize();
+  if (out_path.empty()) {
+    std::fputs(serialized.c_str(), stdout);
+  } else if (!of::write_file(out_path, serialized)) {
+    return fail("cannot write " + out_path);
+  }
+  return 0;
+}
+
+int cmd_detect(std::vector<std::string> args) {
+  std::string services_path;
+  std::string capture_path;
+  std::vector<std::string> automaton_paths;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--services" && i + 1 < args.size()) {
+      services_path = args[++i];
+    } else if (args[i] == "--in" && i + 1 < args.size()) {
+      capture_path = args[++i];
+    } else {
+      automaton_paths.push_back(args[i]);
+    }
+  }
+  if (automaton_paths.empty() || capture_path.empty()) return usage();
+
+  core::DetectorConfig config;
+  if (!services_path.empty()) {
+    auto services = load_services(services_path);
+    if (!services) return fail("cannot load services " + services_path);
+    config.service_ips = std::move(*services);
+  }
+  std::vector<core::TaskAutomaton> automata;
+  for (const auto& path : automaton_paths) {
+    const auto text = of::read_file(path);
+    if (!text) return fail("cannot read automaton " + path);
+    auto automaton = core::TaskAutomaton::parse(*text);
+    if (!automaton) return fail("malformed automaton " + path);
+    automata.push_back(std::move(*automaton));
+  }
+  const auto capture_text = of::read_file(capture_path);
+  if (!capture_text) return fail("cannot read capture " + capture_path);
+  const auto capture = of::parse_flow_sequence(*capture_text);
+  if (!capture) return fail("malformed capture " + capture_path);
+
+  const core::TaskDetector detector(automata, config);
+  const auto found = detector.detect(*capture);
+  for (const auto& occ : found) {
+    std::printf("%-20s t=[%.3fs, %.3fs] hosts:", occ.task.c_str(),
+                to_seconds(occ.begin), to_seconds(occ.end));
+    for (const Ipv4 ip : occ.involved) {
+      std::printf(" %s", ip.to_string().c_str());
+    }
+    std::printf("\n");
+  }
+  std::fprintf(stderr, "%zu occurrence(s)\n", found.size());
+  return 0;
+}
+
+int cmd_monitor(std::vector<std::string> args) {
+  std::string services_path;
+  std::vector<std::string> task_paths;
+  std::vector<std::string> positional;
+  double window_sec = 30.0;
+  bool rolling = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--services" && i + 1 < args.size()) {
+      services_path = args[++i];
+    } else if (args[i] == "--task" && i + 1 < args.size()) {
+      task_paths.push_back(args[++i]);
+    } else if (args[i] == "--window" && i + 1 < args.size()) {
+      window_sec = std::stod(args[++i]);
+    } else if (args[i] == "--rolling") {
+      rolling = true;
+    } else {
+      positional.push_back(args[i]);
+    }
+  }
+  if (positional.size() != 1) return usage();
+
+  core::MonitorConfig config;
+  config.window = from_seconds(window_sec);
+  config.rolling_baseline = rolling;
+  if (!services_path.empty()) {
+    auto services = load_services(services_path);
+    if (!services) return fail("cannot load services " + services_path);
+    config.flowdiff.set_special_nodes(std::move(*services));
+  }
+  for (const auto& path : task_paths) {
+    const auto text = of::read_file(path);
+    if (!text) return fail("cannot read automaton " + path);
+    auto automaton = core::TaskAutomaton::parse(*text);
+    if (!automaton) return fail("malformed automaton " + path);
+    config.tasks.push_back(std::move(*automaton));
+  }
+
+  const auto log = load_log(positional[0]);
+  if (!log) return fail("cannot load control log " + positional[0]);
+
+  core::SlidingMonitor monitor(config);
+  monitor.feed(*log);
+  monitor.flush();
+
+  std::printf("windows: %zu (baseline captured at t=%.1fs), alarms: %zu\n",
+              monitor.windows_processed(),
+              to_seconds(monitor.baseline_captured_at()),
+              monitor.alarms().size());
+  for (const auto& alarm : monitor.alarms()) {
+    std::printf("\n=== ALARM window [%.1fs, %.1fs] ===\n",
+                to_seconds(alarm.window_begin),
+                to_seconds(alarm.window_end));
+    std::fputs(alarm.report.render().c_str(), stdout);
+  }
+  return monitor.alarms().empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "summary") return cmd_summary(args);
+  if (command == "diff") return cmd_diff(std::move(args));
+  if (command == "mine") return cmd_mine(std::move(args));
+  if (command == "detect") return cmd_detect(std::move(args));
+  if (command == "monitor") return cmd_monitor(std::move(args));
+  return usage();
+}
