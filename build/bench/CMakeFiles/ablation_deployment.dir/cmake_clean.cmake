@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_deployment.dir/ablation_deployment.cc.o"
+  "CMakeFiles/ablation_deployment.dir/ablation_deployment.cc.o.d"
+  "ablation_deployment"
+  "ablation_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

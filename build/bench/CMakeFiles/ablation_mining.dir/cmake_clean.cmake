@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mining.dir/ablation_mining.cc.o"
+  "CMakeFiles/ablation_mining.dir/ablation_mining.cc.o.d"
+  "ablation_mining"
+  "ablation_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_dd_robustness.dir/fig10_dd_robustness.cc.o"
+  "CMakeFiles/fig10_dd_robustness.dir/fig10_dd_robustness.cc.o.d"
+  "fig10_dd_robustness"
+  "fig10_dd_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_dd_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_pc_stability.dir/fig11_pc_stability.cc.o"
+  "CMakeFiles/fig11_pc_stability.dir/fig11_pc_stability.cc.o.d"
+  "fig11_pc_stability"
+  "fig11_pc_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_pc_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

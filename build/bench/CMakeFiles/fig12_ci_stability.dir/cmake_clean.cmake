@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_ci_stability.dir/fig12_ci_stability.cc.o"
+  "CMakeFiles/fig12_ci_stability.dir/fig12_ci_stability.cc.o.d"
+  "fig12_ci_stability"
+  "fig12_ci_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_ci_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

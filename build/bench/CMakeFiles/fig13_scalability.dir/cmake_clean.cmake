@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_scalability.dir/fig13_scalability.cc.o"
+  "CMakeFiles/fig13_scalability.dir/fig13_scalability.cc.o.d"
+  "fig13_scalability"
+  "fig13_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2b_problem_classes.dir/fig2b_problem_classes.cc.o"
+  "CMakeFiles/fig2b_problem_classes.dir/fig2b_problem_classes.cc.o.d"
+  "fig2b_problem_classes"
+  "fig2b_problem_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_problem_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

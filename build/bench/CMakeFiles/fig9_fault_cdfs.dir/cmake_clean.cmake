@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_fault_cdfs.dir/fig9_fault_cdfs.cc.o"
+  "CMakeFiles/fig9_fault_cdfs.dir/fig9_fault_cdfs.cc.o.d"
+  "fig9_fault_cdfs"
+  "fig9_fault_cdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_fault_cdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_problems.dir/table1_problems.cc.o"
+  "CMakeFiles/table1_problems.dir/table1_problems.cc.o.d"
+  "table1_problems"
+  "table1_problems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_problems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_cases.dir/table2_cases.cc.o"
+  "CMakeFiles/table2_cases.dir/table2_cases.cc.o.d"
+  "table2_cases"
+  "table2_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

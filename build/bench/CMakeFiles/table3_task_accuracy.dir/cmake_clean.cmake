@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_task_accuracy.dir/table3_task_accuracy.cc.o"
+  "CMakeFiles/table3_task_accuracy.dir/table3_task_accuracy.cc.o.d"
+  "table3_task_accuracy"
+  "table3_task_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_task_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnose_congestion.dir/diagnose_congestion.cpp.o"
+  "CMakeFiles/diagnose_congestion.dir/diagnose_congestion.cpp.o.d"
+  "diagnose_congestion"
+  "diagnose_congestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnose_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for diagnose_congestion.
+# This may be replaced when dependencies are built.

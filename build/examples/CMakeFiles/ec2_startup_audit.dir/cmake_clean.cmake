@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ec2_startup_audit.dir/ec2_startup_audit.cpp.o"
+  "CMakeFiles/ec2_startup_audit.dir/ec2_startup_audit.cpp.o.d"
+  "ec2_startup_audit"
+  "ec2_startup_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ec2_startup_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

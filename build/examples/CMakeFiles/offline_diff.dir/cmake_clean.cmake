@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_diff.dir/offline_diff.cpp.o"
+  "CMakeFiles/offline_diff.dir/offline_diff.cpp.o.d"
+  "offline_diff"
+  "offline_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiment/CMakeFiles/flowdiff_experiment.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/flowdiff_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/flowdiff_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/flowdiff_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/flowdiff_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/flowdiff/CMakeFiles/flowdiff_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/openflow/CMakeFiles/flowdiff_openflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/flowdiff_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_task_mining.dir/vm_task_mining.cpp.o"
+  "CMakeFiles/vm_task_mining.dir/vm_task_mining.cpp.o.d"
+  "vm_task_mining"
+  "vm_task_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_task_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

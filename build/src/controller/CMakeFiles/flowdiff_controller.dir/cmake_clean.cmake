@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowdiff_controller.dir/controller.cc.o"
+  "CMakeFiles/flowdiff_controller.dir/controller.cc.o.d"
+  "CMakeFiles/flowdiff_controller.dir/distributed.cc.o"
+  "CMakeFiles/flowdiff_controller.dir/distributed.cc.o.d"
+  "libflowdiff_controller.a"
+  "libflowdiff_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowdiff_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowdiff_experiment.dir/lab_experiment.cc.o"
+  "CMakeFiles/flowdiff_experiment.dir/lab_experiment.cc.o.d"
+  "CMakeFiles/flowdiff_experiment.dir/scalability.cc.o"
+  "CMakeFiles/flowdiff_experiment.dir/scalability.cc.o.d"
+  "libflowdiff_experiment.a"
+  "libflowdiff_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowdiff_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowdiff_faults.dir/faults.cc.o"
+  "CMakeFiles/flowdiff_faults.dir/faults.cc.o.d"
+  "libflowdiff_faults.a"
+  "libflowdiff_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowdiff_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

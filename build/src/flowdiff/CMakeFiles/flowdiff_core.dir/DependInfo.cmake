@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flowdiff/app_groups.cc" "src/flowdiff/CMakeFiles/flowdiff_core.dir/app_groups.cc.o" "gcc" "src/flowdiff/CMakeFiles/flowdiff_core.dir/app_groups.cc.o.d"
+  "/root/repo/src/flowdiff/app_signatures.cc" "src/flowdiff/CMakeFiles/flowdiff_core.dir/app_signatures.cc.o" "gcc" "src/flowdiff/CMakeFiles/flowdiff_core.dir/app_signatures.cc.o.d"
+  "/root/repo/src/flowdiff/diagnosis.cc" "src/flowdiff/CMakeFiles/flowdiff_core.dir/diagnosis.cc.o" "gcc" "src/flowdiff/CMakeFiles/flowdiff_core.dir/diagnosis.cc.o.d"
+  "/root/repo/src/flowdiff/diff.cc" "src/flowdiff/CMakeFiles/flowdiff_core.dir/diff.cc.o" "gcc" "src/flowdiff/CMakeFiles/flowdiff_core.dir/diff.cc.o.d"
+  "/root/repo/src/flowdiff/flow_token.cc" "src/flowdiff/CMakeFiles/flowdiff_core.dir/flow_token.cc.o" "gcc" "src/flowdiff/CMakeFiles/flowdiff_core.dir/flow_token.cc.o.d"
+  "/root/repo/src/flowdiff/flowdiff.cc" "src/flowdiff/CMakeFiles/flowdiff_core.dir/flowdiff.cc.o" "gcc" "src/flowdiff/CMakeFiles/flowdiff_core.dir/flowdiff.cc.o.d"
+  "/root/repo/src/flowdiff/infra_signatures.cc" "src/flowdiff/CMakeFiles/flowdiff_core.dir/infra_signatures.cc.o" "gcc" "src/flowdiff/CMakeFiles/flowdiff_core.dir/infra_signatures.cc.o.d"
+  "/root/repo/src/flowdiff/log_model.cc" "src/flowdiff/CMakeFiles/flowdiff_core.dir/log_model.cc.o" "gcc" "src/flowdiff/CMakeFiles/flowdiff_core.dir/log_model.cc.o.d"
+  "/root/repo/src/flowdiff/model.cc" "src/flowdiff/CMakeFiles/flowdiff_core.dir/model.cc.o" "gcc" "src/flowdiff/CMakeFiles/flowdiff_core.dir/model.cc.o.d"
+  "/root/repo/src/flowdiff/monitor.cc" "src/flowdiff/CMakeFiles/flowdiff_core.dir/monitor.cc.o" "gcc" "src/flowdiff/CMakeFiles/flowdiff_core.dir/monitor.cc.o.d"
+  "/root/repo/src/flowdiff/task_automaton.cc" "src/flowdiff/CMakeFiles/flowdiff_core.dir/task_automaton.cc.o" "gcc" "src/flowdiff/CMakeFiles/flowdiff_core.dir/task_automaton.cc.o.d"
+  "/root/repo/src/flowdiff/task_mining.cc" "src/flowdiff/CMakeFiles/flowdiff_core.dir/task_mining.cc.o" "gcc" "src/flowdiff/CMakeFiles/flowdiff_core.dir/task_mining.cc.o.d"
+  "/root/repo/src/flowdiff/validate.cc" "src/flowdiff/CMakeFiles/flowdiff_core.dir/validate.cc.o" "gcc" "src/flowdiff/CMakeFiles/flowdiff_core.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/flowdiff_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/openflow/CMakeFiles/flowdiff_openflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

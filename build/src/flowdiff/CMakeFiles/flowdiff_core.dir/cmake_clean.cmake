@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowdiff_core.dir/app_groups.cc.o"
+  "CMakeFiles/flowdiff_core.dir/app_groups.cc.o.d"
+  "CMakeFiles/flowdiff_core.dir/app_signatures.cc.o"
+  "CMakeFiles/flowdiff_core.dir/app_signatures.cc.o.d"
+  "CMakeFiles/flowdiff_core.dir/diagnosis.cc.o"
+  "CMakeFiles/flowdiff_core.dir/diagnosis.cc.o.d"
+  "CMakeFiles/flowdiff_core.dir/diff.cc.o"
+  "CMakeFiles/flowdiff_core.dir/diff.cc.o.d"
+  "CMakeFiles/flowdiff_core.dir/flow_token.cc.o"
+  "CMakeFiles/flowdiff_core.dir/flow_token.cc.o.d"
+  "CMakeFiles/flowdiff_core.dir/flowdiff.cc.o"
+  "CMakeFiles/flowdiff_core.dir/flowdiff.cc.o.d"
+  "CMakeFiles/flowdiff_core.dir/infra_signatures.cc.o"
+  "CMakeFiles/flowdiff_core.dir/infra_signatures.cc.o.d"
+  "CMakeFiles/flowdiff_core.dir/log_model.cc.o"
+  "CMakeFiles/flowdiff_core.dir/log_model.cc.o.d"
+  "CMakeFiles/flowdiff_core.dir/model.cc.o"
+  "CMakeFiles/flowdiff_core.dir/model.cc.o.d"
+  "CMakeFiles/flowdiff_core.dir/monitor.cc.o"
+  "CMakeFiles/flowdiff_core.dir/monitor.cc.o.d"
+  "CMakeFiles/flowdiff_core.dir/task_automaton.cc.o"
+  "CMakeFiles/flowdiff_core.dir/task_automaton.cc.o.d"
+  "CMakeFiles/flowdiff_core.dir/task_mining.cc.o"
+  "CMakeFiles/flowdiff_core.dir/task_mining.cc.o.d"
+  "CMakeFiles/flowdiff_core.dir/validate.cc.o"
+  "CMakeFiles/flowdiff_core.dir/validate.cc.o.d"
+  "libflowdiff_core.a"
+  "libflowdiff_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowdiff_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/openflow/control_log.cc" "src/openflow/CMakeFiles/flowdiff_openflow.dir/control_log.cc.o" "gcc" "src/openflow/CMakeFiles/flowdiff_openflow.dir/control_log.cc.o.d"
+  "/root/repo/src/openflow/flow_key.cc" "src/openflow/CMakeFiles/flowdiff_openflow.dir/flow_key.cc.o" "gcc" "src/openflow/CMakeFiles/flowdiff_openflow.dir/flow_key.cc.o.d"
+  "/root/repo/src/openflow/flow_table.cc" "src/openflow/CMakeFiles/flowdiff_openflow.dir/flow_table.cc.o" "gcc" "src/openflow/CMakeFiles/flowdiff_openflow.dir/flow_table.cc.o.d"
+  "/root/repo/src/openflow/log_io.cc" "src/openflow/CMakeFiles/flowdiff_openflow.dir/log_io.cc.o" "gcc" "src/openflow/CMakeFiles/flowdiff_openflow.dir/log_io.cc.o.d"
+  "/root/repo/src/openflow/match.cc" "src/openflow/CMakeFiles/flowdiff_openflow.dir/match.cc.o" "gcc" "src/openflow/CMakeFiles/flowdiff_openflow.dir/match.cc.o.d"
+  "/root/repo/src/openflow/messages.cc" "src/openflow/CMakeFiles/flowdiff_openflow.dir/messages.cc.o" "gcc" "src/openflow/CMakeFiles/flowdiff_openflow.dir/messages.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/flowdiff_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowdiff_openflow.dir/control_log.cc.o"
+  "CMakeFiles/flowdiff_openflow.dir/control_log.cc.o.d"
+  "CMakeFiles/flowdiff_openflow.dir/flow_key.cc.o"
+  "CMakeFiles/flowdiff_openflow.dir/flow_key.cc.o.d"
+  "CMakeFiles/flowdiff_openflow.dir/flow_table.cc.o"
+  "CMakeFiles/flowdiff_openflow.dir/flow_table.cc.o.d"
+  "CMakeFiles/flowdiff_openflow.dir/log_io.cc.o"
+  "CMakeFiles/flowdiff_openflow.dir/log_io.cc.o.d"
+  "CMakeFiles/flowdiff_openflow.dir/match.cc.o"
+  "CMakeFiles/flowdiff_openflow.dir/match.cc.o.d"
+  "CMakeFiles/flowdiff_openflow.dir/messages.cc.o"
+  "CMakeFiles/flowdiff_openflow.dir/messages.cc.o.d"
+  "libflowdiff_openflow.a"
+  "libflowdiff_openflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowdiff_openflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnet/event_queue.cc" "src/simnet/CMakeFiles/flowdiff_simnet.dir/event_queue.cc.o" "gcc" "src/simnet/CMakeFiles/flowdiff_simnet.dir/event_queue.cc.o.d"
+  "/root/repo/src/simnet/network.cc" "src/simnet/CMakeFiles/flowdiff_simnet.dir/network.cc.o" "gcc" "src/simnet/CMakeFiles/flowdiff_simnet.dir/network.cc.o.d"
+  "/root/repo/src/simnet/topology.cc" "src/simnet/CMakeFiles/flowdiff_simnet.dir/topology.cc.o" "gcc" "src/simnet/CMakeFiles/flowdiff_simnet.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/flowdiff_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/openflow/CMakeFiles/flowdiff_openflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowdiff_simnet.dir/event_queue.cc.o"
+  "CMakeFiles/flowdiff_simnet.dir/event_queue.cc.o.d"
+  "CMakeFiles/flowdiff_simnet.dir/network.cc.o"
+  "CMakeFiles/flowdiff_simnet.dir/network.cc.o.d"
+  "CMakeFiles/flowdiff_simnet.dir/topology.cc.o"
+  "CMakeFiles/flowdiff_simnet.dir/topology.cc.o.d"
+  "libflowdiff_simnet.a"
+  "libflowdiff_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowdiff_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

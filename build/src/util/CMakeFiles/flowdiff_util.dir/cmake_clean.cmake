@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowdiff_util.dir/histogram.cc.o"
+  "CMakeFiles/flowdiff_util.dir/histogram.cc.o.d"
+  "CMakeFiles/flowdiff_util.dir/ipv4.cc.o"
+  "CMakeFiles/flowdiff_util.dir/ipv4.cc.o.d"
+  "CMakeFiles/flowdiff_util.dir/rng.cc.o"
+  "CMakeFiles/flowdiff_util.dir/rng.cc.o.d"
+  "CMakeFiles/flowdiff_util.dir/stats.cc.o"
+  "CMakeFiles/flowdiff_util.dir/stats.cc.o.d"
+  "CMakeFiles/flowdiff_util.dir/table.cc.o"
+  "CMakeFiles/flowdiff_util.dir/table.cc.o.d"
+  "libflowdiff_util.a"
+  "libflowdiff_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowdiff_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/app.cc" "src/workload/CMakeFiles/flowdiff_workload.dir/app.cc.o" "gcc" "src/workload/CMakeFiles/flowdiff_workload.dir/app.cc.o.d"
+  "/root/repo/src/workload/connection_pool.cc" "src/workload/CMakeFiles/flowdiff_workload.dir/connection_pool.cc.o" "gcc" "src/workload/CMakeFiles/flowdiff_workload.dir/connection_pool.cc.o.d"
+  "/root/repo/src/workload/onoff.cc" "src/workload/CMakeFiles/flowdiff_workload.dir/onoff.cc.o" "gcc" "src/workload/CMakeFiles/flowdiff_workload.dir/onoff.cc.o.d"
+  "/root/repo/src/workload/scenario.cc" "src/workload/CMakeFiles/flowdiff_workload.dir/scenario.cc.o" "gcc" "src/workload/CMakeFiles/flowdiff_workload.dir/scenario.cc.o.d"
+  "/root/repo/src/workload/services.cc" "src/workload/CMakeFiles/flowdiff_workload.dir/services.cc.o" "gcc" "src/workload/CMakeFiles/flowdiff_workload.dir/services.cc.o.d"
+  "/root/repo/src/workload/tasks.cc" "src/workload/CMakeFiles/flowdiff_workload.dir/tasks.cc.o" "gcc" "src/workload/CMakeFiles/flowdiff_workload.dir/tasks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simnet/CMakeFiles/flowdiff_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/openflow/CMakeFiles/flowdiff_openflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/flowdiff_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

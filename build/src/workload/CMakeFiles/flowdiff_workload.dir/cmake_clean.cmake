@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowdiff_workload.dir/app.cc.o"
+  "CMakeFiles/flowdiff_workload.dir/app.cc.o.d"
+  "CMakeFiles/flowdiff_workload.dir/connection_pool.cc.o"
+  "CMakeFiles/flowdiff_workload.dir/connection_pool.cc.o.d"
+  "CMakeFiles/flowdiff_workload.dir/onoff.cc.o"
+  "CMakeFiles/flowdiff_workload.dir/onoff.cc.o.d"
+  "CMakeFiles/flowdiff_workload.dir/scenario.cc.o"
+  "CMakeFiles/flowdiff_workload.dir/scenario.cc.o.d"
+  "CMakeFiles/flowdiff_workload.dir/services.cc.o"
+  "CMakeFiles/flowdiff_workload.dir/services.cc.o.d"
+  "CMakeFiles/flowdiff_workload.dir/tasks.cc.o"
+  "CMakeFiles/flowdiff_workload.dir/tasks.cc.o.d"
+  "libflowdiff_workload.a"
+  "libflowdiff_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowdiff_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_groups_test.dir/app_groups_test.cc.o"
+  "CMakeFiles/app_groups_test.dir/app_groups_test.cc.o.d"
+  "app_groups_test"
+  "app_groups_test.pdb"
+  "app_groups_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_groups_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_signatures_test.dir/app_signatures_test.cc.o"
+  "CMakeFiles/app_signatures_test.dir/app_signatures_test.cc.o.d"
+  "app_signatures_test"
+  "app_signatures_test.pdb"
+  "app_signatures_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_signatures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

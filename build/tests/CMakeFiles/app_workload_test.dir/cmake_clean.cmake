@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_workload_test.dir/app_workload_test.cc.o"
+  "CMakeFiles/app_workload_test.dir/app_workload_test.cc.o.d"
+  "app_workload_test"
+  "app_workload_test.pdb"
+  "app_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

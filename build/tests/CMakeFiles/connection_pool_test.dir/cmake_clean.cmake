@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/connection_pool_test.dir/connection_pool_test.cc.o"
+  "CMakeFiles/connection_pool_test.dir/connection_pool_test.cc.o.d"
+  "connection_pool_test"
+  "connection_pool_test.pdb"
+  "connection_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/connection_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_log_test.dir/control_log_test.cc.o"
+  "CMakeFiles/control_log_test.dir/control_log_test.cc.o.d"
+  "control_log_test"
+  "control_log_test.pdb"
+  "control_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

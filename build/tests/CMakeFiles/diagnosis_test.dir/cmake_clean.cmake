@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnosis_test.dir/diagnosis_test.cc.o"
+  "CMakeFiles/diagnosis_test.dir/diagnosis_test.cc.o.d"
+  "diagnosis_test"
+  "diagnosis_test.pdb"
+  "diagnosis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnosis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

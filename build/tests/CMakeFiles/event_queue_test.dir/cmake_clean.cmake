@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_queue_test.dir/event_queue_test.cc.o"
+  "CMakeFiles/event_queue_test.dir/event_queue_test.cc.o.d"
+  "event_queue_test"
+  "event_queue_test.pdb"
+  "event_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

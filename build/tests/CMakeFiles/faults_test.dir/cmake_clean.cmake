@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faults_test.dir/faults_test.cc.o"
+  "CMakeFiles/faults_test.dir/faults_test.cc.o.d"
+  "faults_test"
+  "faults_test.pdb"
+  "faults_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faults_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

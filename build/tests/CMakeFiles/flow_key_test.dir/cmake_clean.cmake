@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_key_test.dir/flow_key_test.cc.o"
+  "CMakeFiles/flow_key_test.dir/flow_key_test.cc.o.d"
+  "flow_key_test"
+  "flow_key_test.pdb"
+  "flow_key_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_key_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

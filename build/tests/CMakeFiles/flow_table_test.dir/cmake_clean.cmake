@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_table_test.dir/flow_table_test.cc.o"
+  "CMakeFiles/flow_table_test.dir/flow_table_test.cc.o.d"
+  "flow_table_test"
+  "flow_table_test.pdb"
+  "flow_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

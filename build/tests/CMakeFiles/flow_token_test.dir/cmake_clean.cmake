@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_token_test.dir/flow_token_test.cc.o"
+  "CMakeFiles/flow_token_test.dir/flow_token_test.cc.o.d"
+  "flow_token_test"
+  "flow_token_test.pdb"
+  "flow_token_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_token_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_robustness_test.dir/fuzz_robustness_test.cc.o"
+  "CMakeFiles/fuzz_robustness_test.dir/fuzz_robustness_test.cc.o.d"
+  "fuzz_robustness_test"
+  "fuzz_robustness_test.pdb"
+  "fuzz_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infra_signatures_test.dir/infra_signatures_test.cc.o"
+  "CMakeFiles/infra_signatures_test.dir/infra_signatures_test.cc.o.d"
+  "infra_signatures_test"
+  "infra_signatures_test.pdb"
+  "infra_signatures_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infra_signatures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

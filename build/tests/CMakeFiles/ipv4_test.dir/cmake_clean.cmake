@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipv4_test.dir/ipv4_test.cc.o"
+  "CMakeFiles/ipv4_test.dir/ipv4_test.cc.o.d"
+  "ipv4_test"
+  "ipv4_test.pdb"
+  "ipv4_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipv4_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_io_test.dir/log_io_test.cc.o"
+  "CMakeFiles/log_io_test.dir/log_io_test.cc.o.d"
+  "log_io_test"
+  "log_io_test.pdb"
+  "log_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

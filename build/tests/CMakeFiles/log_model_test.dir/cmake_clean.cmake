@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_model_test.dir/log_model_test.cc.o"
+  "CMakeFiles/log_model_test.dir/log_model_test.cc.o.d"
+  "log_model_test"
+  "log_model_test.pdb"
+  "log_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_invariants_test.dir/network_invariants_test.cc.o"
+  "CMakeFiles/network_invariants_test.dir/network_invariants_test.cc.o.d"
+  "network_invariants_test"
+  "network_invariants_test.pdb"
+  "network_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onoff_test.dir/onoff_test.cc.o"
+  "CMakeFiles/onoff_test.dir/onoff_test.cc.o.d"
+  "onoff_test"
+  "onoff_test.pdb"
+  "onoff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onoff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_polling_test.dir/stats_polling_test.cc.o"
+  "CMakeFiles/stats_polling_test.dir/stats_polling_test.cc.o.d"
+  "stats_polling_test"
+  "stats_polling_test.pdb"
+  "stats_polling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_polling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_automaton_test.dir/task_automaton_test.cc.o"
+  "CMakeFiles/task_automaton_test.dir/task_automaton_test.cc.o.d"
+  "task_automaton_test"
+  "task_automaton_test.pdb"
+  "task_automaton_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_automaton_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

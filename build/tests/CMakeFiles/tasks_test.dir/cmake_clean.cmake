@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasks_test.dir/tasks_test.cc.o"
+  "CMakeFiles/tasks_test.dir/tasks_test.cc.o.d"
+  "tasks_test"
+  "tasks_test.pdb"
+  "tasks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

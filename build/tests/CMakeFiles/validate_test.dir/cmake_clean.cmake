@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validate_test.dir/validate_test.cc.o"
+  "CMakeFiles/validate_test.dir/validate_test.cc.o.d"
+  "validate_test"
+  "validate_test.pdb"
+  "validate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

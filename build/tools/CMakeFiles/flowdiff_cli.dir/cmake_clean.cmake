@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowdiff_cli.dir/flowdiff_cli.cc.o"
+  "CMakeFiles/flowdiff_cli.dir/flowdiff_cli.cc.o.d"
+  "flowdiff"
+  "flowdiff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowdiff_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
