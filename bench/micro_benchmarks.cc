@@ -1,9 +1,12 @@
 // Google-benchmark microbenchmarks for FlowDiff's analysis pipeline:
 // log parsing, signature extraction, task mining (with and without closed
-// pruning), online task detection, and model diffing.
+// pruning), online task detection, and model diffing — plus the
+// observability layer's overhead on the model+diff path (disabled
+// instrumentation must stay within noise; enabled shows the real cost).
 #include <benchmark/benchmark.h>
 
 #include "flowdiff/flowdiff.h"
+#include "obs/obs.h"
 #include "workload/tasks.h"
 
 namespace flowdiff {
@@ -94,6 +97,42 @@ void BM_DiffModels(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DiffModels)->Iterations(5000);
+
+// --- observability overhead --------------------------------------------
+// The same model+diff path with the obs layer switched on: counters,
+// histograms, and spans all fire. Compare against BM_BuildModel /
+// BM_DiffModels (obs off, the default) to read the instrumentation cost.
+
+void BM_BuildModelObsEnabled(benchmark::State& state) {
+  const auto log = synth_log(static_cast<int>(state.range(0)));
+  const core::FlowDiff flowdiff{core::FlowDiffConfig{}};
+  obs::set_enabled(true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flowdiff.model(log));
+    // Keep the bounded span buffer from saturating mid-run; aggregates
+    // would stay exact either way but dropped records skew nothing here.
+    obs::Trace::global().clear();
+  }
+  obs::set_enabled(false);
+  obs::Registry::global().reset();
+  obs::Trace::global().clear();
+}
+BENCHMARK(BM_BuildModelObsEnabled)->Arg(100)->Arg(1000)->Arg(5000)->Iterations(20);
+
+void BM_DiffModelsObsEnabled(benchmark::State& state) {
+  const core::FlowDiff flowdiff{core::FlowDiffConfig{}};
+  const auto base = flowdiff.model(synth_log(2000));
+  const auto cur = flowdiff.model(synth_log(2000));
+  obs::set_enabled(true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flowdiff.diff(base, cur));
+    obs::Trace::global().clear();
+  }
+  obs::set_enabled(false);
+  obs::Registry::global().reset();
+  obs::Trace::global().clear();
+}
+BENCHMARK(BM_DiffModelsObsEnabled)->Iterations(5000);
 
 std::vector<of::FlowSequence> migration_runs(int n) {
   const auto services = bench_services();

@@ -2,7 +2,37 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace flowdiff::ctrl {
+
+namespace {
+
+struct ControllerMetrics {
+  obs::Counter& packet_in =
+      obs::Registry::global().counter("ctrl.packet_in");
+  obs::Counter& flow_mod = obs::Registry::global().counter("ctrl.flow_mod");
+  obs::Counter& packet_out =
+      obs::Registry::global().counter("ctrl.packet_out");
+  obs::Counter& flow_removed =
+      obs::Registry::global().counter("ctrl.flow_removed");
+  obs::Counter& no_route = obs::Registry::global().counter("ctrl.no_route");
+  obs::Counter& stats_replies =
+      obs::Registry::global().counter("ctrl.stats_replies");
+  obs::Counter& proactive_rules =
+      obs::Registry::global().counter("ctrl.proactive_rules");
+  /// Queueing + processing per PacketIn, in sim-time microseconds — the
+  /// controller-side view of what FlowDiff measures as CRT.
+  obs::LatencyHistogram& service_us =
+      obs::Registry::global().histogram("ctrl.service_time_us", 50.0);
+};
+
+ControllerMetrics& metrics() {
+  static ControllerMetrics m;
+  return m;
+}
+
+}  // namespace
 
 Controller::Controller(sim::Network& net, ControllerId id,
                        ControllerConfig config)
@@ -19,6 +49,8 @@ void Controller::handle_packet_in(const of::PacketIn& msg) {
   const SimTime start = std::max(arrival, busy_until_);
   const SimTime done = start + static_cast<SimDuration>(proc);
   busy_until_ = done;
+  metrics().packet_in.inc();
+  metrics().service_us.observe(static_cast<double>(done - arrival));
 
   net_.events().schedule(done, [this, msg] { decide(msg); });
 }
@@ -28,6 +60,7 @@ void Controller::decide(const of::PacketIn& msg) {
   const auto& topo = net_.topology();
   const auto dst = topo.host_by_ip(msg.key.dst_ip);
   if (!dst) {
+    metrics().no_route.inc();
     net_.drop_buffered(msg.flow_uid, msg.sw);
     return;
   }
@@ -36,11 +69,13 @@ void Controller::decide(const of::PacketIn& msg) {
   // when the network actually does.
   const auto next = topo.next_hop(msg.sw.value, dst->value);
   if (!next) {
+    metrics().no_route.inc();
     net_.drop_buffered(msg.flow_uid, msg.sw);
     return;
   }
   const sim::Link* link = topo.link_between(msg.sw.value, *next);
   if (link == nullptr) {
+    metrics().no_route.inc();
     net_.drop_buffered(msg.flow_uid, msg.sw);
     return;
   }
@@ -59,10 +94,13 @@ void Controller::decide(const of::PacketIn& msg) {
   log_.append(of::ControlEvent{now, id_, mod});
   log_.append(of::ControlEvent{
       now, id_, of::PacketOut{msg.sw, mod.out_port, msg.key, msg.flow_uid}});
+  metrics().flow_mod.inc();
+  metrics().packet_out.inc();
   net_.send_flow_mod(mod);
 }
 
 void Controller::handle_flow_removed(const of::FlowRemoved& msg) {
+  metrics().flow_removed.inc();
   log_.append(of::ControlEvent{net_.now(), id_, msg});
 }
 
@@ -71,6 +109,7 @@ void Controller::start_stats_polling(SimDuration interval, SimTime until) {
   net_.events().schedule_in(interval, [this, interval, until] {
     for (const SwitchId sw : net_.topology().of_switches()) {
       for (auto& reply : net_.read_stats(sw)) {
+        metrics().stats_replies.inc();
         // Replies arrive one control-latency later.
         log_.append(of::ControlEvent{
             net_.now() + net_.config().control_latency, id_,
@@ -99,6 +138,7 @@ void Controller::install_proactive_rules() {
         entry.priority = 1;
         entry.idle_timeout = 0;  // Permanent.
         entry.hard_timeout = 0;
+        metrics().proactive_rules.inc();
         net_.install_entry_now(SwitchId{path[i]}, entry);
       }
     }

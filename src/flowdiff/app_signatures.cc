@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+
+#include "obs/trace.h"
 
 namespace flowdiff::core {
 
@@ -61,6 +64,10 @@ GroupSignatures extract_group_signatures(const ParsedLog& log,
   }
 
   // --- CG + CI + FS flow counts -----------------------------------------
+  // One span per signature family; emplace/reset brackets the sections
+  // without disturbing the shared locals they build up.
+  std::optional<obs::Span> family_span;
+  family_span.emplace("model/sig/CG+CI");
   std::map<HostEdge, std::uint64_t> edge_flows;
   for (const auto& tf : starts) {
     const HostEdge e{tf.key.src_ip, tf.key.dst_ip};
@@ -83,6 +90,7 @@ GroupSignatures extract_group_signatures(const ParsedLog& log,
   }
 
   // --- FS byte/duration stats from FlowRemoved ---------------------------
+  family_span.emplace("model/sig/FS");
   for (const auto& rec : log.removed) {
     if (!members.contains(rec.key.src_ip) ||
         !members.contains(rec.key.dst_ip)) {
@@ -108,6 +116,7 @@ GroupSignatures extract_group_signatures(const ParsedLog& log,
   }
 
   // --- DD: delays between in-flows and subsequent out-flows ---------------
+  family_span.emplace("model/sig/DD");
   // Index flow starts per edge for pairing.
   std::map<HostEdge, std::vector<SimTime>> starts_by_edge;
   for (const auto& tf : starts) {
@@ -150,6 +159,7 @@ GroupSignatures extract_group_signatures(const ParsedLog& log,
   }
 
   // --- PC: correlation of per-epoch counts on adjacent edges --------------
+  family_span.emplace("model/sig/PC");
   if (!starts.empty() && log.end > log.begin) {
     const auto epochs = static_cast<std::size_t>(
                             (log.end - log.begin) / config.pc_epoch) +

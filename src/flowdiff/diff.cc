@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+
+#include "obs/trace.h"
 
 namespace flowdiff::core {
 
@@ -61,7 +64,10 @@ SimTime edge_first_ts(const GroupModel& group, const HostEdge& e) {
 
 void diff_group(const GroupModel& base, const GroupModel& cur, int group_idx,
                 const DiffThresholds& t, std::vector<Change>& out) {
+  std::optional<obs::Span> family_span;
+
   // --- CG --------------------------------------------------------------
+  family_span.emplace("diff/CG");
   const auto cg_diff = base.sig.cg.diff(cur.sig.cg);
   for (const auto& e : cg_diff.added) {
     Change c;
@@ -88,6 +94,7 @@ void diff_group(const GroupModel& base, const GroupModel& cur, int group_idx,
   }
 
   // --- FS --------------------------------------------------------------
+  family_span.emplace("diff/FS");
   for (const auto& [edge, base_stats] : base.sig.fs.per_edge) {
     const auto it = cur.sig.fs.per_edge.find(edge);
     if (it == cur.sig.fs.per_edge.end()) continue;
@@ -153,6 +160,7 @@ void diff_group(const GroupModel& base, const GroupModel& cur, int group_idx,
   }
 
   // --- CI (chi-squared fitness; unstable nodes skipped) -----------------
+  family_span.emplace("diff/CI");
   for (const auto& [node, base_ci] : base.sig.ci.per_node) {
     if (base.unstable_ci_nodes.contains(node)) continue;
     const auto it = cur.sig.ci.per_node.find(node);
@@ -175,6 +183,7 @@ void diff_group(const GroupModel& base, const GroupModel& cur, int group_idx,
   }
 
   // --- DD (peak shift; unstable pairs skipped) ---------------------------
+  family_span.emplace("diff/DD");
   for (const auto& [pair, base_dd] : base.sig.dd.per_pair) {
     if (base.unstable_dd_pairs.contains(pair)) continue;
     const auto it = cur.sig.dd.per_pair.find(pair);
@@ -210,6 +219,7 @@ void diff_group(const GroupModel& base, const GroupModel& cur, int group_idx,
   }
 
   // --- PC ----------------------------------------------------------------
+  family_span.emplace("diff/PC");
   for (const auto& [pair, base_rho] : base.sig.pc.rho) {
     if (base.unstable_pc_pairs.contains(pair)) continue;
     const auto it = cur.sig.pc.rho.find(pair);
@@ -232,6 +242,13 @@ void diff_group(const GroupModel& base, const GroupModel& cur, int group_idx,
 std::vector<Change> diff_models(const BehaviorModel& baseline,
                                 const BehaviorModel& current,
                                 const DiffThresholds& thresholds) {
+  const obs::Span span("diff");
+  static obs::LatencyHistogram& run_ms =
+      obs::Registry::global().histogram("diff.run_ms", 1.0);
+  const obs::ScopedTimer timer(run_ms);
+  static obs::Counter& runs = obs::Registry::global().counter("diff.runs");
+  runs.inc();
+
   std::vector<Change> out;
 
   // --- Application groups -------------------------------------------------
@@ -275,6 +292,8 @@ std::vector<Change> diff_models(const BehaviorModel& baseline,
   }
 
   // --- PT ------------------------------------------------------------------
+  std::optional<obs::Span> family_span;
+  family_span.emplace("diff/PT");
   const auto pt_diff = baseline.infra.pt.diff(current.infra.pt);
   // A host-attachment edge for a host the reference side never observed is
   // new *visibility*, not a topology change (the link existed all along);
@@ -335,6 +354,7 @@ std::vector<Change> diff_models(const BehaviorModel& baseline,
   }
 
   // --- ISL -------------------------------------------------------------------
+  family_span.emplace("diff/ISL");
   for (const auto& [pair, base_stats] : baseline.infra.isl.latency_ms) {
     const auto it = current.infra.isl.latency_ms.find(pair);
     if (it == current.infra.isl.latency_ms.end()) continue;
@@ -362,6 +382,7 @@ std::vector<Change> diff_models(const BehaviorModel& baseline,
   }
 
   // --- Polled utilization ---------------------------------------------------
+  family_span.emplace("diff/UTIL");
   for (const auto& [sw, base_load] : baseline.infra.load.mbps) {
     const auto it = current.infra.load.mbps.find(sw);
     if (it == current.infra.load.mbps.end()) continue;
@@ -386,6 +407,7 @@ std::vector<Change> diff_models(const BehaviorModel& baseline,
 
   // --- CRT --------------------------------------------------------------------
   {
+    family_span.emplace("diff/CRT");
     const auto& base_crt = baseline.infra.crt.response_ms;
     const auto& cur_crt = current.infra.crt.response_ms;
     if (base_crt.count() >= thresholds.min_samples &&
@@ -402,6 +424,19 @@ std::vector<Change> diff_models(const BehaviorModel& baseline,
         c.components = {ComponentRef{"controller", {}}};
         out.push_back(std::move(c));
       }
+    }
+  }
+  family_span.reset();
+
+  // Per-family change counters ("diff.changes.CG", ...), plus the total.
+  static obs::Counter& total =
+      obs::Registry::global().counter("diff.changes.total");
+  total.inc(out.size());
+  if (obs::enabled()) {
+    for (const auto& change : out) {
+      obs::Registry::global()
+          .counter(std::string("diff.changes.") + to_string(change.kind))
+          .inc();
     }
   }
 

@@ -1,5 +1,7 @@
 #include "flowdiff/flowdiff.h"
 
+#include "obs/trace.h"
+
 namespace flowdiff::core {
 
 void FlowDiffConfig::set_special_nodes(std::set<Ipv4> nodes) {
@@ -17,23 +19,38 @@ BehaviorModel FlowDiff::model(const of::ControlLog& log) const {
 DiffReport FlowDiff::diff(const BehaviorModel& baseline,
                           const BehaviorModel& current,
                           const std::vector<TaskAutomaton>& tasks) const {
+  const obs::Span report_span("report");
   DiffReport report;
   report.changes = diff_models(baseline, current, config_.thresholds);
 
   if (!tasks.empty()) {
+    const obs::Span span("diff/tasks");
     const TaskDetector detector(tasks, config_.detector);
     report.detected_tasks = detector.detect(current.flow_starts);
   }
 
-  const ValidatedChanges validated = validate_changes(
-      report.changes, report.detected_tasks, config_.validation);
-  report.known = validated.known;
-  report.known_explanations = validated.explanations;
-  report.unknown = validated.unknown;
+  {
+    const obs::Span span("diff/validate");
+    const ValidatedChanges validated = validate_changes(
+        report.changes, report.detected_tasks, config_.validation);
+    report.known = validated.known;
+    report.known_explanations = validated.explanations;
+    report.unknown = validated.unknown;
+  }
 
-  report.matrix = build_dependency_matrix(report.unknown);
-  report.problems = classify(report.matrix, report.unknown);
-  report.component_ranking = rank_components(report.unknown);
+  static obs::Counter& known =
+      obs::Registry::global().counter("diff.changes.known");
+  static obs::Counter& unknown =
+      obs::Registry::global().counter("diff.changes.unknown");
+  known.inc(report.known.size());
+  unknown.inc(report.unknown.size());
+
+  {
+    const obs::Span span("diff/diagnose");
+    report.matrix = build_dependency_matrix(report.unknown);
+    report.problems = classify(report.matrix, report.unknown);
+    report.component_ranking = rank_components(report.unknown);
+  }
   return report;
 }
 

@@ -1,5 +1,9 @@
 #include "flowdiff/infra_signatures.h"
 
+#include <optional>
+
+#include "obs/trace.h"
+
 namespace flowdiff::core {
 
 PtNode pt_host_node(Ipv4 ip) { return "host:" + ip.to_string(); }
@@ -18,6 +22,9 @@ PhysicalTopologySig::Diff PhysicalTopologySig::diff(
 
 InfraSignatures extract_infra_signatures(const ParsedLog& log) {
   InfraSignatures out;
+  // PT and ISL are inferred from the same hop walk, so they share a span.
+  std::optional<obs::Span> family_span;
+  family_span.emplace("model/sig/PT+ISL");
 
   // Physical adjacency is undirected; canonicalize edge order so the same
   // link inferred from either flow direction is one edge.
@@ -75,10 +82,12 @@ InfraSignatures extract_infra_signatures(const ParsedLog& log) {
     }
   }
 
+  family_span.emplace("model/sig/CRT");
   for (const double ms : log.crt_samples_ms) out.crt.response_ms.add(ms);
 
   // Polled utilization: samples from one poll share (sw, ts); each poll
   // contributes one throughput estimate per switch.
+  family_span.emplace("model/sig/UTIL");
   std::map<std::pair<std::uint32_t, SimTime>, double> per_poll_bps;
   for (const auto& sample : log.stats) {
     if (sample.age <= 0) continue;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace flowdiff::core {
 
 namespace {
@@ -117,14 +119,30 @@ void analyze_stability(const ParsedLog& parsed, const ModelConfig& config,
 
 BehaviorModel build_model(const of::ControlLog& log,
                           const ModelConfig& config) {
+  obs::Span span("model");
+  static obs::LatencyHistogram& build_ms =
+      obs::Registry::global().histogram("model.build_ms", 5.0);
+  const obs::ScopedTimer timer(build_ms);
+
   BehaviorModel model;
-  const ParsedLog parsed = parse_log(log);
+  const ParsedLog parsed = [&log] {
+    const obs::Span parse_span("model/parse");
+    return parse_log(log);
+  }();
   model.begin = parsed.begin;
   model.end = parsed.end;
   model.flow_starts = parsed.flow_starts();
 
-  const AppGroups groups =
-      discover_groups(model.flow_starts, config.special_nodes);
+  static obs::Counter& builds = obs::Registry::global().counter("model.builds");
+  static obs::Counter& events =
+      obs::Registry::global().counter("model.events_consumed");
+  builds.inc();
+  events.inc(log.size());
+
+  const AppGroups groups = [&] {
+    const obs::Span groups_span("model/groups");
+    return discover_groups(model.flow_starts, config.special_nodes);
+  }();
 
   // Partition the log per group up front so modeling stays linear in the
   // log size no matter how many applications run (the paper's sub-linear
@@ -155,15 +173,24 @@ BehaviorModel build_model(const of::ControlLog& log,
   }
 
   model.groups.reserve(groups.groups.size());
-  for (std::size_t g = 0; g < groups.groups.size(); ++g) {
-    GroupModel gm;
-    gm.sig = extract_group_signatures(per_group[g], groups.groups[g],
-                                      config.app);
-    analyze_stability(per_group[g], config, gm);
-    model.groups.push_back(std::move(gm));
+  {
+    const obs::Span sig_span("model/signatures");
+    for (std::size_t g = 0; g < groups.groups.size(); ++g) {
+      GroupModel gm;
+      gm.sig = extract_group_signatures(per_group[g], groups.groups[g],
+                                        config.app);
+      {
+        const obs::Span stability_span("model/stability");
+        analyze_stability(per_group[g], config, gm);
+      }
+      model.groups.push_back(std::move(gm));
+    }
   }
 
-  model.infra = extract_infra_signatures(parsed);
+  {
+    const obs::Span infra_span("model/infra");
+    model.infra = extract_infra_signatures(parsed);
+  }
   return model;
 }
 

@@ -1,6 +1,46 @@
 #include "flowdiff/monitor.h"
 
+#include <chrono>
+#include <map>
+
+#include "obs/trace.h"
+
 namespace flowdiff::core {
+
+namespace {
+
+struct MonitorMetrics {
+  obs::Counter& windows =
+      obs::Registry::global().counter("monitor.windows");
+  obs::Counter& alarms = obs::Registry::global().counter("monitor.alarms");
+  obs::Counter& clean = obs::Registry::global().counter("monitor.clean");
+  obs::Counter& rebaselines =
+      obs::Registry::global().counter("monitor.rebaselines");
+  obs::Counter& events = obs::Registry::global().counter("monitor.events");
+  obs::LatencyHistogram& window_ms =
+      obs::Registry::global().histogram("monitor.window_ms", 5.0);
+  obs::LatencyHistogram& events_per_window =
+      obs::Registry::global().histogram("monitor.events_per_window", 100.0);
+};
+
+MonitorMetrics& metrics() {
+  static MonitorMetrics m;
+  return m;
+}
+
+/// "CG:1 DD:2" summary of the unknown changes behind an alarm.
+std::string family_breakdown(const std::vector<Change>& changes) {
+  std::map<std::string, int> per_family;
+  for (const auto& change : changes) ++per_family[to_string(change.kind)];
+  std::string out;
+  for (const auto& [family, count] : per_family) {
+    if (!out.empty()) out += ' ';
+    out += family + ":" + std::to_string(count);
+  }
+  return out;
+}
+
+}  // namespace
 
 SlidingMonitor::SlidingMonitor(MonitorConfig config)
     : config_(std::move(config)), flowdiff_(config_.flowdiff) {}
@@ -30,24 +70,73 @@ void SlidingMonitor::close_window(SimTime window_end) {
   of::ControlLog window_log = std::move(current_);
   current_ = of::ControlLog{};
   if (window_log.empty()) return;  // Idle window: nothing to model.
+
+  const obs::Span span("monitor/window");
+  const auto wall_start = std::chrono::steady_clock::now();
+  WindowAudit audit;
+  audit.index = windows_;
+  audit.window_begin = begin;
+  audit.window_end = window_end;
+  audit.events = window_log.size();
   ++windows_;
+  metrics().windows.inc();
+  metrics().events.inc(window_log.size());
+  metrics().events_per_window.observe(
+      static_cast<double>(window_log.size()));
 
   BehaviorModel model = flowdiff_.model(window_log);
   if (!baseline_) {
     baseline_ = std::move(model);
     baseline_begin_ = begin;
+    audit.baseline_capture = true;
+    audit.decision = "adopted as baseline (first non-idle window)";
+    finish_audit(std::move(audit), wall_start);
     return;
   }
 
   DiffReport report = flowdiff_.diff(*baseline_, model, config_.tasks);
   const bool clean = report.clean();
+  audit.changes = report.changes.size();
+  audit.known = report.known.size();
+  audit.unknown = report.unknown.size();
   if (!clean) {
+    audit.alarmed = true;
+    audit.decision =
+        "ALARM: " + std::to_string(report.unknown.size()) +
+        " unknown change(s) [" + family_breakdown(report.unknown) + "]";
+    if (!report.known.empty()) {
+      audit.decision += ", " + std::to_string(report.known.size()) +
+                        " task-explained";
+    }
+    metrics().alarms.inc();
     alarms_.push_back(MonitorAlarm{begin, window_end, std::move(report)});
+  } else {
+    metrics().clean.inc();
+    if (report.changes.empty()) {
+      audit.decision = "clean: no signature changes vs baseline";
+    } else {
+      audit.decision = "clean: " + std::to_string(report.known.size()) +
+                       " change(s) all explained by operator tasks [" +
+                       family_breakdown(report.known) + "]";
+    }
   }
   if (clean && config_.rolling_baseline) {
     baseline_ = std::move(model);
     baseline_begin_ = begin;
+    audit.rebaselined = true;
+    audit.decision += "; baseline rolled forward";
+    metrics().rebaselines.inc();
   }
+  finish_audit(std::move(audit), wall_start);
+}
+
+void SlidingMonitor::finish_audit(
+    WindowAudit audit, std::chrono::steady_clock::time_point wall_start) {
+  const std::chrono::duration<double, std::milli> wall =
+      std::chrono::steady_clock::now() - wall_start;
+  audit.wall_ms = wall.count();
+  metrics().window_ms.observe(audit.wall_ms);
+  audits_.push_back(std::move(audit));
 }
 
 }  // namespace flowdiff::core

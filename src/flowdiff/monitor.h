@@ -9,7 +9,9 @@
 // slow legitimate drift (growing workload) is absorbed.
 #pragma once
 
+#include <chrono>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "flowdiff/flowdiff.h"
@@ -31,6 +33,25 @@ struct MonitorAlarm {
   DiffReport report;
 };
 
+/// Per-window audit record: why the monitor alarmed (or stayed silent) on
+/// each window it processed. One entry per processed window, in order —
+/// the structured counterpart of the alarm stream, and the paper's
+/// "frequently building behavioral models" made accountable.
+struct WindowAudit {
+  std::size_t index = 0;       ///< Processed-window index (0 = baseline).
+  SimTime window_begin = 0;
+  SimTime window_end = 0;
+  std::size_t events = 0;      ///< Control events modeled in this window.
+  double wall_ms = 0.0;        ///< Wall time spent modeling + diffing.
+  bool baseline_capture = false;  ///< Window was adopted as the baseline.
+  bool alarmed = false;
+  bool rebaselined = false;    ///< Clean window rolled the baseline forward.
+  std::size_t changes = 0;     ///< Raw signature changes found.
+  std::size_t known = 0;       ///< Task-explained changes.
+  std::size_t unknown = 0;     ///< Changes that raised (or would raise) alarm.
+  std::string decision;        ///< Human-readable explanation.
+};
+
 class SlidingMonitor {
  public:
   explicit SlidingMonitor(MonitorConfig config);
@@ -50,6 +71,10 @@ class SlidingMonitor {
   [[nodiscard]] const std::vector<MonitorAlarm>& alarms() const {
     return alarms_;
   }
+  /// One audit record per processed window, explaining its outcome.
+  [[nodiscard]] const std::vector<WindowAudit>& audits() const {
+    return audits_;
+  }
   [[nodiscard]] std::size_t windows_processed() const { return windows_; }
   [[nodiscard]] SimTime baseline_captured_at() const {
     return baseline_begin_;
@@ -57,6 +82,9 @@ class SlidingMonitor {
 
  private:
   void close_window(SimTime window_end);
+  /// Stamps the wall time onto the audit record and files it.
+  void finish_audit(WindowAudit audit,
+                    std::chrono::steady_clock::time_point wall_start);
 
   MonitorConfig config_;
   FlowDiff flowdiff_;
@@ -65,6 +93,7 @@ class SlidingMonitor {
   of::ControlLog current_;
   SimTime window_start_ = -1;
   std::vector<MonitorAlarm> alarms_;
+  std::vector<WindowAudit> audits_;
   std::size_t windows_ = 0;
 };
 

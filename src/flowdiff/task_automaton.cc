@@ -4,7 +4,37 @@
 #include <map>
 #include <sstream>
 
+#include "obs/metrics.h"
+
 namespace flowdiff::core {
+
+namespace {
+
+struct DetectorMetrics {
+  obs::Counter& flows_scanned =
+      obs::Registry::global().counter("task.flows_scanned");
+  /// Token-against-flow match attempts: the detector's unit of work.
+  obs::Counter& transitions_evaluated =
+      obs::Registry::global().counter("task.transitions_evaluated");
+  obs::Counter& matchers_spawned =
+      obs::Registry::global().counter("task.matchers_spawned");
+  /// Matchers that timed out mid-task (no progress within the
+  /// interleaving threshold).
+  obs::Counter& matchers_expired =
+      obs::Registry::global().counter("task.matchers_expired");
+  obs::Counter& accepted =
+      obs::Registry::global().counter("task.occurrences_accepted");
+  /// Occurrences collapsed by the overlap de-duplication pass.
+  obs::Counter& deduped =
+      obs::Registry::global().counter("task.occurrences_deduped");
+};
+
+DetectorMetrics& detector_metrics() {
+  static DetectorMetrics m;
+  return m;
+}
+
+}  // namespace
 
 std::string TaskAutomaton::to_string() const {
   std::string out = "automaton '" + name + "'\n";
@@ -210,6 +240,7 @@ bool match_endpoint(const TokenEndpoint& pattern, Ipv4 ip, std::uint16_t port,
 
 bool match_token(const FlowToken& pattern, const of::FlowKey& key, Matcher& m,
                  const DetectorConfig& config) {
+  detector_metrics().transitions_evaluated.inc();
   if (pattern.proto != key.proto) return false;
   Matcher trial = m;
   if (!match_endpoint(pattern.src, key.src_ip, key.src_port, trial, config) ||
@@ -244,6 +275,7 @@ std::vector<TaskOccurrence> TaskDetector::detect(
       occ.end = ts;
       occ.involved.assign(m.involved.begin(), m.involved.end());
       occurrences.push_back(std::move(occ));
+      detector_metrics().accepted.inc();
       return;
     }
     for (int succ :
@@ -256,12 +288,14 @@ std::vector<TaskOccurrence> TaskDetector::detect(
   };
 
   for (const auto& flow : flows) {
+    detector_metrics().flows_scanned.inc();
     // Age out matchers that made no progress within the threshold.
     std::erase_if(active, [&](const Matcher& m) {
       if (flow.ts - m.last_progress <= config_.interleave_threshold) {
         return false;
       }
       --active_per_task[static_cast<std::size_t>(m.automaton)];
+      detector_metrics().matchers_expired.inc();
       return true;
     });
 
@@ -311,6 +345,7 @@ std::vector<TaskOccurrence> TaskDetector::detect(
         fresh.begin = flow.ts;
         fresh.last_progress = flow.ts;
         if (!match_token(seq[0], flow.key, fresh, config_)) continue;
+        detector_metrics().matchers_spawned.inc();
         fresh.involved.insert(flow.key.src_ip);
         fresh.involved.insert(flow.key.dst_ip);
         fresh.offset = 1;
@@ -345,6 +380,7 @@ std::vector<TaskOccurrence> TaskDetector::detect(
         });
     if (!duplicate) deduped.push_back(std::move(occ));
   }
+  detector_metrics().deduped.inc(occurrences.size() - deduped.size());
   return deduped;
 }
 

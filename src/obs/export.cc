@@ -1,0 +1,401 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/trace.h"
+#include "util/table.h"
+
+namespace flowdiff::obs {
+
+namespace {
+
+/// Shortest decimal form that re-parses to the same double, preferring
+/// plain fixed notation over scientific when no longer ("10", not "1e+01").
+std::string num(double v) {
+  char best[64];
+  std::snprintf(best, sizeof(best), "%.17g", v);
+  double parsed = 0.0;
+  for (int prec = 1; prec < 17; ++prec) {
+    char shorter[64];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+    if (std::sscanf(shorter, "%lf", &parsed) == 1 && parsed == v) {
+      std::memcpy(best, shorter, sizeof(best));
+      break;
+    }
+  }
+  if (std::strchr(best, 'e') != nullptr) {
+    for (int prec = 0; prec < 17; ++prec) {
+      char fixed[64];
+      const int len = std::snprintf(fixed, sizeof(fixed), "%.*f", prec, v);
+      if (len < 0 || static_cast<std::size_t>(len) >= sizeof(fixed) ||
+          static_cast<std::size_t>(len) > std::strlen(best)) {
+        break;
+      }
+      if (std::sscanf(fixed, "%lf", &parsed) == 1 && parsed == v) {
+        std::memcpy(best, fixed, sizeof(best));
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+std::string quote(std::string_view name) {
+  std::string out = "\"";
+  for (const char c : name) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Approximate quantile from fixed-width bins (midpoint of the bin where
+/// the cumulative count crosses q).
+double bin_quantile(const HistogramSnapshot& h, double q) {
+  if (h.count == 0) return 0.0;
+  const double target = q * static_cast<double>(h.count);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    seen += h.counts[i];
+    if (static_cast<double>(seen) >= target) {
+      return h.origin + h.bin_width * (static_cast<double>(i) + 0.5);
+    }
+  }
+  return h.max;
+}
+
+std::string prom_name(std::string_view prefix, std::string_view name) {
+  std::string out{prefix};
+  out += '_';
+  for (const char c : name) {
+    out += std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_';
+  }
+  return out;
+}
+
+// --- Minimal parser for render_json's output -------------------------------
+
+struct JsonParser {
+  std::string_view s;
+  std::size_t pos = 0;
+
+  void ws() {
+    while (pos < s.size() &&
+           std::isspace(static_cast<unsigned char>(s[pos])) != 0) {
+      ++pos;
+    }
+  }
+  bool eat(char c) {
+    ws();
+    if (pos >= s.size() || s[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+  bool peek(char c) {
+    ws();
+    return pos < s.size() && s[pos] == c;
+  }
+  std::optional<std::string> string() {
+    if (!eat('"')) return std::nullopt;
+    std::string out;
+    while (pos < s.size() && s[pos] != '"') {
+      if (s[pos] == '\\' && pos + 1 < s.size()) ++pos;
+      out += s[pos++];
+    }
+    if (!eat('"')) return std::nullopt;
+    return out;
+  }
+  std::optional<double> number() {
+    ws();
+    const std::size_t start = pos;
+    while (pos < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[pos])) != 0 ||
+            s[pos] == '-' || s[pos] == '+' || s[pos] == '.' ||
+            s[pos] == 'e' || s[pos] == 'E')) {
+      ++pos;
+    }
+    if (pos == start) return std::nullopt;
+    double value = 0.0;
+    if (std::sscanf(std::string(s.substr(start, pos - start)).c_str(), "%lf",
+                    &value) != 1) {
+      return std::nullopt;
+    }
+    return value;
+  }
+
+  /// Parses {"key": <number>, ...} into the given field map; every listed
+  /// key must appear. `counts` (if non-null) receives an optional
+  /// "counts": [..] array member.
+  bool fields(std::initializer_list<std::pair<const char*, double*>> wanted,
+              std::vector<std::uint64_t>* counts) {
+    if (!eat('{')) return false;
+    std::size_t found = 0;
+    if (!peek('}')) {
+      do {
+        const auto key = string();
+        if (!key || !eat(':')) return false;
+        if (counts != nullptr && *key == "counts") {
+          if (!eat('[')) return false;
+          if (!peek(']')) {
+            do {
+              const auto v = number();
+              if (!v) return false;
+              counts->push_back(static_cast<std::uint64_t>(*v));
+            } while (eat(','));
+          }
+          if (!eat(']')) return false;
+          continue;
+        }
+        bool matched = false;
+        for (const auto& [name, slot] : wanted) {
+          if (*key == name) {
+            const auto v = number();
+            if (!v) return false;
+            *slot = *v;
+            matched = true;
+            ++found;
+            break;
+          }
+        }
+        if (!matched) return false;
+      } while (eat(','));
+    }
+    return eat('}') && found == wanted.size();
+  }
+};
+
+}  // namespace
+
+Snapshot snapshot() {
+  Snapshot snap = Registry::global().snapshot();
+  snap.spans = Trace::global().aggregates();
+  return snap;
+}
+
+std::string render_table(const Snapshot& snap) {
+  if (snap.empty()) {
+    return "observability: nothing recorded (enable with --stats/--trace or "
+           "obs::set_enabled)\n";
+  }
+  std::string out;
+  if (!snap.counters.empty()) {
+    TextTable t({"counter", "value"});
+    for (const auto& [name, value] : snap.counters) {
+      t.add_row({name, std::to_string(value)});
+    }
+    out += "== counters ==\n" + t.render();
+  }
+  if (!snap.gauges.empty()) {
+    TextTable t({"gauge", "value", "peak"});
+    for (const auto& [name, g] : snap.gauges) {
+      t.add_row({name, std::to_string(g.value), std::to_string(g.peak)});
+    }
+    if (!out.empty()) out += '\n';
+    out += "== gauges ==\n" + t.render();
+  }
+  if (!snap.histograms.empty()) {
+    TextTable t({"histogram", "count", "mean", "p50", "p95", "min", "max"});
+    for (const auto& [name, h] : snap.histograms) {
+      t.add_row({name, std::to_string(h.count), fmt_double(h.mean()),
+                 fmt_double(bin_quantile(h, 0.5)),
+                 fmt_double(bin_quantile(h, 0.95)), fmt_double(h.min),
+                 fmt_double(h.max)});
+    }
+    if (!out.empty()) out += '\n';
+    out += "== histograms ==\n" + t.render();
+  }
+  if (!snap.spans.empty()) {
+    TextTable t({"span", "count", "total_ms", "mean_ms", "max_ms"});
+    for (const auto& [name, s] : snap.spans) {
+      const double mean =
+          s.count == 0 ? 0.0 : s.total_ms / static_cast<double>(s.count);
+      t.add_row({name, std::to_string(s.count), fmt_double(s.total_ms),
+                 fmt_double(mean), fmt_double(s.max_ms)});
+    }
+    if (!out.empty()) out += '\n';
+    out += "== spans ==\n" + t.render();
+  }
+  return out;
+}
+
+std::string render_json(const Snapshot& snap) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    out += first ? "\n" : ",\n";
+    out += "    " + quote(name) + ": " + std::to_string(value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : snap.gauges) {
+    out += first ? "\n" : ",\n";
+    out += "    " + quote(name) + ": {\"value\": " + std::to_string(g.value) +
+           ", \"peak\": " + std::to_string(g.peak) + "}";
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    out += first ? "\n" : ",\n";
+    out += "    " + quote(name) + ": {\"bin_width\": " + num(h.bin_width) +
+           ", \"origin\": " + num(h.origin) +
+           ", \"count\": " + std::to_string(h.count) +
+           ", \"sum\": " + num(h.sum) + ", \"min\": " + num(h.min) +
+           ", \"max\": " + num(h.max) + ", \"counts\": [";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(h.counts[i]);
+    }
+    out += "]}";
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"spans\": {";
+  first = true;
+  for (const auto& [name, s] : snap.spans) {
+    out += first ? "\n" : ",\n";
+    out += "    " + quote(name) + ": {\"count\": " + std::to_string(s.count) +
+           ", \"total_ms\": " + num(s.total_ms) +
+           ", \"max_ms\": " + num(s.max_ms) + "}";
+    first = false;
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string render_prometheus(const Snapshot& snap, std::string_view prefix) {
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string metric = prom_name(prefix, name);
+    out += "# TYPE " + metric + " counter\n";
+    out += metric + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, g] : snap.gauges) {
+    const std::string metric = prom_name(prefix, name);
+    out += "# TYPE " + metric + " gauge\n";
+    out += metric + " " + std::to_string(g.value) + "\n";
+    out += "# TYPE " + metric + "_peak gauge\n";
+    out += metric + "_peak " + std::to_string(g.peak) + "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string metric = prom_name(prefix, name);
+    out += "# TYPE " + metric + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      cumulative += h.counts[i];
+      out += metric + "_bucket{le=\"" +
+             num(h.origin + h.bin_width * static_cast<double>(i + 1)) +
+             "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += metric + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += metric + "_sum " + num(h.sum) + "\n";
+    out += metric + "_count " + std::to_string(h.count) + "\n";
+  }
+  for (const auto& [name, s] : snap.spans) {
+    const std::string base{prefix};
+    out += base + "_span_count{span=" + quote(name) + "} " +
+           std::to_string(s.count) + "\n";
+    out += base + "_span_total_ms{span=" + quote(name) + "} " +
+           num(s.total_ms) + "\n";
+    out += base + "_span_max_ms{span=" + quote(name) + "} " + num(s.max_ms) +
+           "\n";
+  }
+  return out;
+}
+
+std::optional<Snapshot> parse_json(std::string_view text) {
+  JsonParser p{text};
+  Snapshot snap;
+  if (!p.eat('{')) return std::nullopt;
+
+  auto section = [&p](const char* expect) -> bool {
+    const auto key = p.string();
+    return key && *key == expect && p.eat(':') && p.eat('{');
+  };
+
+  if (!section("counters")) return std::nullopt;
+  if (!p.peek('}')) {
+    do {
+      const auto name = p.string();
+      if (!name || !p.eat(':')) return std::nullopt;
+      const auto value = p.number();
+      if (!value) return std::nullopt;
+      snap.counters.emplace_back(*name,
+                                 static_cast<std::uint64_t>(*value));
+    } while (p.eat(','));
+  }
+  if (!p.eat('}') || !p.eat(',')) return std::nullopt;
+
+  if (!section("gauges")) return std::nullopt;
+  if (!p.peek('}')) {
+    do {
+      const auto name = p.string();
+      if (!name || !p.eat(':')) return std::nullopt;
+      double value = 0.0;
+      double peak = 0.0;
+      if (!p.fields({{"value", &value}, {"peak", &peak}}, nullptr)) {
+        return std::nullopt;
+      }
+      snap.gauges.emplace_back(
+          *name, GaugeSnapshot{static_cast<std::int64_t>(value),
+                               static_cast<std::int64_t>(peak)});
+    } while (p.eat(','));
+  }
+  if (!p.eat('}') || !p.eat(',')) return std::nullopt;
+
+  if (!section("histograms")) return std::nullopt;
+  if (!p.peek('}')) {
+    do {
+      const auto name = p.string();
+      if (!name || !p.eat(':')) return std::nullopt;
+      HistogramSnapshot h;
+      double count = 0.0;
+      if (!p.fields({{"bin_width", &h.bin_width},
+                     {"origin", &h.origin},
+                     {"count", &count},
+                     {"sum", &h.sum},
+                     {"min", &h.min},
+                     {"max", &h.max}},
+                    &h.counts)) {
+        return std::nullopt;
+      }
+      h.count = static_cast<std::uint64_t>(count);
+      snap.histograms.emplace_back(*name, std::move(h));
+    } while (p.eat(','));
+  }
+  if (!p.eat('}') || !p.eat(',')) return std::nullopt;
+
+  if (!section("spans")) return std::nullopt;
+  if (!p.peek('}')) {
+    do {
+      const auto name = p.string();
+      if (!name || !p.eat(':')) return std::nullopt;
+      SpanAggregate s;
+      double count = 0.0;
+      if (!p.fields({{"count", &count},
+                     {"total_ms", &s.total_ms},
+                     {"max_ms", &s.max_ms}},
+                    nullptr)) {
+        return std::nullopt;
+      }
+      s.count = static_cast<std::uint64_t>(count);
+      snap.spans.emplace_back(*name, s);
+    } while (p.eat(','));
+  }
+  if (!p.eat('}') || !p.eat('}')) return std::nullopt;
+  return snap;
+}
+
+}  // namespace flowdiff::obs

@@ -1,0 +1,33 @@
+// Exporters for the observability snapshot.
+//
+// Three formats, one Snapshot:
+//  - render_table: aligned human-readable sections (util/table), what the
+//    CLI prints for a bare --stats;
+//  - render_json: a flat machine-readable object; parse_json() inverts it
+//    exactly (the obs tests round-trip through it);
+//  - render_prometheus: Prometheus text exposition (counters, gauges,
+//    cumulative histogram buckets, span summaries) for scraping.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace flowdiff::obs {
+
+/// Registry metrics plus span aggregates in one coherent Snapshot.
+[[nodiscard]] Snapshot snapshot();
+
+[[nodiscard]] std::string render_table(const Snapshot& snap);
+[[nodiscard]] std::string render_json(const Snapshot& snap);
+/// Metric names are sanitized (non-alphanumerics -> '_') and prefixed,
+/// e.g. "ctrl.packet_in" -> "flowdiff_ctrl_packet_in".
+[[nodiscard]] std::string render_prometheus(
+    const Snapshot& snap, std::string_view prefix = "flowdiff");
+
+/// Inverse of render_json; nullopt on malformed input.
+[[nodiscard]] std::optional<Snapshot> parse_json(std::string_view text);
+
+}  // namespace flowdiff::obs

@@ -1,0 +1,118 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace flowdiff::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void LatencyHistogram::observe(double value) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (hist_.total() == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  hist_.add(value);
+  sum_ += value;
+}
+
+std::uint64_t LatencyHistogram::count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return hist_.total();
+}
+
+HistogramSnapshot LatencyHistogram::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  HistogramSnapshot snap;
+  snap.bin_width = hist_.bin_width();
+  snap.origin = hist_.origin();
+  snap.count = hist_.total();
+  snap.sum = sum_;
+  snap.min = min_;
+  snap.max = max_;
+  snap.counts = hist_.counts();
+  while (!snap.counts.empty() && snap.counts.back() == 0) {
+    snap.counts.pop_back();
+  }
+  return snap;
+}
+
+void LatencyHistogram::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  hist_ = Histogram(hist_.bin_width(), hist_.origin());
+  sum_ = min_ = max_ = 0.0;
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+LatencyHistogram& Registry::histogram(std::string_view name, double bin_width,
+                                      double origin) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<LatencyHistogram>(bin_width, origin))
+             .first;
+  }
+  return *it->second;
+}
+
+Snapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name,
+                             GaugeSnapshot{gauge->value(), gauge->peak()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms.emplace_back(name, hist->snapshot());
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) counter->reset();
+  for (const auto& [name, gauge] : gauges_) gauge->reset();
+  for (const auto& [name, hist] : histograms_) hist->reset();
+}
+
+}  // namespace flowdiff::obs

@@ -1,0 +1,8 @@
+// Umbrella header for the observability layer: metrics registry, tracing
+// spans, and exporters. Instrumented modules include only what they use;
+// consumers (CLI, tests) can take the whole thing.
+#pragma once
+
+#include "obs/export.h"   // IWYU pragma: export
+#include "obs/metrics.h"  // IWYU pragma: export
+#include "obs/trace.h"    // IWYU pragma: export

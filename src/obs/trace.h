@@ -1,0 +1,124 @@
+// RAII tracing spans with parent-child nesting.
+//
+// A Span measures one region of the pipeline (wall clock) and records it
+// into the global Trace buffer together with its parent, forming a tree:
+//
+//   obs::Span outer("model");
+//   { obs::Span inner("model/groups"); ... }   // child of "model"
+//
+// Nesting is tracked per thread. When observability is disabled
+// (obs::enabled() == false) constructing a Span is a single branch and
+// records nothing. The record buffer is bounded (kMaxRecords); overflow
+// increments dropped() but per-name aggregates keep accumulating, so
+// --stats totals stay exact even on long monitor runs.
+//
+// ScopedTimer is the histogram-only sibling: it feeds the elapsed wall
+// milliseconds into a LatencyHistogram without touching the span tree.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace flowdiff::obs {
+
+struct SpanRecord {
+  std::uint32_t id = 0;      ///< 1-based; 0 is "no parent" (root).
+  std::uint32_t parent = 0;
+  std::uint16_t depth = 0;
+  std::string name;
+  double start_ms = 0.0;     ///< Since the trace epoch (clear() resets it).
+  double duration_ms = 0.0;
+};
+
+class Trace {
+ public:
+  static constexpr std::size_t kMaxRecords = 65536;
+
+  static Trace& global();
+
+  /// Copies the closed-span records, in completion order.
+  [[nodiscard]] std::vector<SpanRecord> records() const;
+  /// Per-name aggregates (count/total/max), ordered by name.
+  [[nodiscard]] std::vector<std::pair<std::string, SpanAggregate>>
+  aggregates() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Drops all records and aggregates and restarts the epoch.
+  void clear();
+
+  // --- Span internals ----------------------------------------------------
+  std::uint32_t next_id();
+  [[nodiscard]] std::chrono::steady_clock::time_point epoch() const;
+  void close(std::string_view name, std::uint32_t id, std::uint32_t parent,
+             std::uint16_t depth, double start_ms, double duration_ms);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> records_;
+  std::map<std::string, SpanAggregate, std::less<>> aggregates_;
+  std::uint64_t dropped_ = 0;
+  std::atomic<std::uint32_t> next_id_{1};
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+};
+
+class Span {
+ public:
+  // The enabled() branch stays inline so a disabled Span costs one relaxed
+  // load; the bookkeeping lives out of line (trace.cc).
+  explicit Span(std::string_view name) {
+    if (enabled()) open(name);
+  }
+  ~Span() {
+    if (id_ != 0) close();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void open(std::string_view name);
+  void close();
+
+  std::uint32_t id_ = 0;  ///< 0: created while disabled; destructor no-op.
+  std::uint32_t parent_ = 0;
+  std::uint16_t depth_ = 0;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Feeds elapsed wall milliseconds into `hist` at scope exit.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(LatencyHistogram& hist)
+      : hist_(enabled() ? &hist : nullptr),
+        start_(hist_ ? std::chrono::steady_clock::now()
+                     : std::chrono::steady_clock::time_point{}) {}
+  ~ScopedTimer() {
+    if (hist_ == nullptr) return;
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - start_;
+    hist_->observe(elapsed.count());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  LatencyHistogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Renders the span tree ("--trace" output): indentation shows nesting,
+/// every line carries the span's wall duration and start offset.
+[[nodiscard]] std::string render_span_tree(
+    const std::vector<SpanRecord>& records);
+
+}  // namespace flowdiff::obs

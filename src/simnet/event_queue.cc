@@ -2,11 +2,24 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace flowdiff::sim {
+
+namespace {
+
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& gauge =
+      obs::Registry::global().gauge("sim.queue.depth");
+  return gauge;
+}
+
+}  // namespace
 
 void EventQueue::schedule(SimTime t, Callback fn) {
   if (t < now_) t = now_;
   queue_.push(Item{t, next_seq_++, std::move(fn)});
+  queue_depth_gauge().set(static_cast<std::int64_t>(queue_.size()));
 }
 
 bool EventQueue::step() {
@@ -15,6 +28,10 @@ bool EventQueue::step() {
   Item item = std::move(const_cast<Item&>(queue_.top()));
   queue_.pop();
   now_ = item.time;
+  static obs::Counter& dispatched =
+      obs::Registry::global().counter("sim.events.dispatched");
+  dispatched.inc();
+  queue_depth_gauge().set(static_cast<std::int64_t>(queue_.size()));
   item.fn();
   return true;
 }

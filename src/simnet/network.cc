@@ -3,7 +3,33 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace flowdiff::sim {
+
+namespace {
+
+struct NetMetrics {
+  obs::Counter& flows_started =
+      obs::Registry::global().counter("sim.flows.started");
+  obs::Counter& flows_delivered =
+      obs::Registry::global().counter("sim.flows.delivered");
+  obs::Counter& flows_failed =
+      obs::Registry::global().counter("sim.flows.failed");
+  obs::Counter& packet_in =
+      obs::Registry::global().counter("sim.packet_in.emitted");
+  obs::Counter& rules_installed =
+      obs::Registry::global().counter("sim.rules.installed");
+  obs::Counter& flow_removed =
+      obs::Registry::global().counter("sim.flow_removed.emitted");
+};
+
+NetMetrics& metrics() {
+  static NetMetrics m;
+  return m;
+}
+
+}  // namespace
 
 Network::Network(Topology topology, NetworkConfig config)
     : topology_(std::move(topology)), config_(config), rng_(config.seed) {
@@ -29,6 +55,7 @@ void Network::emit_flow_removed(SwitchId sw, const of::FlowEntry& entry,
   msg.duration = events_.now() - entry.install_time;
   msg.byte_count = entry.byte_count;
   msg.packet_count = entry.packet_count;
+  metrics().flow_removed.inc();
   const SimDuration delay =
       sample_proc_delay(it->second.profile) + config_.control_latency;
   events_.schedule_in(delay, [this, msg] {
@@ -74,6 +101,7 @@ std::uint64_t Network::start_flow(FlowSpec spec) {
 
   const std::uint64_t uid = flow.uid;
   flows_.emplace(uid, std::move(flow));
+  metrics().flows_started.inc();
 
   const NodeIndex src_node = src->value;
   events_.schedule_in(config_.host_fwd_delay, [this, uid, src_node] {
@@ -192,6 +220,7 @@ void Network::packet_arrives(std::uint64_t uid, NodeIndex node,
       // Miss: buffer and notify the controller.
       state.buffered[uid] = in_port;
       ++packet_in_count_;
+      metrics().packet_in.inc();
       of::PacketIn msg;
       msg.sw = SwitchId{node};
       msg.in_port = in_port;
@@ -222,6 +251,7 @@ void Network::send_flow_mod(const of::FlowMod& mod) {
     entry.install_time = events_.now();
     entry.last_match_time = events_.now();
     entry.key = mod.key;
+    metrics().rules_installed.inc();
     if (const auto evicted = state.table.install(entry)) {
       emit_flow_removed(mod.sw, *evicted, of::RemovedReason::kDelete);
     }
@@ -371,6 +401,7 @@ void Network::end_flow(std::uint64_t uid) {
   FlowState* flow = find_flow(uid);
   if (flow == nullptr || flow->done) return;
   flow->done = true;
+  metrics().flows_delivered.inc();
   for (LinkId id : flow->loaded_links) {
     Link& link = topology_.link(id);
     link.offered_bps = std::max(0.0, link.offered_bps - flow->rate_bps);
@@ -383,6 +414,7 @@ void Network::end_flow(std::uint64_t uid) {
 void Network::fail_flow(FlowState& flow) {
   if (flow.done) return;
   flow.done = true;
+  metrics().flows_failed.inc();
   for (LinkId id : flow.loaded_links) {
     Link& link = topology_.link(id);
     link.offered_bps = std::max(0.0, link.offered_bps - flow.rate_bps);

@@ -20,6 +20,7 @@ class Histogram {
   void add(double value);
 
   [[nodiscard]] double bin_width() const { return bin_width_; }
+  [[nodiscard]] double origin() const { return origin_; }
   [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
   [[nodiscard]] std::uint64_t count_at(std::size_t bin) const;
   [[nodiscard]] std::uint64_t total() const { return total_; }

@@ -121,6 +121,52 @@ TEST(SlidingMonitor, TaskSignaturesSuppressMigrationAlarm) {
   EXPECT_EQ(run_stream(true), 0u);    // Task-aware monitor stays silent.
 }
 
+TEST(SlidingMonitor, AuditTrailMatchesAlarmStream) {
+  exp::LabExperiment lab{exp::LabExperimentConfig{}};
+  SlidingMonitor monitor(monitor_config(lab));
+  monitor.feed(lab.run_window());  // Baseline.
+  monitor.flush();
+  monitor.feed(lab.run_window());  // Healthy.
+  monitor.flush();
+  faults::ServerSlowdownFault fault(lab.net(), lab.lab().host("S4"),
+                                    60 * kMillisecond, "logging");
+  monitor.feed(lab.run_window(&fault));  // Faulty.
+  monitor.flush();
+
+  const auto& audits = monitor.audits();
+  ASSERT_EQ(audits.size(), monitor.windows_processed());
+
+  // One audit per processed window, indexed in order, each with a verdict.
+  std::size_t alarmed = 0;
+  for (std::size_t i = 0; i < audits.size(); ++i) {
+    const WindowAudit& audit = audits[i];
+    EXPECT_EQ(audit.index, i);
+    EXPECT_GT(audit.events, 0u);
+    EXPECT_GE(audit.wall_ms, 0.0);
+    EXPECT_LT(audit.window_begin, audit.window_end);
+    EXPECT_FALSE(audit.decision.empty());
+    EXPECT_EQ(audit.changes, audit.known + audit.unknown);
+    if (audit.alarmed) ++alarmed;
+  }
+
+  // The first window is the baseline capture and never alarms.
+  EXPECT_TRUE(audits.front().baseline_capture);
+  EXPECT_FALSE(audits.front().alarmed);
+
+  // Alarmed audits correspond 1:1 with the alarm stream, in order.
+  ASSERT_EQ(alarmed, monitor.alarms().size());
+  std::size_t next_alarm = 0;
+  for (const auto& audit : audits) {
+    if (!audit.alarmed) continue;
+    const MonitorAlarm& alarm = monitor.alarms()[next_alarm++];
+    EXPECT_EQ(audit.window_begin, alarm.window_begin);
+    EXPECT_EQ(audit.window_end, alarm.window_end);
+    EXPECT_EQ(audit.unknown, alarm.report.unknown.size());
+    EXPECT_GT(audit.unknown, 0u);
+    EXPECT_NE(audit.decision.find("ALARM"), std::string::npos);
+  }
+}
+
 TEST(SlidingMonitor, IdleGapsSkipEmptyWindows) {
   // A long silent gap must not produce empty-window alarms.
   exp::LabExperiment lab{exp::LabExperimentConfig{}};

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Minimal CI for FlowDiff:
+#   1. tier-1 verify: configure, build, and run the full test suite;
+#   2. AddressSanitizer pass: rebuild with FLOWDIFF_SANITIZE=address and
+#      rerun ctest.
+#
+# Usage: tools/ci.sh [--skip-asan]
+# Run from anywhere; build trees land in <repo>/build-ci{,-asan}.
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+skip_asan=0
+[[ "${1:-}" == "--skip-asan" ]] && skip_asan=1
+
+run_suite() {
+  local build_dir="$1"
+  shift
+  cmake -B "$build_dir" -S "$repo" "$@"
+  cmake --build "$build_dir" -j "$jobs"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+}
+
+echo "== tier-1: build + ctest =="
+run_suite "$repo/build-ci"
+
+if [[ "$skip_asan" -eq 0 ]]; then
+  echo "== ASan: build + ctest (FLOWDIFF_SANITIZE=address) =="
+  run_suite "$repo/build-ci-asan" -DFLOWDIFF_SANITIZE=address
+fi
+
+echo "CI passed."

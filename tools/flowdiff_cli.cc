@@ -12,15 +12,23 @@
 // Control logs use the openflow/log_io.h text format; flow-sequence files
 // hold FLOW lines; automata use TaskAutomaton::serialize(). A services
 // file lists special-purpose node IPs, one per line.
+//
+// Every subcommand accepts the global flags --stats[=FILE] and
+// --trace[=FILE]: --stats dumps the metrics registry after the run
+// (format picked by FILE extension: .json, .prom, else a text table) and
+// --trace dumps the span tree. Without FILE both go to stderr.
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "flowdiff/flowdiff.h"
 #include "flowdiff/monitor.h"
+#include "obs/obs.h"
 #include "openflow/log_io.h"
+#include "util/table.h"
 
 namespace {
 
@@ -42,9 +50,86 @@ int usage() {
       "  flowdiff detect <automaton>... --in <capture.flows> "
       "[--services FILE]\n"
       "  flowdiff monitor <log> [--window SECONDS] [--services FILE] "
-      "[--task FILE]... [--rolling]\n",
+      "[--task FILE]... [--rolling]\n"
+      "global flags (any subcommand):\n"
+      "  --stats[=FILE]   dump metrics after the run (.json/.prom/table "
+      "by extension; default stderr)\n"
+      "  --trace[=FILE]   dump the tracing span tree (default stderr)\n"
+      "exit status: 0 ok/clean, 1 unknown changes or alarms (diff, "
+      "monitor), 2 usage or I/O error\n",
       stderr);
   return 2;
+}
+
+// --- observability plumbing (--stats / --trace) ---------------------------
+
+struct ObsOptions {
+  bool stats = false;
+  bool trace = false;
+  std::string stats_path;  // empty => stderr
+  std::string trace_path;  // empty => stderr
+};
+
+/// Strips --stats[=FILE] / --trace[=FILE] wherever they appear and enables
+/// the obs layer if either was present.
+ObsOptions extract_obs_options(std::vector<std::string>& args) {
+  ObsOptions opts;
+  std::vector<std::string> kept;
+  for (const auto& arg : args) {
+    if (arg == "--stats") {
+      opts.stats = true;
+    } else if (arg.rfind("--stats=", 0) == 0) {
+      opts.stats = true;
+      opts.stats_path = arg.substr(std::strlen("--stats="));
+    } else if (arg == "--trace") {
+      opts.trace = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      opts.trace = true;
+      opts.trace_path = arg.substr(std::strlen("--trace="));
+    } else {
+      kept.push_back(arg);
+    }
+  }
+  args = std::move(kept);
+  if (opts.stats || opts.trace) obs::set_enabled(true);
+  return opts;
+}
+
+bool has_suffix(const std::string& str, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return str.size() >= n && str.compare(str.size() - n, n, suffix) == 0;
+}
+
+int emit(const std::string& path, const std::string& text) {
+  if (path.empty()) {
+    std::fputs(text.c_str(), stderr);
+    return 0;
+  }
+  if (!of::write_file(path, text)) return fail("cannot write " + path);
+  return 0;
+}
+
+/// Dumps the metrics registry and/or span tree after the subcommand ran.
+/// Failures here degrade the exit code only if the run itself was clean.
+int dump_observability(const ObsOptions& opts) {
+  int rc = 0;
+  if (opts.stats) {
+    const obs::Snapshot snap = obs::snapshot();
+    std::string text;
+    if (has_suffix(opts.stats_path, ".json")) {
+      text = obs::render_json(snap);
+    } else if (has_suffix(opts.stats_path, ".prom")) {
+      text = obs::render_prometheus(snap);
+    } else {
+      text = obs::render_table(snap);
+    }
+    rc = emit(opts.stats_path, text);
+  }
+  if (opts.trace && rc == 0) {
+    rc = emit(opts.trace_path,
+              obs::render_span_tree(obs::Trace::global().records()));
+  }
+  return rc;
 }
 
 std::optional<std::set<Ipv4>> load_services(const std::string& path) {
@@ -305,6 +390,22 @@ int cmd_monitor(std::vector<std::string> args) {
               monitor.windows_processed(),
               to_seconds(monitor.baseline_captured_at()),
               monitor.alarms().size());
+  if (obs::enabled() && !monitor.audits().empty()) {
+    TextTable table({"#", "window", "events", "wall_ms", "chg", "known",
+                     "unk", "decision"});
+    for (const auto& audit : monitor.audits()) {
+      table.add_row({std::to_string(audit.index),
+                     "[" + fmt_double(to_seconds(audit.window_begin), 1) +
+                         "s, " +
+                         fmt_double(to_seconds(audit.window_end), 1) + "s)",
+                     std::to_string(audit.events),
+                     fmt_double(audit.wall_ms, 3),
+                     std::to_string(audit.changes),
+                     std::to_string(audit.known),
+                     std::to_string(audit.unknown), audit.decision});
+    }
+    std::printf("\nper-window audit trail:\n%s", table.render().c_str());
+  }
   for (const auto& alarm : monitor.alarms()) {
     std::printf("\n=== ALARM window [%.1fs, %.1fs] ===\n",
                 to_seconds(alarm.window_begin),
@@ -320,10 +421,23 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   std::vector<std::string> args(argv + 2, argv + argc);
-  if (command == "summary") return cmd_summary(args);
-  if (command == "diff") return cmd_diff(std::move(args));
-  if (command == "mine") return cmd_mine(std::move(args));
-  if (command == "detect") return cmd_detect(std::move(args));
-  if (command == "monitor") return cmd_monitor(std::move(args));
-  return usage();
+  const ObsOptions obs_opts = extract_obs_options(args);
+
+  int rc = 2;
+  if (command == "summary") {
+    rc = cmd_summary(args);
+  } else if (command == "diff") {
+    rc = cmd_diff(std::move(args));
+  } else if (command == "mine") {
+    rc = cmd_mine(std::move(args));
+  } else if (command == "detect") {
+    rc = cmd_detect(std::move(args));
+  } else if (command == "monitor") {
+    rc = cmd_monitor(std::move(args));
+  } else {
+    return usage();
+  }
+
+  const int obs_rc = dump_observability(obs_opts);
+  return rc != 0 ? rc : obs_rc;
 }
