@@ -134,6 +134,47 @@ void BM_DiffModelsObsEnabled(benchmark::State& state) {
 }
 BENCHMARK(BM_DiffModelsObsEnabled)->Iterations(5000);
 
+// The per-window telemetry cadence on top of the instrumented diff: one
+// registry-wide Sampler snapshot plus a recorder append per iteration.
+// Compare against BM_DiffModelsObsEnabled for the sampling surcharge.
+void BM_DiffModelsObsSampled(benchmark::State& state) {
+  const core::FlowDiff flowdiff{core::FlowDiffConfig{}};
+  const auto base = flowdiff.model(synth_log(2000));
+  const auto cur = flowdiff.model(synth_log(2000));
+  obs::set_enabled(true);
+  obs::Sampler sampler;
+  obs::FlightRecorder recorder;
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flowdiff.diff(base, cur));
+    sampler.sample(t += 1.0);
+    recorder.record(obs::Severity::kInfo, "bench", "window closed");
+    obs::Trace::global().clear();
+  }
+  obs::set_enabled(false);
+  obs::Registry::global().reset();
+  obs::Trace::global().clear();
+}
+BENCHMARK(BM_DiffModelsObsSampled)->Iterations(5000);
+
+// Disabled-path cost of the new telemetry entry points: with obs off,
+// sample() and record() must be a relaxed load and a branch — this variant
+// should read within noise of BM_DiffModels.
+void BM_DiffModelsSamplerDisabled(benchmark::State& state) {
+  const core::FlowDiff flowdiff{core::FlowDiffConfig{}};
+  const auto base = flowdiff.model(synth_log(2000));
+  const auto cur = flowdiff.model(synth_log(2000));
+  obs::Sampler sampler;
+  obs::FlightRecorder recorder;
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flowdiff.diff(base, cur));
+    sampler.sample(t += 1.0);
+    recorder.record(obs::Severity::kInfo, "bench", "window closed");
+  }
+}
+BENCHMARK(BM_DiffModelsSamplerDisabled)->Iterations(5000);
+
 std::vector<of::FlowSequence> migration_runs(int n) {
   const auto services = bench_services();
   Rng rng(11);

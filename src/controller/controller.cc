@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace flowdiff::ctrl {
@@ -57,11 +58,24 @@ void Controller::handle_packet_in(const of::PacketIn& msg) {
 
 void Controller::decide(const of::PacketIn& msg) {
   const SimTime now = net_.now();
+  // Dropped PacketIns are rare and always interesting: leave a structured
+  // breadcrumb with the reason so a run report can explain missing flows.
+  const auto note_drop = [&](const char* reason) {
+    metrics().no_route.inc();
+    if (obs::enabled()) {
+      obs::FlightRecorder::global().record(
+          obs::Severity::kWarn, "controller", "PacketIn dropped",
+          {{"reason", reason},
+           {"sw", std::to_string(msg.sw.value)},
+           {"dst", msg.key.dst_ip.to_string()}},
+          to_seconds(now));
+    }
+    net_.drop_buffered(msg.flow_uid, msg.sw);
+  };
   const auto& topo = net_.topology();
   const auto dst = topo.host_by_ip(msg.key.dst_ip);
   if (!dst) {
-    metrics().no_route.inc();
-    net_.drop_buffered(msg.flow_uid, msg.sw);
+    note_drop("unknown destination host");
     return;
   }
   // Deterministic routing (no per-flow ECMP): paths are stable across
@@ -69,14 +83,12 @@ void Controller::decide(const of::PacketIn& msg) {
   // when the network actually does.
   const auto next = topo.next_hop(msg.sw.value, dst->value);
   if (!next) {
-    metrics().no_route.inc();
-    net_.drop_buffered(msg.flow_uid, msg.sw);
+    note_drop("no route to destination");
     return;
   }
   const sim::Link* link = topo.link_between(msg.sw.value, *next);
   if (link == nullptr) {
-    metrics().no_route.inc();
-    net_.drop_buffered(msg.flow_uid, msg.sw);
+    note_drop("missing link to next hop");
     return;
   }
 

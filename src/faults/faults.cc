@@ -1,6 +1,23 @@
 #include "faults/faults.h"
 
+#include "obs/flight_recorder.h"
+
 namespace flowdiff::faults {
+
+namespace {
+
+/// Every injection/revert leaves a flight-recorder breadcrumb: the ground
+/// truth a run report can line up against the monitor's alarms. `sim_t`
+/// is the injection time in seconds (-1 when the injector has no clock).
+void note(const FaultInjector& fault, const char* action, double sim_t,
+          std::vector<std::pair<std::string, std::string>> fields = {}) {
+  if (!obs::enabled()) return;
+  obs::FlightRecorder::global().record(
+      obs::Severity::kInfo, "faults",
+      std::string(action) + " " + fault.name(), std::move(fields), sim_t);
+}
+
+}  // namespace
 
 LinkLossFault::LinkLossFault(sim::Network& net, std::vector<LinkId> links,
                              double rate)
@@ -12,12 +29,16 @@ void LinkLossFault::apply() {
     saved_.push_back(net_.topology().link(id).loss_rate);
     net_.set_link_loss(id, rate_);
   }
+  note(*this, "apply", to_seconds(net_.now()),
+       {{"links", std::to_string(links_.size())},
+        {"rate", std::to_string(rate_)}});
 }
 
 void LinkLossFault::revert() {
   for (std::size_t i = 0; i < links_.size() && i < saved_.size(); ++i) {
     net_.set_link_loss(links_[i], saved_[i]);
   }
+  note(*this, "revert", to_seconds(net_.now()));
 }
 
 ServerSlowdownFault::ServerSlowdownFault(sim::Network& net, HostId host,
@@ -26,28 +47,58 @@ ServerSlowdownFault::ServerSlowdownFault(sim::Network& net, HostId host,
 
 void ServerSlowdownFault::apply() {
   net_.set_host_extra_delay(host_, extra_);
+  note(*this, "apply", to_seconds(net_.now()),
+       {{"host", std::to_string(host_.value)},
+        {"extra_ms", std::to_string(to_millis(extra_))}});
 }
 
-void ServerSlowdownFault::revert() { net_.set_host_extra_delay(host_, 0); }
+void ServerSlowdownFault::revert() {
+  net_.set_host_extra_delay(host_, 0);
+  note(*this, "revert", to_seconds(net_.now()));
+}
 
 AppCrashFault::AppCrashFault(sim::Network& net, Ipv4 ip, std::uint16_t port)
     : net_(net), ip_(ip), port_(port) {}
 
-void AppCrashFault::apply() { net_.set_port_block(ip_, port_, true); }
-void AppCrashFault::revert() { net_.set_port_block(ip_, port_, false); }
+void AppCrashFault::apply() {
+  net_.set_port_block(ip_, port_, true);
+  note(*this, "apply", to_seconds(net_.now()),
+       {{"ip", ip_.to_string()}, {"port", std::to_string(port_)}});
+}
+
+void AppCrashFault::revert() {
+  net_.set_port_block(ip_, port_, false);
+  note(*this, "revert", to_seconds(net_.now()));
+}
 
 HostShutdownFault::HostShutdownFault(sim::Network& net, HostId host)
     : net_(net), host_(host) {}
 
-void HostShutdownFault::apply() { net_.set_node_up(host_.value, false); }
-void HostShutdownFault::revert() { net_.set_node_up(host_.value, true); }
+void HostShutdownFault::apply() {
+  net_.set_node_up(host_.value, false);
+  note(*this, "apply", to_seconds(net_.now()),
+       {{"host", std::to_string(host_.value)}});
+}
+
+void HostShutdownFault::revert() {
+  net_.set_node_up(host_.value, true);
+  note(*this, "revert", to_seconds(net_.now()));
+}
 
 FirewallBlockFault::FirewallBlockFault(sim::Network& net, Ipv4 ip,
                                        std::uint16_t port)
     : net_(net), ip_(ip), port_(port) {}
 
-void FirewallBlockFault::apply() { net_.set_port_block(ip_, port_, true); }
-void FirewallBlockFault::revert() { net_.set_port_block(ip_, port_, false); }
+void FirewallBlockFault::apply() {
+  net_.set_port_block(ip_, port_, true);
+  note(*this, "apply", to_seconds(net_.now()),
+       {{"ip", ip_.to_string()}, {"port", std::to_string(port_)}});
+}
+
+void FirewallBlockFault::revert() {
+  net_.set_port_block(ip_, port_, false);
+  note(*this, "revert", to_seconds(net_.now()));
+}
 
 BackgroundTrafficFault::BackgroundTrafficFault(sim::Network& net, HostId a,
                                                HostId b, double bps)
@@ -55,18 +106,30 @@ BackgroundTrafficFault::BackgroundTrafficFault(sim::Network& net, HostId a,
 
 void BackgroundTrafficFault::apply() {
   loaded_ = net_.add_background_load(a_, b_, bps_);
+  note(*this, "apply", to_seconds(net_.now()),
+       {{"links", std::to_string(loaded_.size())},
+        {"bps", std::to_string(bps_)}});
 }
 
 void BackgroundTrafficFault::revert() {
   net_.remove_background_load(loaded_, bps_);
   loaded_.clear();
+  note(*this, "revert", to_seconds(net_.now()));
 }
 
 SwitchFailureFault::SwitchFailureFault(sim::Network& net, SwitchId sw)
     : net_(net), sw_(sw) {}
 
-void SwitchFailureFault::apply() { net_.set_node_up(sw_.value, false); }
-void SwitchFailureFault::revert() { net_.set_node_up(sw_.value, true); }
+void SwitchFailureFault::apply() {
+  net_.set_node_up(sw_.value, false);
+  note(*this, "apply", to_seconds(net_.now()),
+       {{"switch", std::to_string(sw_.value)}});
+}
+
+void SwitchFailureFault::revert() {
+  net_.set_node_up(sw_.value, true);
+  note(*this, "revert", to_seconds(net_.now()));
+}
 
 ControllerOverloadFault::ControllerOverloadFault(ctrl::Controller& controller,
                                                  double factor)
@@ -74,10 +137,12 @@ ControllerOverloadFault::ControllerOverloadFault(ctrl::Controller& controller,
 
 void ControllerOverloadFault::apply() {
   controller_.set_overload_factor(factor_);
+  note(*this, "apply", -1.0, {{"factor", std::to_string(factor_)}});
 }
 
 void ControllerOverloadFault::revert() {
   controller_.set_overload_factor(1.0);
+  note(*this, "revert", -1.0);
 }
 
 UnauthorizedAccessFault::UnauthorizedAccessFault(sim::Network& net,
@@ -97,6 +162,10 @@ UnauthorizedAccessFault::UnauthorizedAccessFault(sim::Network& net,
 void UnauthorizedAccessFault::apply() {
   const Ipv4 src = net_.topology().host(intruder_).ip;
   const Ipv4 dst = net_.topology().host(victim_).ip;
+  note(*this, "apply", to_seconds(begin_),
+       {{"intruder", src.to_string()},
+        {"victim", dst.to_string()},
+        {"port", std::to_string(port_)}});
   const SimDuration span = end_ - begin_;
   for (std::size_t i = 0; i < flow_count_; ++i) {
     const SimTime at =

@@ -1,6 +1,7 @@
 #include "flowdiff/diagnosis.h"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace flowdiff::core {
 
@@ -250,6 +251,34 @@ std::vector<std::pair<std::string, int>> rank_components(
                      return a.first < b.first;
                    });
   return ranked;
+}
+
+std::string render_diagnosis_summary(const std::vector<Change>& unknown,
+                                     std::size_t top_classes,
+                                     std::size_t top_components) {
+  if (unknown.empty()) return "no unknown changes: nothing to diagnose\n";
+  const DependencyMatrix matrix = build_dependency_matrix(unknown);
+  std::string out = matrix.render();
+  const auto scores = classify(matrix, unknown);
+  if (!scores.empty()) {
+    out += "likely problem classes:\n";
+    for (std::size_t i = 0; i < scores.size() && i < top_classes; ++i) {
+      char line[96];
+      std::snprintf(line, sizeof(line), "  %zu. %s (score %.2f)\n", i + 1,
+                    to_string(scores[i].cls), scores[i].score);
+      out += line;
+    }
+  }
+  const auto components = rank_components(unknown);
+  if (!components.empty()) {
+    out += "most implicated components:\n";
+    for (std::size_t i = 0; i < components.size() && i < top_components;
+         ++i) {
+      out += "  " + components[i].first + " (" +
+             std::to_string(components[i].second) + " change(s))\n";
+    }
+  }
+  return out;
 }
 
 }  // namespace flowdiff::core

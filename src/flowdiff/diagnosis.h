@@ -71,4 +71,11 @@ std::vector<ProblemScore> classify(const DependencyMatrix& matrix,
 std::vector<std::pair<std::string, int>> rank_components(
     const std::vector<Change>& unknown);
 
+/// Compact multi-line text summary of a full diagnosis pass over `unknown`:
+/// the dependency matrix, the top-scored problem classes, and the
+/// most-implicated components. Shared by the CLI and `flowdiff report`.
+[[nodiscard]] std::string render_diagnosis_summary(
+    const std::vector<Change>& unknown, std::size_t top_classes = 3,
+    std::size_t top_components = 5);
+
 }  // namespace flowdiff::core

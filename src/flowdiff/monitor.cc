@@ -3,6 +3,8 @@
 #include <chrono>
 #include <map>
 
+#include "obs/flight_recorder.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace flowdiff::core {
@@ -21,6 +23,8 @@ struct MonitorMetrics {
       obs::Registry::global().histogram("monitor.window_ms", 5.0);
   obs::LatencyHistogram& events_per_window =
       obs::Registry::global().histogram("monitor.events_per_window", 100.0);
+  obs::Gauge& audits_dropped =
+      obs::Registry::global().gauge("monitor.audits_dropped");
 };
 
 MonitorMetrics& metrics() {
@@ -90,6 +94,11 @@ void SlidingMonitor::close_window(SimTime window_end) {
     baseline_begin_ = begin;
     audit.baseline_capture = true;
     audit.decision = "adopted as baseline (first non-idle window)";
+    if (obs::enabled()) {
+      obs::FlightRecorder::global().record(
+          obs::Severity::kInfo, "monitor", "baseline adopted",
+          {{"events", std::to_string(audit.events)}}, to_seconds(begin));
+    }
     finish_audit(std::move(audit), wall_start);
     return;
   }
@@ -109,6 +118,13 @@ void SlidingMonitor::close_window(SimTime window_end) {
                         " task-explained";
     }
     metrics().alarms.inc();
+    if (obs::enabled()) {
+      obs::FlightRecorder::global().record(
+          obs::Severity::kWarn, "monitor", "alarm raised",
+          {{"unknown", std::to_string(report.unknown.size())},
+           {"families", family_breakdown(report.unknown)}},
+          to_seconds(begin));
+    }
     alarms_.push_back(MonitorAlarm{begin, window_end, std::move(report)});
   } else {
     metrics().clean.inc();
@@ -136,7 +152,23 @@ void SlidingMonitor::finish_audit(
       std::chrono::steady_clock::now() - wall_start;
   audit.wall_ms = wall.count();
   metrics().window_ms.observe(audit.wall_ms);
+  const double window_end_s = to_seconds(audit.window_end);
   audits_.push_back(std::move(audit));
+  // Rotation keeps week-long runs at fixed memory: oldest audits leave,
+  // the gauge records how much history the trail no longer covers.
+  while (config_.max_audits > 0 && audits_.size() > config_.max_audits) {
+    audits_.pop_front();
+    ++audits_dropped_;
+  }
+  metrics().audits_dropped.set(static_cast<std::int64_t>(audits_dropped_));
+
+  // Per-window telemetry cadence: snapshot every registered metric at the
+  // window's virtual end time, then let the watchdog look at the newest
+  // points of the pipeline's own series.
+  if (config_.sample_metrics && obs::enabled()) {
+    obs::Sampler::global().sample(window_end_s);
+    if (config_.self_watchdog) watchdog_.check(obs::Sampler::global());
+  }
 }
 
 }  // namespace flowdiff::core

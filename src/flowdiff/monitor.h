@@ -10,11 +10,13 @@
 #pragma once
 
 #include <chrono>
+#include <deque>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "flowdiff/flowdiff.h"
+#include "obs/watchdog.h"
 
 namespace flowdiff::core {
 
@@ -25,6 +27,16 @@ struct MonitorConfig {
   /// rebaseline, so a persistent fault keeps alarming).
   bool rolling_baseline = false;
   std::vector<TaskAutomaton> tasks;
+  /// Audit records retained (oldest rotate out; audits_dropped() counts
+  /// them). 0 keeps everything — unbounded, for short offline runs only.
+  std::size_t max_audits = 4096;
+  /// Snapshot the metrics registry into obs::Sampler::global() once per
+  /// closed window (virtual-time cadence; no-op while obs is disabled).
+  bool sample_metrics = true;
+  /// Run the EWMA watchdog over the pipeline's own series after each
+  /// sample and file flight-recorder warnings when the diagnoser itself
+  /// degrades.
+  bool self_watchdog = true;
 };
 
 struct MonitorAlarm {
@@ -71,10 +83,13 @@ class SlidingMonitor {
   [[nodiscard]] const std::vector<MonitorAlarm>& alarms() const {
     return alarms_;
   }
-  /// One audit record per processed window, explaining its outcome.
-  [[nodiscard]] const std::vector<WindowAudit>& audits() const {
+  /// Retained audit records (newest max_audits windows), explaining each
+  /// window's outcome.
+  [[nodiscard]] const std::deque<WindowAudit>& audits() const {
     return audits_;
   }
+  /// Audit records rotated out by the max_audits cap.
+  [[nodiscard]] std::size_t audits_dropped() const { return audits_dropped_; }
   [[nodiscard]] std::size_t windows_processed() const { return windows_; }
   [[nodiscard]] SimTime baseline_captured_at() const {
     return baseline_begin_;
@@ -93,8 +108,10 @@ class SlidingMonitor {
   of::ControlLog current_;
   SimTime window_start_ = -1;
   std::vector<MonitorAlarm> alarms_;
-  std::vector<WindowAudit> audits_;
+  std::deque<WindowAudit> audits_;
+  std::size_t audits_dropped_ = 0;
   std::size_t windows_ = 0;
+  obs::Watchdog watchdog_;
 };
 
 }  // namespace flowdiff::core

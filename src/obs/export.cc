@@ -54,21 +54,6 @@ std::string quote(std::string_view name) {
   return out;
 }
 
-/// Approximate quantile from fixed-width bins (midpoint of the bin where
-/// the cumulative count crosses q).
-double bin_quantile(const HistogramSnapshot& h, double q) {
-  if (h.count == 0) return 0.0;
-  const double target = q * static_cast<double>(h.count);
-  std::uint64_t seen = 0;
-  for (std::size_t i = 0; i < h.counts.size(); ++i) {
-    seen += h.counts[i];
-    if (static_cast<double>(seen) >= target) {
-      return h.origin + h.bin_width * (static_cast<double>(i) + 0.5);
-    }
-  }
-  return h.max;
-}
-
 std::string prom_name(std::string_view prefix, std::string_view name) {
   std::string out{prefix};
   out += '_';
@@ -202,9 +187,8 @@ std::string render_table(const Snapshot& snap) {
     TextTable t({"histogram", "count", "mean", "p50", "p95", "min", "max"});
     for (const auto& [name, h] : snap.histograms) {
       t.add_row({name, std::to_string(h.count), fmt_double(h.mean()),
-                 fmt_double(bin_quantile(h, 0.5)),
-                 fmt_double(bin_quantile(h, 0.95)), fmt_double(h.min),
-                 fmt_double(h.max)});
+                 fmt_double(h.quantile(0.5)), fmt_double(h.quantile(0.95)),
+                 fmt_double(h.min), fmt_double(h.max)});
     }
     if (!out.empty()) out += '\n';
     out += "== histograms ==\n" + t.render();
@@ -276,21 +260,33 @@ std::string render_json(const Snapshot& snap) {
 }
 
 std::string render_prometheus(const Snapshot& snap, std::string_view prefix) {
+  // promtool-friendly exposition: every metric family leads with a # HELP
+  // line (the registry carries no descriptions, so it names the source
+  // instrument) followed by its # TYPE line.
+  const auto help = [](const std::string& metric, std::string_view kind,
+                       std::string_view source) {
+    return "# HELP " + metric + " FlowDiff " + std::string(kind) + " '" +
+           std::string(source) + "'\n";
+  };
   std::string out;
   for (const auto& [name, value] : snap.counters) {
     const std::string metric = prom_name(prefix, name);
+    out += help(metric, "counter", name);
     out += "# TYPE " + metric + " counter\n";
     out += metric + " " + std::to_string(value) + "\n";
   }
   for (const auto& [name, g] : snap.gauges) {
     const std::string metric = prom_name(prefix, name);
+    out += help(metric, "gauge", name);
     out += "# TYPE " + metric + " gauge\n";
     out += metric + " " + std::to_string(g.value) + "\n";
+    out += help(metric + "_peak", "gauge peak watermark of", name);
     out += "# TYPE " + metric + "_peak gauge\n";
     out += metric + "_peak " + std::to_string(g.peak) + "\n";
   }
   for (const auto& [name, h] : snap.histograms) {
     const std::string metric = prom_name(prefix, name);
+    out += help(metric, "histogram", name);
     out += "# TYPE " + metric + " histogram\n";
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < h.counts.size(); ++i) {
@@ -303,14 +299,30 @@ std::string render_prometheus(const Snapshot& snap, std::string_view prefix) {
     out += metric + "_sum " + num(h.sum) + "\n";
     out += metric + "_count " + std::to_string(h.count) + "\n";
   }
-  for (const auto& [name, s] : snap.spans) {
+  // Span aggregates: one family per statistic, samples grouped under their
+  // HELP/TYPE header as the exposition format requires.
+  if (!snap.spans.empty()) {
     const std::string base{prefix};
-    out += base + "_span_count{span=" + quote(name) + "} " +
-           std::to_string(s.count) + "\n";
-    out += base + "_span_total_ms{span=" + quote(name) + "} " +
-           num(s.total_ms) + "\n";
-    out += base + "_span_max_ms{span=" + quote(name) + "} " + num(s.max_ms) +
-           "\n";
+    out += "# HELP " + base + "_span_count FlowDiff tracing span count\n";
+    out += "# TYPE " + base + "_span_count gauge\n";
+    for (const auto& [name, s] : snap.spans) {
+      out += base + "_span_count{span=" + quote(name) + "} " +
+             std::to_string(s.count) + "\n";
+    }
+    out += "# HELP " + base +
+           "_span_total_ms FlowDiff tracing span total wall ms\n";
+    out += "# TYPE " + base + "_span_total_ms gauge\n";
+    for (const auto& [name, s] : snap.spans) {
+      out += base + "_span_total_ms{span=" + quote(name) + "} " +
+             num(s.total_ms) + "\n";
+    }
+    out += "# HELP " + base +
+           "_span_max_ms FlowDiff tracing span max wall ms\n";
+    out += "# TYPE " + base + "_span_max_ms gauge\n";
+    for (const auto& [name, s] : snap.spans) {
+      out += base + "_span_max_ms{span=" + quote(name) + "} " +
+             num(s.max_ms) + "\n";
+    }
   }
   return out;
 }

@@ -1,0 +1,171 @@
+#include "obs/flight_recorder.h"
+
+#include <csignal>
+#include <cstdio>
+#include <exception>
+
+namespace flowdiff::obs {
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kDebug:
+      return "DEBUG";
+    case Severity::kInfo:
+      return "INFO";
+    case Severity::kWarn:
+      return "WARN";
+    case Severity::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity < 1 ? 1 : capacity) {}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::record(
+    Severity severity, std::string_view component, std::string_view message,
+    std::vector<std::pair<std::string, std::string>> fields, double sim_t) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  FlightEvent event;
+  event.seq = total_;
+  event.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - epoch_)
+                      .count();
+  event.sim_t = sim_t;
+  event.severity = severity;
+  event.component = std::string(component);
+  event.message = std::string(message);
+  event.fields = std::move(fields);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[static_cast<std::size_t>(total_ % capacity_)] = std::move(event);
+  }
+  ++total_;
+}
+
+std::vector<FlightEvent> FlightRecorder::events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FlightEvent> out;
+  out.reserve(ring_.size());
+  // Oldest retained event sits at total_ % capacity_ once wrapped.
+  const std::size_t start =
+      total_ > capacity_ ? static_cast<std::size_t>(total_ % capacity_) : 0;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<FlightEvent> FlightRecorder::events(Severity min_severity) const {
+  std::vector<FlightEvent> out = events();
+  std::erase_if(out, [min_severity](const FlightEvent& e) {
+    return e.severity < min_severity;
+  });
+  return out;
+}
+
+std::uint64_t FlightRecorder::total() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::uint64_t FlightRecorder::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return total_ > capacity_ ? total_ - capacity_ : 0;
+}
+
+void FlightRecorder::clear(std::size_t new_capacity) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  total_ = 0;
+  if (new_capacity > 0) capacity_ = new_capacity;
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+std::string render_flight_event(const FlightEvent& event) {
+  char head[96];
+  if (event.sim_t >= 0.0) {
+    std::snprintf(head, sizeof(head), "#%llu %-5s t=%.3fs",
+                  static_cast<unsigned long long>(event.seq),
+                  to_string(event.severity), event.sim_t);
+  } else {
+    std::snprintf(head, sizeof(head), "#%llu %-5s wall=%.1fms",
+                  static_cast<unsigned long long>(event.seq),
+                  to_string(event.severity), event.wall_ms);
+  }
+  std::string out = head;
+  out += ' ';
+  out += event.component;
+  out += ": ";
+  out += event.message;
+  for (const auto& [key, value] : event.fields) {
+    out += ' ';
+    out += key;
+    out += '=';
+    out += value;
+  }
+  return out;
+}
+
+std::string FlightRecorder::render(std::size_t tail) const {
+  std::vector<FlightEvent> all = events();
+  std::size_t begin = 0;
+  if (tail > 0 && all.size() > tail) begin = all.size() - tail;
+  std::string out;
+  if (begin > 0 || dropped() > 0) {
+    out += "... (" + std::to_string(dropped() + begin) +
+           " earlier event(s) not shown)\n";
+  }
+  for (std::size_t i = begin; i < all.size(); ++i) {
+    out += render_flight_event(all[i]);
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+void dump_global_recorder(const char* reason) {
+  FlightRecorder& recorder = FlightRecorder::global();
+  if (recorder.total() == 0) return;
+  std::fprintf(stderr, "\n=== flight recorder dump (%s) ===\n", reason);
+  const std::string text = recorder.render(64);
+  std::fputs(text.c_str(), stderr);
+  std::fflush(stderr);
+}
+
+std::terminate_handler g_prev_terminate = nullptr;
+
+[[noreturn]] void on_terminate() {
+  dump_global_recorder("terminate");
+  if (g_prev_terminate != nullptr) g_prev_terminate();
+  std::abort();
+}
+
+void on_fatal_signal(int sig) {
+  dump_global_recorder("fatal signal");
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+}  // namespace
+
+void FlightRecorder::install_abnormal_exit_dump() {
+  static bool installed = false;
+  if (installed) return;
+  installed = true;
+  g_prev_terminate = std::set_terminate(on_terminate);
+  std::signal(SIGABRT, on_fatal_signal);
+  std::signal(SIGSEGV, on_fatal_signal);
+  std::signal(SIGFPE, on_fatal_signal);
+}
+
+}  // namespace flowdiff::obs

@@ -1,0 +1,91 @@
+// Flight recorder: a bounded, severity-tagged structured event log.
+//
+// Components that notice something worth remembering (the event queue
+// crossing a depth watermark, the controller dropping a routable-less
+// PacketIn, a fault injector firing, the monitor raising an alarm, the
+// watchdog seeing the pipeline itself degrade) append an event; the ring
+// keeps the newest `capacity` of them, so a week-long run still holds the
+// recent history when something finally goes wrong. The CLI folds the tail
+// into `flowdiff report`, and install_abnormal_exit_dump() wires a
+// last-gasp dump to stderr on std::terminate or a fatal signal.
+//
+// record() is gated on obs::enabled() like every other obs mutation: one
+// relaxed load and a branch when observability is off.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace flowdiff::obs {
+
+enum class Severity : std::uint8_t { kDebug, kInfo, kWarn, kError };
+
+[[nodiscard]] const char* to_string(Severity severity);
+
+struct FlightEvent {
+  std::uint64_t seq = 0;    ///< Append index since clear(); monotone.
+  double wall_ms = 0.0;     ///< Wall clock since the recorder epoch.
+  double sim_t = -1.0;      ///< Virtual seconds; < 0 when not applicable.
+  Severity severity = Severity::kInfo;
+  std::string component;
+  std::string message;
+  std::vector<std::pair<std::string, std::string>> fields;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 2048;
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+  static FlightRecorder& global();
+
+  /// Appends one event (no-op while obs is disabled). `sim_t` is the
+  /// virtual time in seconds when the producer has one, -1 otherwise.
+  void record(Severity severity, std::string_view component,
+              std::string_view message,
+              std::vector<std::pair<std::string, std::string>> fields = {},
+              double sim_t = -1.0);
+
+  /// Retained events, oldest first.
+  [[nodiscard]] std::vector<FlightEvent> events() const;
+  /// Retained events at or above `min_severity`, oldest first.
+  [[nodiscard]] std::vector<FlightEvent> events(Severity min_severity) const;
+
+  /// Events ever recorded since clear().
+  [[nodiscard]] std::uint64_t total() const;
+  /// Events overwritten by ring wraparound.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Drops retained events; also applies a new capacity when > 0.
+  void clear(std::size_t new_capacity = 0);
+
+  /// One line per retained event; `tail` > 0 keeps only the newest N.
+  [[nodiscard]] std::string render(std::size_t tail = 0) const;
+
+  /// Dumps the global recorder's tail to stderr from std::terminate and
+  /// fatal-signal (SIGABRT/SIGSEGV/SIGFPE) handlers. Best effort: the
+  /// handlers allocate, which is formally unsafe there, but this path only
+  /// runs when the process is already lost. Idempotent.
+  static void install_abnormal_exit_dump();
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::vector<FlightEvent> ring_;  ///< ring_[seq % capacity_].
+  std::uint64_t total_ = 0;
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+};
+
+/// Renders one event the way render() does (shared with the run report).
+[[nodiscard]] std::string render_flight_event(const FlightEvent& event);
+
+}  // namespace flowdiff::obs

@@ -12,6 +12,19 @@ void set_enabled(bool on) {
   detail::g_enabled.store(on, std::memory_order_relaxed);
 }
 
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (static_cast<double>(seen) >= target) {
+      return origin + bin_width * (static_cast<double>(i) + 0.5);
+    }
+  }
+  return max;
+}
+
 void LatencyHistogram::observe(double value) {
   if (!enabled()) return;
   const std::lock_guard<std::mutex> lock(mu_);

@@ -107,6 +107,11 @@ struct HistogramSnapshot {
   [[nodiscard]] double mean() const {
     return count == 0 ? 0.0 : sum / static_cast<double>(count);
   }
+
+  /// Approximate quantile from the fixed-width bins (midpoint of the bin
+  /// where the cumulative count crosses q); exporters and the time-series
+  /// sampler share this.
+  [[nodiscard]] double quantile(double q) const;
 };
 
 /// Fixed-bucket latency histogram: wraps util Histogram with sum/min/max

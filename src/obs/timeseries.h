@@ -1,0 +1,152 @@
+// Temporal observability: fixed-memory time series over the metrics
+// registry.
+//
+// The registry (obs/metrics.h) only answers "what is the value now"; the
+// paper's evaluation (Figs. 9-12) and any long monitor run need "how did it
+// evolve". A Sampler snapshots every registered counter/gauge/histogram at
+// a caller-chosen virtual-time cadence into per-metric Series ring buffers.
+// Each Series holds at most `capacity` points; on overflow adjacent points
+// are merged 2:1 (downsample-on-overflow), so memory stays fixed while the
+// whole run remains covered at halving resolution. Counters additionally
+// get a derived "<name>.rate" per-second series, histograms derived
+// ".count"/".mean"/".p50"/".p99" series.
+//
+// Sampling is driven externally (e.g. the SlidingMonitor samples once per
+// closed window with the window's virtual end time); Sampler::sample() is a
+// no-op while obs is disabled, so instrumented paths pay nothing when off.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace flowdiff::obs {
+
+/// One stored point: a bucket of >=1 raw samples. After k compactions every
+/// full bucket covers 2^k raw samples; t_begin/t_end bracket the virtual
+/// time the bucket absorbed.
+struct SeriesPoint {
+  double t_begin = 0.0;
+  double t_end = 0.0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::uint64_t count = 0;
+
+  [[nodiscard]] bool operator==(const SeriesPoint&) const = default;
+};
+
+/// Append-only series with bounded memory. Appends must carry
+/// non-decreasing timestamps (virtual seconds). Not thread safe on its own;
+/// the owning Sampler serializes access.
+class Series {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 512;
+
+  explicit Series(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity < 2 ? 2 : capacity) {}
+
+  void append(double t, double value);
+
+  /// Stored buckets plus the partial tail bucket, oldest first. The first
+  /// point's t_begin is the first appended timestamp and the last point's
+  /// t_end the most recent one; t_begin is strictly increasing.
+  [[nodiscard]] std::vector<SeriesPoint> points() const;
+
+  /// Raw samples folded into each full bucket (doubles per compaction).
+  [[nodiscard]] std::uint64_t stride() const { return stride_; }
+  /// Raw samples ever appended.
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] bool empty() const { return total_ == 0; }
+  /// Most recent raw sample (count==1 bucket); empty() must be false.
+  [[nodiscard]] SeriesPoint last() const;
+
+  void clear();
+
+ private:
+  void compact();
+
+  std::size_t capacity_;
+  std::uint64_t stride_ = 1;
+  std::uint64_t total_ = 0;
+  SeriesPoint acc_{};      ///< Accumulating bucket; count==0 when empty.
+  SeriesPoint last_raw_{};
+  std::vector<SeriesPoint> points_;
+};
+
+struct SamplerConfig {
+  /// Ring capacity per series (points kept before 2:1 compaction).
+  std::size_t capacity = Series::kDefaultCapacity;
+  /// Minimum virtual-time spacing between samples, seconds; sample() calls
+  /// closer than this to the previous accepted one are dropped. 0 keeps
+  /// every call (per-window cadence).
+  double min_interval = 0.0;
+  /// Derive "<name>.rate" (per virtual second) series from counters.
+  bool counter_rates = true;
+  /// Derive ".count"/".mean"/".p50"/".p99" series from histograms.
+  bool histogram_stats = true;
+};
+
+/// Snapshots the metrics registry into named Series. All public entry
+/// points are thread safe; sample() is a no-op while obs is disabled.
+class Sampler {
+ public:
+  explicit Sampler(SamplerConfig config = {});
+
+  /// Process-wide instance: the SlidingMonitor feeds it once per window and
+  /// the CLI's --series/report paths read it back.
+  static Sampler& global();
+
+  /// Snapshots every registered metric at virtual time `t` (seconds).
+  void sample(double t);
+
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::optional<Series> find(std::string_view name) const;
+  /// Name -> series copies, ordered by name.
+  [[nodiscard]] std::vector<std::pair<std::string, Series>> series() const;
+  /// Accepted sample() calls (each covers the whole registry).
+  [[nodiscard]] std::uint64_t samples_taken() const;
+
+  void clear();
+
+ private:
+  Series& series_locked(const std::string& name);
+
+  mutable std::mutex mu_;
+  SamplerConfig config_;
+  std::map<std::string, Series, std::less<>> series_;
+  std::map<std::string, std::pair<double, double>, std::less<>>
+      last_counter_;  ///< name -> (t, value) of the previous sample.
+  double last_t_ = 0.0;
+  bool has_sampled_ = false;
+  std::uint64_t samples_ = 0;
+};
+
+// --- Series exporters ------------------------------------------------------
+
+/// CSV with one row per stored point:
+///   series,t_begin,t_end,mean,min,max,count
+[[nodiscard]] std::string render_series_csv(
+    const std::vector<std::pair<std::string, Series>>& series);
+[[nodiscard]] std::string render_series_csv(const Sampler& sampler);
+
+/// {"series": {"name": {"stride": N, "points": [[t_begin,t_end,mean,min,
+/// max,count], ...]}, ...}} — parse_series_json() inverts the points.
+[[nodiscard]] std::string render_series_json(
+    const std::vector<std::pair<std::string, Series>>& series);
+[[nodiscard]] std::string render_series_json(const Sampler& sampler);
+
+/// Inverse of render_series_json: name -> points. nullopt on malformed
+/// input.
+[[nodiscard]] std::optional<
+    std::vector<std::pair<std::string, std::vector<SeriesPoint>>>>
+parse_series_json(std::string_view text);
+
+}  // namespace flowdiff::obs

@@ -1,0 +1,85 @@
+#include "obs/watchdog.h"
+
+#include <cstdio>
+
+#include "obs/flight_recorder.h"
+
+namespace flowdiff::obs {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<WatchdogRule> default_pipeline_rules() {
+  return {
+      {"sim.queue.depth", 4.0, 64.0},
+      {"ctrl.service_time_us.p99", 3.0, 500.0},
+      {"monitor.window_ms.p99", 3.0, 5.0},
+  };
+}
+
+Watchdog::Watchdog(WatchdogConfig config) : config_(std::move(config)) {
+  if (config_.rules.empty()) config_.rules = default_pipeline_rules();
+}
+
+std::size_t Watchdog::check(const Sampler& sampler) {
+  std::size_t fired = 0;
+  for (const WatchdogRule& rule : config_.rules) {
+    const auto series = sampler.find(rule.series);
+    if (!series || series->empty()) continue;
+    const SeriesPoint last = series->last();
+    const auto it = state_.find(rule.series);
+    if (it != state_.end() && it->second.seen &&
+        it->second.last_t >= last.t_end) {
+      continue;  // No new sample since the previous check.
+    }
+    if (observe(rule.series, last.t_end, last.mean)) ++fired;
+  }
+  return fired;
+}
+
+bool Watchdog::observe(std::string_view series, double t, double value) {
+  const WatchdogRule* rule = nullptr;
+  for (const WatchdogRule& candidate : config_.rules) {
+    if (candidate.series == series) {
+      rule = &candidate;
+      break;
+    }
+  }
+  if (rule == nullptr) return false;
+
+  State& state = state_[std::string(series)];
+  bool fired = false;
+  // Judge against the history *before* folding the sample in, so a spike
+  // cannot mask itself.
+  if (state.samples >= config_.warmup && value >= rule->min_value &&
+      value > rule->factor * state.ewma) {
+    fired = true;
+    ++alerts_;
+    static Counter& alert_counter =
+        Registry::global().counter("obs.watchdog.alerts");
+    alert_counter.inc();
+    FlightRecorder::global().record(
+        Severity::kWarn, "watchdog",
+        "pipeline series degraded: " + std::string(series),
+        {{"value", fmt(value)},
+         {"ewma", fmt(state.ewma)},
+         {"factor", fmt(rule->factor)}},
+        t);
+  }
+  state.ewma = state.seen
+                   ? config_.alpha * value + (1.0 - config_.alpha) * state.ewma
+                   : value;
+  state.seen = true;
+  state.last_t = t;
+  ++state.samples;
+  return fired;
+}
+
+}  // namespace flowdiff::obs

@@ -1,0 +1,67 @@
+// Self-monitoring for the diagnosis pipeline itself.
+//
+// FlowDiff watches a data center; the Watchdog watches FlowDiff. It keeps
+// an EWMA per tracked sampler series (event-queue depth, controller
+// service-time p99, the monitor's per-window modeling cost, ...) and files
+// a flight-recorder warning whenever the newest sample blows past the
+// smoothed history by a configurable factor — i.e. when the diagnoser
+// itself starts to degrade. The SlidingMonitor runs one check per closed
+// window; anything driving a Sampler can do the same.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/timeseries.h"
+
+namespace flowdiff::obs {
+
+struct WatchdogRule {
+  std::string series;      ///< Sampler series name to track.
+  double factor = 3.0;     ///< Alert when sample > factor * EWMA.
+  double min_value = 1.0;  ///< Absolute floor; smaller samples never alert.
+};
+
+struct WatchdogConfig {
+  double alpha = 0.25;     ///< EWMA weight of the newest sample.
+  std::size_t warmup = 3;  ///< Samples per series before alerting starts.
+  /// Empty selects default_pipeline_rules().
+  std::vector<WatchdogRule> rules;
+};
+
+/// The pipeline's own health series: event-queue depth, controller
+/// service-time p99, and the monitor's per-window modeling+diffing cost
+/// (its backlog proxy).
+[[nodiscard]] std::vector<WatchdogRule> default_pipeline_rules();
+
+class Watchdog {
+ public:
+  explicit Watchdog(WatchdogConfig config = {});
+
+  /// Feeds the newest raw sample of every tracked series that advanced
+  /// since the last check; returns the number of alerts fired this call.
+  std::size_t check(const Sampler& sampler);
+
+  /// Core update: evaluate one (t, value) observation for `series`.
+  /// Returns true when it fired an alert.
+  bool observe(std::string_view series, double t, double value);
+
+  [[nodiscard]] std::uint64_t alerts() const { return alerts_; }
+
+ private:
+  struct State {
+    double ewma = 0.0;
+    std::size_t samples = 0;
+    double last_t = 0.0;
+    bool seen = false;
+  };
+
+  WatchdogConfig config_;
+  std::map<std::string, State, std::less<>> state_;
+  std::uint64_t alerts_ = 0;
+};
+
+}  // namespace flowdiff::obs

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace flowdiff::sim {
@@ -20,6 +21,12 @@ void EventQueue::schedule(SimTime t, Callback fn) {
   if (t < now_) t = now_;
   queue_.push(Item{t, next_seq_++, std::move(fn)});
   queue_depth_gauge().set(static_cast<std::int64_t>(queue_.size()));
+  if (obs::enabled() && queue_.size() >= depth_watermark_) {
+    obs::FlightRecorder::global().record(
+        obs::Severity::kWarn, "event_queue", "queue depth watermark crossed",
+        {{"depth", std::to_string(queue_.size())}}, to_seconds(now_));
+    depth_watermark_ *= 2;
+  }
 }
 
 bool EventQueue::step() {

@@ -52,6 +52,9 @@ class EventQueue {
   std::priority_queue<Item, std::vector<Item>, Later> queue_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
+  /// Next queue depth that files a flight-recorder warning; doubles each
+  /// time it is crossed so a runaway backlog logs O(log n) events.
+  std::size_t depth_watermark_ = 1024;
 };
 
 }  // namespace flowdiff::sim

@@ -1,0 +1,119 @@
+// Flight recorder (src/obs/flight_recorder.*): ring wraparound, severity
+// filtering, disabled-path no-ops, and rendering.
+#include "obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace flowdiff::obs {
+namespace {
+
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FlightRecorder::global().clear();
+    set_enabled(true);
+  }
+  void TearDown() override {
+    set_enabled(false);
+    FlightRecorder::global().clear();
+  }
+};
+
+TEST_F(FlightRecorderTest, RecordsAndRetainsInOrder) {
+  FlightRecorder recorder(8);
+  recorder.record(Severity::kInfo, "compA", "first", {{"k", "1"}}, 1.5);
+  recorder.record(Severity::kWarn, "compB", "second");
+  const auto events = recorder.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[0].component, "compA");
+  EXPECT_EQ(events[0].message, "first");
+  EXPECT_DOUBLE_EQ(events[0].sim_t, 1.5);
+  ASSERT_EQ(events[0].fields.size(), 1u);
+  EXPECT_EQ(events[0].fields[0].first, "k");
+  EXPECT_EQ(events[1].seq, 1u);
+  EXPECT_EQ(events[1].severity, Severity::kWarn);
+  EXPECT_LT(events[1].sim_t, 0.0);  // No virtual time attached.
+}
+
+TEST_F(FlightRecorderTest, WraparoundKeepsNewestAndCountsDropped) {
+  FlightRecorder recorder(4);
+  for (int i = 0; i < 10; ++i) {
+    recorder.record(Severity::kInfo, "c", "event " + std::to_string(i));
+  }
+  EXPECT_EQ(recorder.total(), 10u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+  const auto events = recorder.events();
+  ASSERT_EQ(events.size(), 4u);
+  // The newest four survive, oldest first, with monotone sequence numbers.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 6u + i);
+    EXPECT_EQ(events[i].message, "event " + std::to_string(6 + i));
+  }
+}
+
+TEST_F(FlightRecorderTest, DisabledRecorderDropsEverything) {
+  FlightRecorder recorder(4);
+  set_enabled(false);
+  recorder.record(Severity::kError, "c", "never stored");
+  set_enabled(true);
+  EXPECT_EQ(recorder.total(), 0u);
+  EXPECT_TRUE(recorder.events().empty());
+}
+
+TEST_F(FlightRecorderTest, SeverityFilterIsInclusiveThreshold) {
+  FlightRecorder recorder(16);
+  recorder.record(Severity::kDebug, "c", "d");
+  recorder.record(Severity::kInfo, "c", "i");
+  recorder.record(Severity::kWarn, "c", "w");
+  recorder.record(Severity::kError, "c", "e");
+  EXPECT_EQ(recorder.events(Severity::kDebug).size(), 4u);
+  EXPECT_EQ(recorder.events(Severity::kInfo).size(), 3u);
+  const auto warnings = recorder.events(Severity::kWarn);
+  ASSERT_EQ(warnings.size(), 2u);
+  EXPECT_EQ(warnings[0].message, "w");
+  EXPECT_EQ(warnings[1].message, "e");
+}
+
+TEST_F(FlightRecorderTest, ClearResetsAndCanResize) {
+  FlightRecorder recorder(2);
+  recorder.record(Severity::kInfo, "c", "one");
+  recorder.record(Severity::kInfo, "c", "two");
+  recorder.record(Severity::kInfo, "c", "three");
+  EXPECT_EQ(recorder.dropped(), 1u);
+  recorder.clear(8);
+  EXPECT_EQ(recorder.total(), 0u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  for (int i = 0; i < 5; ++i) {
+    recorder.record(Severity::kInfo, "c", "post " + std::to_string(i));
+  }
+  EXPECT_EQ(recorder.events().size(), 5u);  // New capacity holds them all.
+}
+
+TEST_F(FlightRecorderTest, RenderShowsSeverityFieldsAndTail) {
+  FlightRecorder recorder(16);
+  recorder.record(Severity::kWarn, "queue", "depth watermark crossed",
+                  {{"depth", "2048"}}, 12.25);
+  recorder.record(Severity::kInfo, "monitor", "baseline adopted");
+  const std::string all = recorder.render();
+  EXPECT_NE(all.find("WARN"), std::string::npos);
+  EXPECT_NE(all.find("queue: depth watermark crossed"), std::string::npos);
+  EXPECT_NE(all.find("depth=2048"), std::string::npos);
+  EXPECT_NE(all.find("t=12.250s"), std::string::npos);
+  const std::string tail = recorder.render(1);
+  EXPECT_EQ(tail.find("watermark"), std::string::npos);
+  EXPECT_NE(tail.find("baseline adopted"), std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, InstallAbnormalExitDumpIsIdempotent) {
+  // Installing twice must not loop the terminate-handler chain; there is
+  // nothing visible to assert beyond "does not crash".
+  FlightRecorder::install_abnormal_exit_dump();
+  FlightRecorder::install_abnormal_exit_dump();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace flowdiff::obs

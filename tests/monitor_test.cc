@@ -167,6 +167,36 @@ TEST(SlidingMonitor, AuditTrailMatchesAlarmStream) {
   }
 }
 
+TEST(SlidingMonitor, AuditTrailRotatesAtCap) {
+  exp::LabExperiment lab{exp::LabExperimentConfig{}};
+  MonitorConfig config = monitor_config(lab);
+  config.max_audits = 2;
+  SlidingMonitor monitor(config);
+  for (int w = 0; w < 5; ++w) {
+    monitor.feed(lab.run_window());
+    monitor.flush();
+  }
+  EXPECT_EQ(monitor.windows_processed(), 5u);
+  EXPECT_EQ(monitor.audits().size(), 2u);
+  EXPECT_EQ(monitor.audits_dropped(), 3u);
+  // The newest windows survive, still indexed by processing order.
+  EXPECT_EQ(monitor.audits().front().index, 3u);
+  EXPECT_EQ(monitor.audits().back().index, 4u);
+}
+
+TEST(SlidingMonitor, UnboundedAuditTrailWhenCapIsZero) {
+  exp::LabExperiment lab{exp::LabExperimentConfig{}};
+  MonitorConfig config = monitor_config(lab);
+  config.max_audits = 0;
+  SlidingMonitor monitor(config);
+  for (int w = 0; w < 3; ++w) {
+    monitor.feed(lab.run_window());
+    monitor.flush();
+  }
+  EXPECT_EQ(monitor.audits().size(), 3u);
+  EXPECT_EQ(monitor.audits_dropped(), 0u);
+}
+
 TEST(SlidingMonitor, IdleGapsSkipEmptyWindows) {
   // A long silent gap must not produce empty-window alarms.
   exp::LabExperiment lab{exp::LabExperimentConfig{}};

@@ -289,8 +289,27 @@ TEST_F(ObsTest, PrometheusExportSanitizesAndExposes) {
   EXPECT_NE(text.find("flowdiff_prom_hist_bucket{le=\"+Inf\"} 1"),
             std::string::npos);
   EXPECT_NE(text.find("flowdiff_prom_hist_count 1"), std::string::npos);
-  // Dots never survive sanitization.
-  EXPECT_EQ(text.find("prom.counter"), std::string::npos);
+  // Exposition-format metadata: every family gets HELP then TYPE.
+  EXPECT_NE(text.find("# HELP flowdiff_prom_counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE flowdiff_prom_counter counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# HELP flowdiff_prom_hist"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE flowdiff_prom_hist histogram"),
+            std::string::npos);
+  EXPECT_LT(text.find("# HELP flowdiff_prom_counter"),
+            text.find("# TYPE flowdiff_prom_counter counter"));
+  // Dots never survive sanitization in sample lines; only HELP text may
+  // mention the pre-sanitization source name.
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(pos, end - pos);
+    if (line.rfind("# HELP", 0) != 0) {
+      EXPECT_EQ(line.find("prom.counter"), std::string::npos) << line;
+    }
+    pos = end + 1;
+  }
 }
 
 TEST_F(ObsTest, SpanTreeRendersNesting) {

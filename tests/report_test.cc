@@ -1,0 +1,156 @@
+// Run report (src/flowdiff/report.*): the joined Markdown/HTML artifact
+// built from the monitor's audit trail, the sampled series, and the
+// flight-recorder tail.
+#include "flowdiff/report.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "experiment/lab_experiment.h"
+#include "obs/obs.h"
+
+namespace flowdiff::core {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Registry::global().reset();
+    obs::Trace::global().clear();
+    obs::Sampler::global().clear();
+    obs::FlightRecorder::global().clear();
+    obs::set_enabled(true);
+  }
+  void TearDown() override {
+    obs::set_enabled(false);
+    obs::Registry::global().reset();
+    obs::Trace::global().clear();
+    obs::Sampler::global().clear();
+    obs::FlightRecorder::global().clear();
+  }
+};
+
+MonitorConfig monitor_config(const exp::LabExperiment& lab) {
+  MonitorConfig config;
+  config.flowdiff = lab.flowdiff_config();
+  config.window = 300 * kSecond;
+  return config;
+}
+
+/// Baseline + healthy + faulty + healthy windows, sampled per window.
+SlidingMonitor run_lab_monitor() {
+  exp::LabExperiment lab{exp::LabExperimentConfig{}};
+  SlidingMonitor monitor(monitor_config(lab));
+  monitor.feed(lab.run_window());
+  monitor.flush();
+  monitor.feed(lab.run_window());
+  monitor.flush();
+  faults::ServerSlowdownFault fault(lab.net(), lab.lab().host("S4"),
+                                    60 * kMillisecond, "logging");
+  monitor.feed(lab.run_window(&fault));
+  monitor.flush();
+  monitor.feed(lab.run_window());
+  monitor.flush();
+  return monitor;
+}
+
+TEST_F(ReportTest, MarkdownJoinsTimelineSeriesAndRecorder) {
+  const SlidingMonitor monitor = run_lab_monitor();
+  ASSERT_FALSE(monitor.alarms().empty());
+
+  const std::string report =
+      render_run_report(monitor, obs::Sampler::global(),
+                        obs::FlightRecorder::global());
+
+  // All top-level sections are present.
+  EXPECT_NE(report.find("# FlowDiff run report"), std::string::npos);
+  EXPECT_NE(report.find("## Summary"), std::string::npos);
+  EXPECT_NE(report.find("## Per-window timeline"), std::string::npos);
+  EXPECT_NE(report.find("## Alarms"), std::string::npos);
+  EXPECT_NE(report.find("## Metric time series"), std::string::npos);
+  EXPECT_NE(report.find("## Flight recorder"), std::string::npos);
+
+  // The timeline table covers every processed window.
+  for (const auto& audit : monitor.audits()) {
+    EXPECT_NE(report.find("| " + std::to_string(audit.index) + " |"),
+              std::string::npos);
+  }
+  EXPECT_NE(report.find("| # |"), std::string::npos);
+  EXPECT_NE(report.find("ALARM"), std::string::npos);
+
+  // At least three sampled metric series rendered as sections.
+  std::size_t series_sections = 0;
+  std::size_t pos = 0;
+  while ((pos = report.find("\n### ", pos)) != std::string::npos) {
+    ++series_sections;
+    pos += 5;
+  }
+  EXPECT_GE(series_sections, 3u);
+  EXPECT_NE(report.find("### monitor.windows"), std::string::npos);
+
+  // The monitor's own alarm landed in the flight-recorder excerpt.
+  EXPECT_NE(report.find("### Warnings"), std::string::npos);
+  EXPECT_NE(report.find("monitor: alarm raised"), std::string::npos);
+
+  // Diagnosis summary for the alarm window made it in.
+  EXPECT_NE(report.find("likely problem classes:"), std::string::npos);
+}
+
+TEST_F(ReportTest, HtmlModeProducesMarkup) {
+  const SlidingMonitor monitor = run_lab_monitor();
+  RunReportOptions options;
+  options.html = true;
+  options.title = "lab run";
+  const std::string report =
+      render_run_report(monitor, obs::Sampler::global(),
+                        obs::FlightRecorder::global(), options);
+  EXPECT_EQ(report.rfind("<!DOCTYPE html>", 0), 0u);
+  EXPECT_NE(report.find("<title>lab run</title>"), std::string::npos);
+  EXPECT_NE(report.find("<h1>lab run</h1>"), std::string::npos);
+  EXPECT_NE(report.find("<table>"), std::string::npos);
+  EXPECT_NE(report.find("<pre>"), std::string::npos);
+  EXPECT_NE(report.find("</html>"), std::string::npos);
+  // No raw markdown table rows leak into the HTML path.
+  EXPECT_EQ(report.find("| # |"), std::string::npos);
+}
+
+TEST_F(ReportTest, DegradesWithoutTelemetry) {
+  // Monitor run with obs disabled: no samples, no recorder events — the
+  // report must still render a coherent summary-only document.
+  obs::set_enabled(false);
+  exp::LabExperiment lab{exp::LabExperimentConfig{}};
+  SlidingMonitor monitor(monitor_config(lab));
+  monitor.feed(lab.run_window());
+  monitor.flush();
+  obs::set_enabled(true);
+
+  const std::string report =
+      render_run_report(monitor, obs::Sampler::global(),
+                        obs::FlightRecorder::global());
+  EXPECT_NE(report.find("## Summary"), std::string::npos);
+  EXPECT_NE(report.find("No series were sampled"), std::string::npos);
+  EXPECT_NE(report.find("No flight-recorder events."), std::string::npos);
+}
+
+TEST_F(ReportTest, AuditRotationIsReportedNotHidden) {
+  exp::LabExperiment lab{exp::LabExperimentConfig{}};
+  MonitorConfig config = monitor_config(lab);
+  config.max_audits = 2;
+  SlidingMonitor monitor(config);
+  for (int w = 0; w < 4; ++w) {
+    monitor.feed(lab.run_window());
+    monitor.flush();
+  }
+  ASSERT_LE(monitor.audits().size(), 2u);
+  ASSERT_GE(monitor.audits_dropped(), 1u);
+
+  const std::string report =
+      render_run_report(monitor, obs::Sampler::global(),
+                        obs::FlightRecorder::global());
+  EXPECT_NE(report.find("rotated out of the audit trail"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace flowdiff::core

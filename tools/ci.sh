@@ -2,23 +2,46 @@
 # Minimal CI for FlowDiff:
 #   1. tier-1 verify: configure, build, and run the full test suite;
 #   2. AddressSanitizer pass: rebuild with FLOWDIFF_SANITIZE=address and
-#      rerun ctest.
+#      rerun ctest;
+#   3. UndefinedBehaviorSanitizer pass: rebuild with
+#      FLOWDIFF_SANITIZE=undefined and rerun the obs-layer tests (the
+#      sampler/recorder/watchdog code paths PRs keep touching).
 #
-# Usage: tools/ci.sh [--skip-asan]
-# Run from anywhere; build trees land in <repo>/build-ci{,-asan}.
+# Usage: tools/ci.sh [--skip-asan] [--skip-ubsan]
+# Run from anywhere; build trees land in <repo>/build-ci{,-asan,-ubsan}.
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 4)"
 skip_asan=0
-[[ "${1:-}" == "--skip-asan" ]] && skip_asan=1
+skip_ubsan=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-asan) skip_asan=1 ;;
+    --skip-ubsan) skip_ubsan=1 ;;
+    *)
+      echo "unknown flag: $arg" >&2
+      exit 2
+      ;;
+  esac
+done
 
 run_suite() {
   local build_dir="$1"
   shift
+  local ctest_filter=""
+  if [[ "${1:-}" == --tests=* ]]; then
+    ctest_filter="${1#--tests=}"
+    shift
+  fi
   cmake -B "$build_dir" -S "$repo" "$@"
   cmake --build "$build_dir" -j "$jobs"
-  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+  if [[ -n "$ctest_filter" ]]; then
+    ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" \
+      --no-tests=error -R "$ctest_filter"
+  else
+    ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+  fi
 }
 
 echo "== tier-1: build + ctest =="
@@ -27,6 +50,13 @@ run_suite "$repo/build-ci"
 if [[ "$skip_asan" -eq 0 ]]; then
   echo "== ASan: build + ctest (FLOWDIFF_SANITIZE=address) =="
   run_suite "$repo/build-ci-asan" -DFLOWDIFF_SANITIZE=address
+fi
+
+if [[ "$skip_ubsan" -eq 0 ]]; then
+  echo "== UBSan: build + obs tests (FLOWDIFF_SANITIZE=undefined) =="
+  run_suite "$repo/build-ci-ubsan" \
+    "--tests=^(ObsTest|TimeseriesTest|FlightRecorderTest|ReportTest)\." \
+    -DFLOWDIFF_SANITIZE=undefined
 fi
 
 echo "CI passed."

@@ -7,16 +7,20 @@
 //        [--services FILE] [--out FILE]
 //   flowdiff detect <AUTOMATON>... --in <capture.flows> [--services FILE]
 //   flowdiff monitor <log> [--window SECONDS] [--services FILE]
-//        [--task AUTOMATON]... [--rolling]
+//        [--task AUTOMATON]... [--rolling] [--report FILE]
+//   flowdiff report <log> [--window SECONDS] [--services FILE]
+//        [--task AUTOMATON]... [--rolling] [--out FILE] [--html]
 //
 // Control logs use the openflow/log_io.h text format; flow-sequence files
 // hold FLOW lines; automata use TaskAutomaton::serialize(). A services
 // file lists special-purpose node IPs, one per line.
 //
-// Every subcommand accepts the global flags --stats[=FILE] and
-// --trace[=FILE]: --stats dumps the metrics registry after the run
-// (format picked by FILE extension: .json, .prom, else a text table) and
-// --trace dumps the span tree. Without FILE both go to stderr.
+// Every subcommand accepts the global flags --stats[=FILE],
+// --trace[=FILE] and --series[=FILE]: --stats dumps the metrics registry
+// after the run (format picked by FILE extension: .json, .prom, else a
+// text table), --trace dumps the span tree, and --series dumps the
+// sampled metric time series (.json, else CSV). Without FILE all three go
+// to stderr.
 #include <cstdio>
 #include <cstring>
 #include <optional>
@@ -26,6 +30,7 @@
 
 #include "flowdiff/flowdiff.h"
 #include "flowdiff/monitor.h"
+#include "flowdiff/report.h"
 #include "obs/obs.h"
 #include "openflow/log_io.h"
 #include "util/table.h"
@@ -50,13 +55,17 @@ int usage() {
       "  flowdiff detect <automaton>... --in <capture.flows> "
       "[--services FILE]\n"
       "  flowdiff monitor <log> [--window SECONDS] [--services FILE] "
-      "[--task FILE]... [--rolling]\n"
+      "[--task FILE]... [--rolling] [--report FILE]\n"
+      "  flowdiff report <log> [--window SECONDS] [--services FILE] "
+      "[--task FILE]... [--rolling] [--out FILE] [--html]\n"
       "global flags (any subcommand):\n"
       "  --stats[=FILE]   dump metrics after the run (.json/.prom/table "
       "by extension; default stderr)\n"
       "  --trace[=FILE]   dump the tracing span tree (default stderr)\n"
+      "  --series[=FILE]  dump sampled metric time series (.json else "
+      "CSV; default stderr)\n"
       "exit status: 0 ok/clean, 1 unknown changes or alarms (diff, "
-      "monitor), 2 usage or I/O error\n",
+      "monitor, report), 2 usage or I/O error\n",
       stderr);
   return 2;
 }
@@ -66,12 +75,14 @@ int usage() {
 struct ObsOptions {
   bool stats = false;
   bool trace = false;
-  std::string stats_path;  // empty => stderr
-  std::string trace_path;  // empty => stderr
+  bool series = false;
+  std::string stats_path;   // empty => stderr
+  std::string trace_path;   // empty => stderr
+  std::string series_path;  // empty => stderr
 };
 
-/// Strips --stats[=FILE] / --trace[=FILE] wherever they appear and enables
-/// the obs layer if either was present.
+/// Strips --stats[=FILE] / --trace[=FILE] / --series[=FILE] wherever they
+/// appear and enables the obs layer if any was present.
 ObsOptions extract_obs_options(std::vector<std::string>& args) {
   ObsOptions opts;
   std::vector<std::string> kept;
@@ -86,12 +97,17 @@ ObsOptions extract_obs_options(std::vector<std::string>& args) {
     } else if (arg.rfind("--trace=", 0) == 0) {
       opts.trace = true;
       opts.trace_path = arg.substr(std::strlen("--trace="));
+    } else if (arg == "--series") {
+      opts.series = true;
+    } else if (arg.rfind("--series=", 0) == 0) {
+      opts.series = true;
+      opts.series_path = arg.substr(std::strlen("--series="));
     } else {
       kept.push_back(arg);
     }
   }
   args = std::move(kept);
-  if (opts.stats || opts.trace) obs::set_enabled(true);
+  if (opts.stats || opts.trace || opts.series) obs::set_enabled(true);
   return opts;
 }
 
@@ -128,6 +144,14 @@ int dump_observability(const ObsOptions& opts) {
   if (opts.trace && rc == 0) {
     rc = emit(opts.trace_path,
               obs::render_span_tree(obs::Trace::global().records()));
+  }
+  if (opts.series && rc == 0) {
+    const std::string text = has_suffix(opts.series_path, ".json")
+                                 ? obs::render_series_json(
+                                       obs::Sampler::global())
+                                 : obs::render_series_csv(
+                                       obs::Sampler::global());
+    rc = emit(opts.series_path, text);
   }
   return rc;
 }
@@ -342,12 +366,23 @@ int cmd_detect(std::vector<std::string> args) {
   return 0;
 }
 
-int cmd_monitor(std::vector<std::string> args) {
+// Shared argument parsing for `monitor` and `report` (same pipeline, a
+// different artifact at the end).
+struct MonitorCliArgs {
+  core::MonitorConfig config;
+  std::string log_path;
+  std::string report_path;  ///< monitor --report FILE (empty = none)
+  std::string out_path;     ///< report --out FILE (empty = stdout)
+  bool html = false;        ///< report --html (or --report *.html)
+};
+
+std::optional<MonitorCliArgs> parse_monitor_args(
+    const std::vector<std::string>& args, bool report_mode) {
+  MonitorCliArgs parsed;
   std::string services_path;
   std::vector<std::string> task_paths;
   std::vector<std::string> positional;
   double window_sec = 30.0;
-  bool rolling = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--services" && i + 1 < args.size()) {
       services_path = args[++i];
@@ -356,33 +391,64 @@ int cmd_monitor(std::vector<std::string> args) {
     } else if (args[i] == "--window" && i + 1 < args.size()) {
       window_sec = std::stod(args[++i]);
     } else if (args[i] == "--rolling") {
-      rolling = true;
+      parsed.config.rolling_baseline = true;
+    } else if (!report_mode && args[i] == "--report" && i + 1 < args.size()) {
+      parsed.report_path = args[++i];
+    } else if (report_mode && args[i] == "--out" && i + 1 < args.size()) {
+      parsed.out_path = args[++i];
+    } else if (report_mode && args[i] == "--html") {
+      parsed.html = true;
     } else {
       positional.push_back(args[i]);
     }
   }
-  if (positional.size() != 1) return usage();
-
-  core::MonitorConfig config;
-  config.window = from_seconds(window_sec);
-  config.rolling_baseline = rolling;
+  if (positional.size() != 1) return std::nullopt;
+  parsed.log_path = positional[0];
+  parsed.config.window = from_seconds(window_sec);
   if (!services_path.empty()) {
     auto services = load_services(services_path);
-    if (!services) return fail("cannot load services " + services_path);
-    config.flowdiff.set_special_nodes(std::move(*services));
+    if (!services) return std::nullopt;
+    parsed.config.flowdiff.set_special_nodes(std::move(*services));
   }
   for (const auto& path : task_paths) {
     const auto text = of::read_file(path);
-    if (!text) return fail("cannot read automaton " + path);
+    if (!text) return std::nullopt;
     auto automaton = core::TaskAutomaton::parse(*text);
-    if (!automaton) return fail("malformed automaton " + path);
-    config.tasks.push_back(std::move(*automaton));
+    if (!automaton) return std::nullopt;
+    parsed.config.tasks.push_back(std::move(*automaton));
   }
+  return parsed;
+}
 
-  const auto log = load_log(positional[0]);
-  if (!log) return fail("cannot load control log " + positional[0]);
+/// Renders the joined run report for a finished monitor and writes it to
+/// `path` (or stdout when empty).
+int write_run_report(const core::SlidingMonitor& monitor,
+                     const std::string& path, bool html) {
+  core::RunReportOptions options;
+  options.html = html || has_suffix(path, ".html");
+  const std::string report = core::render_run_report(
+      monitor, obs::Sampler::global(), obs::FlightRecorder::global(),
+      options);
+  if (path.empty()) {
+    std::fputs(report.c_str(), stdout);
+    return 0;
+  }
+  if (!of::write_file(path, report)) return fail("cannot write " + path);
+  std::fprintf(stderr, "report written to %s\n", path.c_str());
+  return 0;
+}
 
-  core::SlidingMonitor monitor(config);
+int cmd_monitor(std::vector<std::string> args) {
+  const auto parsed = parse_monitor_args(args, /*report_mode=*/false);
+  if (!parsed) return usage();
+  // The report joins sampled series and flight-recorder events; without
+  // the obs layer there would be nothing to join.
+  if (!parsed->report_path.empty()) obs::set_enabled(true);
+
+  const auto log = load_log(parsed->log_path);
+  if (!log) return fail("cannot load control log " + parsed->log_path);
+
+  core::SlidingMonitor monitor(parsed->config);
   monitor.feed(*log);
   monitor.flush();
 
@@ -412,6 +478,32 @@ int cmd_monitor(std::vector<std::string> args) {
                 to_seconds(alarm.window_end));
     std::fputs(alarm.report.render().c_str(), stdout);
   }
+  if (!parsed->report_path.empty()) {
+    const int rc =
+        write_run_report(monitor, parsed->report_path, parsed->html);
+    if (rc != 0) return rc;
+  }
+  return monitor.alarms().empty() ? 0 : 1;
+}
+
+int cmd_report(std::vector<std::string> args) {
+  const auto parsed = parse_monitor_args(args, /*report_mode=*/true);
+  if (!parsed) return usage();
+  // The report exists to explain a run after the fact, so the telemetry
+  // that feeds it is always on here, and a crash mid-run still leaves the
+  // flight-recorder tail on stderr.
+  obs::set_enabled(true);
+  obs::FlightRecorder::install_abnormal_exit_dump();
+
+  const auto log = load_log(parsed->log_path);
+  if (!log) return fail("cannot load control log " + parsed->log_path);
+
+  core::SlidingMonitor monitor(parsed->config);
+  monitor.feed(*log);
+  monitor.flush();
+
+  const int rc = write_run_report(monitor, parsed->out_path, parsed->html);
+  if (rc != 0) return rc;
   return monitor.alarms().empty() ? 0 : 1;
 }
 
@@ -434,6 +526,8 @@ int main(int argc, char** argv) {
     rc = cmd_detect(std::move(args));
   } else if (command == "monitor") {
     rc = cmd_monitor(std::move(args));
+  } else if (command == "report") {
+    rc = cmd_report(std::move(args));
   } else {
     return usage();
   }
