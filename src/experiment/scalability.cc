@@ -11,7 +11,7 @@
 
 namespace flowdiff::exp {
 
-ScalabilityResult run_scalability(const ScalabilityConfig& config) {
+of::ControlLog capture_scalability_log(const ScalabilityConfig& config) {
   wl::TreeScenario tree = wl::build_tree_320();
   sim::NetworkConfig net_config;
   net_config.seed = config.seed;
@@ -40,25 +40,31 @@ ScalabilityResult run_scalability(const ScalabilityConfig& config) {
   }
   traffic.start(0, config.duration);
   net.events().run_until(config.duration);
+  return controller.log();
+}
+
+ScalabilityResult run_scalability(const ScalabilityConfig& config) {
+  const of::ControlLog log = capture_scalability_log(config);
 
   ScalabilityResult result;
-  result.packet_ins = controller.log().count<of::PacketIn>();
+  result.packet_ins = log.count<of::PacketIn>();
   result.packet_ins_per_sec =
       static_cast<double>(result.packet_ins) / to_seconds(config.duration);
 
   const auto seconds = static_cast<std::size_t>(
       config.duration / kSecond);
   result.packet_ins_per_sec_series.assign(seconds, 0.0);
-  for (const auto& e : controller.log().events()) {
+  for (const auto& e : log.events()) {
     if (!std::holds_alternative<of::PacketIn>(e.msg)) continue;
     const auto bucket = static_cast<std::size_t>(e.ts / kSecond);
     if (bucket < seconds) result.packet_ins_per_sec_series[bucket] += 1.0;
   }
 
   core::FlowDiffConfig fd_config;
+  fd_config.parallelism = config.workers;
   const core::FlowDiff flowdiff(fd_config);
   const auto t0 = std::chrono::steady_clock::now();
-  const auto model = flowdiff.model(controller.log());
+  const auto model = flowdiff.model(log);
   const auto t1 = std::chrono::steady_clock::now();
   result.processing_sec =
       std::chrono::duration<double>(t1 - t0).count();

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "openflow/control_log.h"
 #include "util/time.h"
 
 namespace flowdiff::exp {
@@ -19,6 +20,9 @@ struct ScalabilityConfig {
   SimDuration duration = 20 * kSecond;
   std::uint64_t seed = 42;
   double reuse_prob = 0.6;
+  /// Worker threads for the timed model build (0 = serial). The model is
+  /// bit-identical at any count; only processing_sec changes.
+  int workers = 0;
 };
 
 struct ScalabilityResult {
@@ -32,5 +36,11 @@ struct ScalabilityResult {
 };
 
 ScalabilityResult run_scalability(const ScalabilityConfig& config);
+
+/// Runs only the simulation half of the experiment and returns the control
+/// log the controller captured — the multi-app workload tests and benches
+/// use it to feed FlowDiff themselves (determinism across worker counts,
+/// worker sweeps) without re-simulating per configuration.
+of::ControlLog capture_scalability_log(const ScalabilityConfig& config);
 
 }  // namespace flowdiff::exp

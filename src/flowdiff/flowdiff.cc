@@ -10,10 +10,13 @@ void FlowDiffConfig::set_special_nodes(std::set<Ipv4> nodes) {
   detector.service_ips = std::move(nodes);
 }
 
-FlowDiff::FlowDiff(FlowDiffConfig config) : config_(std::move(config)) {}
+FlowDiff::FlowDiff(FlowDiffConfig config)
+    : config_(std::move(config)),
+      modeler_(std::make_shared<Modeler>(config_.model,
+                                         config_.parallelism)) {}
 
 BehaviorModel FlowDiff::model(const of::ControlLog& log) const {
-  return build_model(log, config_.model);
+  return modeler_->build(log);
 }
 
 DiffReport FlowDiff::diff(const BehaviorModel& baseline,

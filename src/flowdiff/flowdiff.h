@@ -28,6 +28,9 @@ struct FlowDiffConfig {
   DiffThresholds thresholds;
   ValidationConfig validation;
   DetectorConfig detector;
+  /// Worker threads for model building (util/executor). 0 = serial inline
+  /// on the calling thread; any value yields bit-identical models.
+  int parallelism = 0;
 
   /// Propagates the special-node list into every sub-config that needs it.
   void set_special_nodes(std::set<Ipv4> nodes);
@@ -66,9 +69,13 @@ class FlowDiff {
       bool mask_subjects) const;
 
   [[nodiscard]] const FlowDiffConfig& config() const { return config_; }
+  /// The modeling engine (owns the worker pool sized by
+  /// FlowDiffConfig::parallelism); copies of the facade share it.
+  [[nodiscard]] const Modeler& modeler() const { return *modeler_; }
 
  private:
   FlowDiffConfig config_;
+  std::shared_ptr<Modeler> modeler_;
 };
 
 }  // namespace flowdiff::core

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <future>
+#include <utility>
 
+#include "obs/executor_metrics.h"
 #include "obs/trace.h"
 
 namespace flowdiff::core {
@@ -23,20 +26,28 @@ ParsedLog slice_parsed(const ParsedLog& log, SimTime t0, SimTime t1) {
   return out;
 }
 
-void analyze_stability(const ParsedLog& parsed, const ModelConfig& config,
-                       GroupModel& group) {
-  const int segments = std::max(2, config.stability_segments);
+/// Extracts the stability sub-model for segment `s` of `segments` — one
+/// independent work item of the parallel build; the result lands in a
+/// position-indexed slot, so extraction order never matters.
+GroupSignatures extract_segment_signatures(const ParsedLog& parsed,
+                                           const std::set<Ipv4>& members,
+                                           const ModelConfig& config, int s,
+                                           int segments) {
   const SimTime begin = parsed.begin;
   const SimTime span = std::max<SimTime>(parsed.end - parsed.begin, 1);
+  const SimTime t0 = begin + span * s / segments;
+  const SimTime t1 = begin + span * (s + 1) / segments;
+  return extract_group_signatures(slice_parsed(parsed, t0, t1), members,
+                                  config.app);
+}
 
-  std::vector<GroupSignatures> per_segment;
-  per_segment.reserve(static_cast<std::size_t>(segments));
-  for (int s = 0; s < segments; ++s) {
-    const SimTime t0 = begin + span * s / segments;
-    const SimTime t1 = begin + span * (s + 1) / segments;
-    per_segment.push_back(extract_group_signatures(
-        slice_parsed(parsed, t0, t1), group.sig.members, config.app));
-  }
+/// Judges each signature component against the per-segment sub-models.
+/// Pure reduction: reads the full-window signatures in `group.sig` and the
+/// position-indexed `per_segment` slots, writes only the unstable sets
+/// (std::set — insertion order is irrelevant to the result).
+void analyze_stability(const std::vector<GroupSignatures>& per_segment,
+                       const ModelConfig& config, GroupModel& group) {
+  const int segments = static_cast<int>(per_segment.size());
 
   // CI: any segment pair with a large chi-squared marks the node unstable.
   for (const auto& [node, _] : group.sig.ci.per_node) {
@@ -117,12 +128,23 @@ void analyze_stability(const ParsedLog& parsed, const ModelConfig& config,
 
 }  // namespace
 
-BehaviorModel build_model(const of::ControlLog& log,
-                          const ModelConfig& config) {
+Modeler::Modeler(ModelConfig config, int workers)
+    : config_(std::move(config)),
+      observer_(std::make_shared<obs::ExecutorMetrics>("model.exec")),
+      executor_(std::make_shared<Executor>(
+          workers, static_cast<Executor::Observer*>(observer_.get()))) {}
+
+Modeler::Modeler(ModelConfig config, std::shared_ptr<Executor> executor)
+    : config_(std::move(config)), executor_(std::move(executor)) {
+  if (!executor_) executor_ = std::make_shared<Executor>(0);
+}
+
+BehaviorModel Modeler::build(const of::ControlLog& log) const {
   obs::Span span("model");
   static obs::LatencyHistogram& build_ms =
       obs::Registry::global().histogram("model.build_ms", 5.0);
   const obs::ScopedTimer timer(build_ms);
+  const ModelConfig& config = config_;
 
   BehaviorModel model;
   const ParsedLog parsed = [&log] {
@@ -146,52 +168,123 @@ BehaviorModel build_model(const of::ControlLog& log,
 
   // Partition the log per group up front so modeling stays linear in the
   // log size no matter how many applications run (the paper's sub-linear
-  // processing-time claim depends on this).
+  // processing-time claim depends on this). The scan is sharded across the
+  // pool: each shard classifies a contiguous slice into per-group buckets,
+  // and the buckets are concatenated in shard order afterwards, so the
+  // partition is element-for-element what the single pass produced.
   std::map<Ipv4, int> index_of;
   for (std::size_t g = 0; g < groups.groups.size(); ++g) {
     for (const Ipv4 ip : groups.groups[g]) {
       index_of.emplace(ip, static_cast<int>(g));
     }
   }
-  std::vector<ParsedLog> per_group(groups.groups.size());
+  const std::size_t partition_group_count = groups.groups.size();
+  std::vector<ParsedLog> per_group(partition_group_count);
   for (auto& pg : per_group) {
     pg.begin = parsed.begin;
     pg.end = parsed.end;
   }
-  for (const auto& occ : parsed.occurrences) {
-    const auto it = index_of.find(occ.key.src_ip);
-    if (it == index_of.end()) continue;
-    if (!index_of.contains(occ.key.dst_ip)) continue;
-    per_group[static_cast<std::size_t>(it->second)].occurrences.push_back(
-        occ);
-  }
-  for (const auto& rec : parsed.removed) {
-    const auto it = index_of.find(rec.key.src_ip);
-    if (it == index_of.end()) continue;
-    if (!index_of.contains(rec.key.dst_ip)) continue;
-    per_group[static_cast<std::size_t>(it->second)].removed.push_back(rec);
-  }
-
-  model.groups.reserve(groups.groups.size());
   {
-    const obs::Span sig_span("model/signatures");
-    for (std::size_t g = 0; g < groups.groups.size(); ++g) {
-      GroupModel gm;
-      gm.sig = extract_group_signatures(per_group[g], groups.groups[g],
-                                        config.app);
-      {
-        const obs::Span stability_span("model/stability");
-        analyze_stability(per_group[g], config, gm);
+    const obs::Span partition_span("model/partition");
+    struct PartitionShard {
+      std::vector<std::vector<FlowOccurrence>> occurrences;
+      std::vector<std::vector<RemovedRecord>> removed;
+    };
+    const std::size_t shard_count =
+        executor_->serial()
+            ? 1
+            : static_cast<std::size_t>(executor_->workers()) * 2;
+    std::vector<PartitionShard> shards(shard_count);
+    executor_->parallel_for(shard_count, [&](std::size_t s) {
+      PartitionShard& shard = shards[s];
+      shard.occurrences.resize(partition_group_count);
+      shard.removed.resize(partition_group_count);
+      const auto classify = [&index_of](const of::FlowKey& key) {
+        const auto it = index_of.find(key.src_ip);
+        if (it == index_of.end()) return -1;
+        if (!index_of.contains(key.dst_ip)) return -1;
+        return it->second;
+      };
+      const std::size_t ob = parsed.occurrences.size() * s / shard_count;
+      const std::size_t oe =
+          parsed.occurrences.size() * (s + 1) / shard_count;
+      for (std::size_t i = ob; i < oe; ++i) {
+        const int g = classify(parsed.occurrences[i].key);
+        if (g >= 0) {
+          shard.occurrences[static_cast<std::size_t>(g)].push_back(
+              parsed.occurrences[i]);
+        }
       }
-      model.groups.push_back(std::move(gm));
+      const std::size_t rb = parsed.removed.size() * s / shard_count;
+      const std::size_t re = parsed.removed.size() * (s + 1) / shard_count;
+      for (std::size_t i = rb; i < re; ++i) {
+        const int g = classify(parsed.removed[i].key);
+        if (g >= 0) {
+          shard.removed[static_cast<std::size_t>(g)].push_back(
+              parsed.removed[i]);
+        }
+      }
+    });
+    for (std::size_t g = 0; g < partition_group_count; ++g) {
+      for (const PartitionShard& shard : shards) {
+        per_group[g].occurrences.insert(per_group[g].occurrences.end(),
+                                        shard.occurrences[g].begin(),
+                                        shard.occurrences[g].end());
+        per_group[g].removed.insert(per_group[g].removed.end(),
+                                    shard.removed[g].begin(),
+                                    shard.removed[g].end());
+      }
     }
   }
 
-  {
+  // Infrastructure signatures only read `parsed`; they build on a parallel
+  // branch alongside the application groups.
+  std::future<void> infra = executor_->submit([&model, &parsed] {
     const obs::Span infra_span("model/infra");
     model.infra = extract_infra_signatures(parsed);
+  });
+
+  // Fan-out: the unit of work is one (group, sub-model) pair — unit 0 of
+  // each group is the full-window signature extraction, units 1..segments
+  // the stability sub-models. Flattening avoids nested waits on the pool,
+  // and every unit writes only its own position-indexed slot, which is
+  // what makes the parallel build bit-identical to the serial one.
+  const std::size_t group_count = groups.groups.size();
+  const int segments = std::max(2, config.stability_segments);
+  const auto units_per_group = static_cast<std::size_t>(segments) + 1;
+  model.groups.resize(group_count);
+  std::vector<std::vector<GroupSignatures>> per_segment(group_count);
+  for (auto& segs : per_segment) {
+    segs.resize(static_cast<std::size_t>(segments));
   }
+  {
+    const obs::Span sig_span("model/signatures");
+    executor_->parallel_for(
+        group_count * units_per_group, [&](std::size_t unit) {
+          const std::size_t g = unit / units_per_group;
+          const auto k = static_cast<int>(unit % units_per_group);
+          if (k == 0) {
+            model.groups[g].sig = extract_group_signatures(
+                per_group[g], groups.groups[g], config.app);
+          } else {
+            per_segment[g][static_cast<std::size_t>(k - 1)] =
+                extract_segment_signatures(per_group[g], groups.groups[g],
+                                           config, k - 1, segments);
+          }
+        });
+    const obs::Span stability_span("model/stability");
+    executor_->parallel_for(group_count, [&](std::size_t g) {
+      analyze_stability(per_segment[g], config, model.groups[g]);
+    });
+  }
+
+  infra.get();
   return model;
+}
+
+BehaviorModel build_model(const of::ControlLog& log,
+                          const ModelConfig& config) {
+  return Modeler(config).build(log);
 }
 
 int match_group(const BehaviorModel& model, const std::set<Ipv4>& members) {

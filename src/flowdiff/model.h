@@ -8,12 +8,14 @@
 // balancing is excluded to avoid false positives.
 #pragma once
 
+#include <memory>
 #include <set>
 #include <vector>
 
 #include "flowdiff/app_groups.h"
 #include "flowdiff/app_signatures.h"
 #include "flowdiff/infra_signatures.h"
+#include "util/executor.h"
 
 namespace flowdiff::core {
 
@@ -51,7 +53,37 @@ struct BehaviorModel {
   of::FlowSequence flow_starts;  ///< Kept for task detection/validation.
 };
 
+/// Builds BehaviorModels from control logs. Owns the ModelConfig and the
+/// Executor the build fans out on: per-app-group signature extraction, the
+/// per-segment stability sub-models inside each group, and the
+/// infrastructure signatures are all independent work items. Every
+/// reduction writes into a position-indexed slot (group index, segment
+/// index), so the assembled model is bit-identical to the serial build at
+/// any worker count — parallel_model_test verifies this, don't break it.
+///
+/// `workers == 0` (the default) builds serially inline on the calling
+/// thread; the Modeler then never creates a thread.
+class Modeler {
+ public:
+  explicit Modeler(ModelConfig config, int workers = 0);
+  /// Shares an existing pool (e.g. several Modelers behind one CLI run).
+  Modeler(ModelConfig config, std::shared_ptr<Executor> executor);
+
+  [[nodiscard]] BehaviorModel build(const of::ControlLog& log) const;
+
+  [[nodiscard]] const ModelConfig& config() const { return config_; }
+  [[nodiscard]] Executor& executor() const { return *executor_; }
+
+ private:
+  ModelConfig config_;
+  std::shared_ptr<Executor::Observer> observer_;  ///< Outlives executor_.
+  std::shared_ptr<Executor> executor_;
+};
+
 /// Builds the full behavior model from a control log.
+/// \deprecated Thin serial shim over Modeler{config, /*workers=*/0} —
+/// construct a Modeler (or a FlowDiff facade) instead, which can reuse a
+/// worker pool across builds.
 BehaviorModel build_model(const of::ControlLog& log, const ModelConfig& config);
 
 /// Index of the group in `model` best matching `members` (by overlap);

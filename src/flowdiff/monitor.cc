@@ -25,6 +25,12 @@ struct MonitorMetrics {
       obs::Registry::global().histogram("monitor.events_per_window", 100.0);
   obs::Gauge& audits_dropped =
       obs::Registry::global().gauge("monitor.audits_dropped");
+  obs::Gauge& pipeline_depth =
+      obs::Registry::global().gauge("monitor.pipeline.depth");
+  obs::Counter& pipeline_stalls =
+      obs::Registry::global().counter("monitor.pipeline.stalls");
+  obs::LatencyHistogram& pipeline_stall_ms =
+      obs::Registry::global().histogram("monitor.pipeline.stall_ms", 1.0);
 };
 
 MonitorMetrics& metrics() {
@@ -47,7 +53,21 @@ std::string family_breakdown(const std::vector<Change>& changes) {
 }  // namespace
 
 SlidingMonitor::SlidingMonitor(MonitorConfig config)
-    : config_(std::move(config)), flowdiff_(config_.flowdiff) {}
+    : config_(std::move(config)), flowdiff_(config_.flowdiff) {
+  if (pipelined()) {
+    pipeline_thread_ = std::thread([this] { pipeline_loop(); });
+  }
+}
+
+SlidingMonitor::~SlidingMonitor() {
+  if (!pipeline_thread_.joinable()) return;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  queue_work_.notify_all();
+  pipeline_thread_.join();
+}
 
 void SlidingMonitor::feed(const of::ControlEvent& event) {
   if (window_start_ < 0) {
@@ -64,8 +84,41 @@ void SlidingMonitor::feed(const of::ControlLog& log) {
 }
 
 void SlidingMonitor::flush() {
-  if (window_start_ < 0 || current_.empty()) return;
-  close_window(current_.end_time() + 1);
+  if (window_start_ >= 0 && !current_.empty()) {
+    close_window(current_.end_time() + 1);
+  }
+  drain();
+}
+
+void SlidingMonitor::drain() {
+  if (!pipeline_thread_.joinable()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  queue_idle_.wait(lock, [this] { return queue_.empty() && !processing_; });
+}
+
+bool SlidingMonitor::has_baseline() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return baseline_.has_value();
+}
+
+std::size_t SlidingMonitor::audits_dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return audits_dropped_;
+}
+
+std::size_t SlidingMonitor::windows_processed() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return windows_;
+}
+
+SimTime SlidingMonitor::baseline_captured_at() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return baseline_begin_;
+}
+
+std::uint64_t SlidingMonitor::pipeline_stalls() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stalls_;
 }
 
 void SlidingMonitor::close_window(SimTime window_end) {
@@ -74,15 +127,83 @@ void SlidingMonitor::close_window(SimTime window_end) {
   of::ControlLog window_log = std::move(current_);
   current_ = of::ControlLog{};
   if (window_log.empty()) return;  // Idle window: nothing to model.
+  if (pipelined()) {
+    enqueue_window(PendingWindow{std::move(window_log), begin, window_end});
+    return;
+  }
+  process_window(std::move(window_log), begin, window_end);
+}
 
+void SlidingMonitor::enqueue_window(PendingWindow pending) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (queue_.size() >= config_.pipeline_depth) {
+      // Backpressure: ingestion outran the modeler. Block until the
+      // pipeline catches up; the stall is the signal a production deploy
+      // would alert on (window too small, or workers too few).
+      ++stalls_;
+      metrics().pipeline_stalls.inc();
+      if (obs::enabled()) {
+        obs::FlightRecorder::global().record(
+            obs::Severity::kWarn, "monitor", "pipeline backpressure stall",
+            {{"backlog", std::to_string(queue_.size())},
+             {"depth_limit", std::to_string(config_.pipeline_depth)}},
+            to_seconds(pending.begin));
+      }
+      const auto stall_start = std::chrono::steady_clock::now();
+      queue_space_.wait(lock, [this] {
+        return queue_.size() < config_.pipeline_depth;
+      });
+      const std::chrono::duration<double, std::milli> stalled =
+          std::chrono::steady_clock::now() - stall_start;
+      metrics().pipeline_stall_ms.observe(stalled.count());
+    }
+    queue_.push_back(std::move(pending));
+    metrics().pipeline_depth.set(
+        static_cast<std::int64_t>(queue_.size()));
+  }
+  queue_work_.notify_one();
+}
+
+void SlidingMonitor::pipeline_loop() {
+  for (;;) {
+    PendingWindow pending;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_work_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        queue_idle_.notify_all();
+        return;  // stop_ set and backlog drained.
+      }
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+      processing_ = true;
+      metrics().pipeline_depth.set(
+          static_cast<std::int64_t>(queue_.size()));
+    }
+    queue_space_.notify_one();
+    process_window(std::move(pending.log), pending.begin, pending.end);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      processing_ = false;
+      if (queue_.empty()) queue_idle_.notify_all();
+    }
+  }
+}
+
+void SlidingMonitor::process_window(of::ControlLog window_log, SimTime begin,
+                                    SimTime window_end) {
   const obs::Span span("monitor/window");
   const auto wall_start = std::chrono::steady_clock::now();
   WindowAudit audit;
-  audit.index = windows_;
   audit.window_begin = begin;
   audit.window_end = window_end;
   audit.events = window_log.size();
-  ++windows_;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    audit.index = windows_;
+    ++windows_;
+  }
   metrics().windows.inc();
   metrics().events.inc(window_log.size());
   metrics().events_per_window.observe(
@@ -90,8 +211,11 @@ void SlidingMonitor::close_window(SimTime window_end) {
 
   BehaviorModel model = flowdiff_.model(window_log);
   if (!baseline_) {
-    baseline_ = std::move(model);
-    baseline_begin_ = begin;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      baseline_ = std::move(model);
+      baseline_begin_ = begin;
+    }
     audit.baseline_capture = true;
     audit.decision = "adopted as baseline (first non-idle window)";
     if (obs::enabled()) {
@@ -125,6 +249,7 @@ void SlidingMonitor::close_window(SimTime window_end) {
            {"families", family_breakdown(report.unknown)}},
           to_seconds(begin));
     }
+    const std::lock_guard<std::mutex> lock(mu_);
     alarms_.push_back(MonitorAlarm{begin, window_end, std::move(report)});
   } else {
     metrics().clean.inc();
@@ -137,8 +262,11 @@ void SlidingMonitor::close_window(SimTime window_end) {
     }
   }
   if (clean && config_.rolling_baseline) {
-    baseline_ = std::move(model);
-    baseline_begin_ = begin;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      baseline_ = std::move(model);
+      baseline_begin_ = begin;
+    }
     audit.rebaselined = true;
     audit.decision += "; baseline rolled forward";
     metrics().rebaselines.inc();
@@ -153,14 +281,19 @@ void SlidingMonitor::finish_audit(
   audit.wall_ms = wall.count();
   metrics().window_ms.observe(audit.wall_ms);
   const double window_end_s = to_seconds(audit.window_end);
-  audits_.push_back(std::move(audit));
-  // Rotation keeps week-long runs at fixed memory: oldest audits leave,
-  // the gauge records how much history the trail no longer covers.
-  while (config_.max_audits > 0 && audits_.size() > config_.max_audits) {
-    audits_.pop_front();
-    ++audits_dropped_;
+  std::size_t dropped = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    audits_.push_back(std::move(audit));
+    // Rotation keeps week-long runs at fixed memory: oldest audits leave,
+    // the gauge records how much history the trail no longer covers.
+    while (config_.max_audits > 0 && audits_.size() > config_.max_audits) {
+      audits_.pop_front();
+      ++audits_dropped_;
+    }
+    dropped = audits_dropped_;
   }
-  metrics().audits_dropped.set(static_cast<std::int64_t>(audits_dropped_));
+  metrics().audits_dropped.set(static_cast<std::int64_t>(dropped));
 
   // Per-window telemetry cadence: snapshot every registered metric at the
   // window's virtual end time, then let the watchdog look at the newest

@@ -10,9 +10,12 @@
 #pragma once
 
 #include <chrono>
+#include <condition_variable>
 #include <deque>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "flowdiff/flowdiff.h"
@@ -37,6 +40,15 @@ struct MonitorConfig {
   /// sample and file flight-recorder warnings when the diagnoser itself
   /// degrades.
   bool self_watchdog = true;
+  /// > 0 enables pipelined window processing: a closed window's model+diff
+  /// runs on a dedicated pipeline thread while feed() keeps ingesting the
+  /// next window. The value bounds the closed-windows-in-flight backlog;
+  /// when it is full, feed() blocks (backpressure) until the pipeline
+  /// catches up, recording a flight-recorder event and bumping
+  /// monitor.pipeline.stalls. Windows are processed strictly in closing
+  /// order by one thread, so alarms, audits, and baseline evolution are
+  /// identical to the synchronous mode (pipeline_depth == 0).
+  std::size_t pipeline_depth = 0;
 };
 
 struct MonitorAlarm {
@@ -64,22 +76,36 @@ struct WindowAudit {
   std::string decision;        ///< Human-readable explanation.
 };
 
+/// In pipelined mode (MonitorConfig::pipeline_depth > 0), feed() may block
+/// on backpressure and window results materialize asynchronously; call
+/// flush() (or drain()) before reading alarms()/audits() — both synchronize
+/// with the pipeline thread, so reads after them are race-free.
 class SlidingMonitor {
  public:
   explicit SlidingMonitor(MonitorConfig config);
+  ~SlidingMonitor();
+
+  SlidingMonitor(const SlidingMonitor&) = delete;
+  SlidingMonitor& operator=(const SlidingMonitor&) = delete;
 
   /// Feeds one control event; events must arrive in time order. Closing a
   /// window (the event's timestamp crossing the boundary) triggers the
-  /// diff for the window that just ended.
+  /// diff for the window that just ended — inline in synchronous mode, on
+  /// the pipeline thread (with bounded backlog) in pipelined mode.
   void feed(const of::ControlEvent& event);
 
   /// Convenience: feeds a whole log.
   void feed(const of::ControlLog& log);
 
-  /// Closes the current partial window (end of stream / shutdown).
+  /// Closes the current partial window (end of stream / shutdown) and, in
+  /// pipelined mode, waits until every enqueued window was processed.
   void flush();
 
-  [[nodiscard]] bool has_baseline() const { return baseline_.has_value(); }
+  /// Waits until the pipeline backlog is empty (no partial-window close).
+  /// No-op in synchronous mode.
+  void drain();
+
+  [[nodiscard]] bool has_baseline() const;
   [[nodiscard]] const std::vector<MonitorAlarm>& alarms() const {
     return alarms_;
   }
@@ -89,17 +115,30 @@ class SlidingMonitor {
     return audits_;
   }
   /// Audit records rotated out by the max_audits cap.
-  [[nodiscard]] std::size_t audits_dropped() const { return audits_dropped_; }
-  [[nodiscard]] std::size_t windows_processed() const { return windows_; }
-  [[nodiscard]] SimTime baseline_captured_at() const {
-    return baseline_begin_;
-  }
+  [[nodiscard]] std::size_t audits_dropped() const;
+  [[nodiscard]] std::size_t windows_processed() const;
+  [[nodiscard]] SimTime baseline_captured_at() const;
+  /// feed() calls that hit a full pipeline backlog and had to wait.
+  [[nodiscard]] std::uint64_t pipeline_stalls() const;
 
  private:
+  struct PendingWindow {
+    of::ControlLog log;
+    SimTime begin = 0;
+    SimTime end = 0;
+  };
+
   void close_window(SimTime window_end);
+  /// Models + diffs one closed window and commits the outcome; runs on the
+  /// caller in synchronous mode, on pipeline_thread_ otherwise.
+  void process_window(of::ControlLog window_log, SimTime begin,
+                      SimTime window_end);
   /// Stamps the wall time onto the audit record and files it.
   void finish_audit(WindowAudit audit,
                     std::chrono::steady_clock::time_point wall_start);
+  void enqueue_window(PendingWindow pending);
+  void pipeline_loop();
+  [[nodiscard]] bool pipelined() const { return config_.pipeline_depth > 0; }
 
   MonitorConfig config_;
   FlowDiff flowdiff_;
@@ -112,6 +151,19 @@ class SlidingMonitor {
   std::size_t audits_dropped_ = 0;
   std::size_t windows_ = 0;
   obs::Watchdog watchdog_;
+
+  // Pipelined mode only. mu_ guards the queue and the result/baseline
+  // state committed by process_window; the pipeline thread is the sole
+  // consumer, so windows retire in FIFO order.
+  mutable std::mutex mu_;
+  std::condition_variable queue_space_;  ///< Backpressure: queue shrank.
+  std::condition_variable queue_work_;   ///< Work arrived (or stop).
+  std::condition_variable queue_idle_;   ///< Backlog empty and not busy.
+  std::deque<PendingWindow> queue_;
+  bool processing_ = false;  ///< Pipeline thread is inside process_window.
+  bool stop_ = false;
+  std::uint64_t stalls_ = 0;
+  std::thread pipeline_thread_;
 };
 
 }  // namespace flowdiff::core

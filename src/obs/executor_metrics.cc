@@ -1,0 +1,21 @@
+#include "obs/executor_metrics.h"
+
+namespace flowdiff::obs {
+
+ExecutorMetrics::ExecutorMetrics(const std::string& prefix)
+    : depth_(Registry::global().gauge(prefix + ".queue_depth")),
+      tasks_(Registry::global().counter(prefix + ".tasks")),
+      queue_ms_(Registry::global().histogram(prefix + ".queue_ms", 1.0)),
+      run_ms_(Registry::global().histogram(prefix + ".run_ms", 1.0)) {}
+
+void ExecutorMetrics::on_queue_depth(std::size_t depth) {
+  depth_.set(static_cast<std::int64_t>(depth));
+}
+
+void ExecutorMetrics::on_task_done(double queue_ms, double run_ms) {
+  tasks_.inc();
+  queue_ms_.observe(queue_ms);
+  run_ms_.observe(run_ms);
+}
+
+}  // namespace flowdiff::obs

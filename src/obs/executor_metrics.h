@@ -1,0 +1,40 @@
+// Adapts util/Executor's observer hook onto the metrics registry.
+//
+// util cannot depend on obs (layering), so the executor exposes a plain
+// virtual Observer; this adapter publishes the callbacks as registry
+// instruments under a caller-chosen prefix:
+//
+//   <prefix>.queue_depth   gauge      pending tasks (peak = backlog HWM)
+//   <prefix>.tasks         counter    tasks finished
+//   <prefix>.queue_ms      histogram  time tasks waited before running
+//   <prefix>.run_ms        histogram  time tasks spent executing
+//
+// queue_ms versus run_ms is the pool's utilization story: a busy pool with
+// near-zero queue_ms is sized right, growing queue_ms means the modeling
+// fan-out is starved for workers. Mutations go through the usual
+// obs::enabled() gate, so an instrumented executor costs one branch per
+// callback while observability is off.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/executor.h"
+
+namespace flowdiff::obs {
+
+class ExecutorMetrics final : public Executor::Observer {
+ public:
+  explicit ExecutorMetrics(const std::string& prefix);
+
+  void on_queue_depth(std::size_t depth) override;
+  void on_task_done(double queue_ms, double run_ms) override;
+
+ private:
+  Gauge& depth_;
+  Counter& tasks_;
+  LatencyHistogram& queue_ms_;
+  LatencyHistogram& run_ms_;
+};
+
+}  // namespace flowdiff::obs

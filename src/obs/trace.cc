@@ -86,6 +86,38 @@ void Span::close() {
   trace.close(name_, id_, parent_, depth_, start_off.count(), dur.count());
 }
 
+std::string render_span_json(const std::vector<SpanRecord>& records) {
+  auto quote = [](const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  };
+  auto ms = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    return std::string(buf);
+  };
+  std::string out = "{\n  \"spans\": [";
+  bool first = true;
+  for (const auto& rec : records) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"id\": " + std::to_string(rec.id) +
+           ", \"parent\": " + std::to_string(rec.parent) +
+           ", \"depth\": " + std::to_string(rec.depth) +
+           ", \"name\": " + quote(rec.name) +
+           ", \"start_ms\": " + ms(rec.start_ms) +
+           ", \"duration_ms\": " + ms(rec.duration_ms) + "}";
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
 std::string render_span_tree(const std::vector<SpanRecord>& records) {
   if (records.empty()) return "trace: no spans recorded\n";
 

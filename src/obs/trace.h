@@ -121,4 +121,10 @@ class ScopedTimer {
 [[nodiscard]] std::string render_span_tree(
     const std::vector<SpanRecord>& records);
 
+/// Machine-readable sibling of render_span_tree ("--trace=*.json" and the
+/// --artifacts trace.json): {"spans": [{id, parent, depth, name, start_ms,
+/// duration_ms}, ...]} in completion order.
+[[nodiscard]] std::string render_span_json(
+    const std::vector<SpanRecord>& records);
+
 }  // namespace flowdiff::obs

@@ -1,5 +1,6 @@
 // BehaviorModel construction on simulated lab runs: group discovery,
-// signature presence, and stability analysis.
+// signature presence, and stability analysis. Built through the Modeler
+// engine (the build_model shim keeps one test for the deprecated path).
 #include "flowdiff/model.h"
 
 #include <gtest/gtest.h>
@@ -43,7 +44,7 @@ struct LabRun {
 TEST(BuildModel, DiscoversCase2Groups) {
   LabRun run(2);
   const BehaviorModel model =
-      build_model(run.controller.log(), run.model_config());
+      Modeler(run.model_config()).build(run.controller.log());
   // Case 2: Rubbis (S25,S12,S4,S14,S15) and osCommerce (S23,S7,S10,S20).
   ASSERT_EQ(model.groups.size(), 2u);
   const int rubbis = match_group(model, {run.lab.ip("S25")});
@@ -62,7 +63,7 @@ TEST(BuildModel, DiscoversCase2Groups) {
 TEST(BuildModel, Case1SharedServersMergeGroups) {
   LabRun run(1);
   const BehaviorModel model =
-      build_model(run.controller.log(), run.model_config());
+      Modeler(run.model_config()).build(run.controller.log());
   // Rubbis-b and osCommerce share S10/S20: they form one group; rubbis-a
   // is separate -> 2 groups total.
   EXPECT_EQ(model.groups.size(), 2u);
@@ -77,7 +78,7 @@ TEST(BuildModel, Case1SharedServersMergeGroups) {
 TEST(BuildModel, SignaturesPopulated) {
   LabRun run(2);
   const BehaviorModel model =
-      build_model(run.controller.log(), run.model_config());
+      Modeler(run.model_config()).build(run.controller.log());
   const int g = match_group(model, {run.lab.ip("S25")});
   ASSERT_GE(g, 0);
   const auto& sig = model.groups[static_cast<std::size_t>(g)].sig;
@@ -96,7 +97,7 @@ TEST(BuildModel, SignaturesPopulated) {
 TEST(BuildModel, DdPeakNearGroundTruthProcessingTime) {
   LabRun run(5, 60 * kSecond);
   const BehaviorModel model =
-      build_model(run.controller.log(), run.model_config());
+      Modeler(run.model_config()).build(run.controller.log());
   const int g = match_group(model, {run.lab.ip("S3")});
   ASSERT_GE(g, 0);
   const auto& dd = model.groups[static_cast<std::size_t>(g)].sig.dd;
@@ -113,7 +114,7 @@ TEST(BuildModel, DdPeakNearGroundTruthProcessingTime) {
 TEST(BuildModel, SkewedLbMarksCiUnstable) {
   LabRun run(5, 60 * kSecond);
   const BehaviorModel model =
-      build_model(run.controller.log(), run.model_config());
+      Modeler(run.model_config()).build(run.controller.log());
   const int g = match_group(model, {run.lab.ip("S5")});
   ASSERT_GE(g, 0);
   const auto& group = model.groups[static_cast<std::size_t>(g)];
@@ -128,7 +129,7 @@ TEST(BuildModel, SkewedLbMarksCiUnstable) {
 TEST(BuildModel, StableWorkloadKeepsDdStable) {
   LabRun run(2, 60 * kSecond);
   const BehaviorModel model =
-      build_model(run.controller.log(), run.model_config());
+      Modeler(run.model_config()).build(run.controller.log());
   const int g = match_group(model, {run.lab.ip("S25")});
   ASSERT_GE(g, 0);
   const auto& group = model.groups[static_cast<std::size_t>(g)];

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include <string>
 
 #include "experiment/lab_experiment.h"
@@ -39,9 +41,12 @@ MonitorConfig monitor_config(const exp::LabExperiment& lab) {
 }
 
 /// Baseline + healthy + faulty + healthy windows, sampled per window.
-SlidingMonitor run_lab_monitor() {
+/// (Behind unique_ptr: the monitor owns synchronization state and is
+/// neither copyable nor movable.)
+std::unique_ptr<SlidingMonitor> run_lab_monitor() {
   exp::LabExperiment lab{exp::LabExperimentConfig{}};
-  SlidingMonitor monitor(monitor_config(lab));
+  auto monitor_ptr = std::make_unique<SlidingMonitor>(monitor_config(lab));
+  SlidingMonitor& monitor = *monitor_ptr;
   monitor.feed(lab.run_window());
   monitor.flush();
   monitor.feed(lab.run_window());
@@ -52,11 +57,12 @@ SlidingMonitor run_lab_monitor() {
   monitor.flush();
   monitor.feed(lab.run_window());
   monitor.flush();
-  return monitor;
+  return monitor_ptr;
 }
 
 TEST_F(ReportTest, MarkdownJoinsTimelineSeriesAndRecorder) {
-  const SlidingMonitor monitor = run_lab_monitor();
+  const auto monitor_ptr = run_lab_monitor();
+  const SlidingMonitor& monitor = *monitor_ptr;
   ASSERT_FALSE(monitor.alarms().empty());
 
   const std::string report =
@@ -98,7 +104,8 @@ TEST_F(ReportTest, MarkdownJoinsTimelineSeriesAndRecorder) {
 }
 
 TEST_F(ReportTest, HtmlModeProducesMarkup) {
-  const SlidingMonitor monitor = run_lab_monitor();
+  const auto monitor_ptr = run_lab_monitor();
+  const SlidingMonitor& monitor = *monitor_ptr;
   RunReportOptions options;
   options.html = true;
   options.title = "lab run";

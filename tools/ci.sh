@@ -5,20 +5,25 @@
 #      rerun ctest;
 #   3. UndefinedBehaviorSanitizer pass: rebuild with
 #      FLOWDIFF_SANITIZE=undefined and rerun the obs-layer tests (the
-#      sampler/recorder/watchdog code paths PRs keep touching).
+#      sampler/recorder/watchdog code paths PRs keep touching);
+#   4. ThreadSanitizer pass: rebuild with FLOWDIFF_SANITIZE=thread and
+#      rerun the concurrency-heavy suites (executor pool, parallel model
+#      build, monitor pipeline thread, obs layer).
 #
-# Usage: tools/ci.sh [--skip-asan] [--skip-ubsan]
-# Run from anywhere; build trees land in <repo>/build-ci{,-asan,-ubsan}.
+# Usage: tools/ci.sh [--skip-asan] [--skip-ubsan] [--skip-tsan]
+# Run from anywhere; build trees land in <repo>/build-ci{,-asan,-ubsan,-tsan}.
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 4)"
 skip_asan=0
 skip_ubsan=0
+skip_tsan=0
 for arg in "$@"; do
   case "$arg" in
     --skip-asan) skip_asan=1 ;;
     --skip-ubsan) skip_ubsan=1 ;;
+    --skip-tsan) skip_tsan=1 ;;
     *)
       echo "unknown flag: $arg" >&2
       exit 2
@@ -57,6 +62,13 @@ if [[ "$skip_ubsan" -eq 0 ]]; then
   run_suite "$repo/build-ci-ubsan" \
     "--tests=^(ObsTest|TimeseriesTest|FlightRecorderTest|ReportTest)\." \
     -DFLOWDIFF_SANITIZE=undefined
+fi
+
+if [[ "$skip_tsan" -eq 0 ]]; then
+  echo "== TSan: build + concurrency tests (FLOWDIFF_SANITIZE=thread) =="
+  run_suite "$repo/build-ci-tsan" \
+    "--tests=^(ExecutorTest|ParallelModel|MonitorPipeline|SlidingMonitor|ObsTest|TimeseriesTest|FlightRecorderTest)\." \
+    -DFLOWDIFF_SANITIZE=thread
 fi
 
 echo "CI passed."

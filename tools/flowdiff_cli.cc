@@ -15,14 +15,16 @@
 // hold FLOW lines; automata use TaskAutomaton::serialize(). A services
 // file lists special-purpose node IPs, one per line.
 //
-// Every subcommand accepts the global flags --stats[=FILE],
-// --trace[=FILE] and --series[=FILE]: --stats dumps the metrics registry
-// after the run (format picked by FILE extension: .json, .prom, else a
-// text table), --trace dumps the span tree, and --series dumps the
-// sampled metric time series (.json, else CSV). Without FILE all three go
-// to stderr.
+// Every subcommand accepts the global flags --workers=N (worker threads
+// for model building; results are bit-identical at any count) and
+// --artifacts=DIR, which collects every run artifact under one directory:
+// stats.txt, trace.json, series.csv and (monitor/report) report.md. The
+// older per-artifact flags --stats[=FILE], --trace[=FILE] and
+// --series[=FILE] remain as aliases and override the corresponding
+// artifacts path; `flowdiff help` documents the mapping.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <optional>
 #include <set>
 #include <string>
@@ -44,7 +46,7 @@ int fail(const std::string& message) {
   return 2;
 }
 
-int usage() {
+void print_help(std::FILE* out) {
   std::fputs(
       "usage:\n"
       "  flowdiff summary <log> [--services FILE]\n"
@@ -55,58 +57,119 @@ int usage() {
       "  flowdiff detect <automaton>... --in <capture.flows> "
       "[--services FILE]\n"
       "  flowdiff monitor <log> [--window SECONDS] [--services FILE] "
-      "[--task FILE]... [--rolling] [--report FILE]\n"
+      "[--task FILE]... [--rolling] [--pipeline DEPTH] [--report FILE]\n"
       "  flowdiff report <log> [--window SECONDS] [--services FILE] "
-      "[--task FILE]... [--rolling] [--out FILE] [--html]\n"
+      "[--task FILE]... [--rolling] [--pipeline DEPTH] [--out FILE] "
+      "[--html]\n"
+      "  flowdiff help\n"
       "global flags (any subcommand):\n"
+      "  --workers=N      worker threads for model building (default 0 = "
+      "serial\n"
+      "                   inline; any N produces bit-identical models)\n"
+      "  --artifacts=DIR  write every run artifact into DIR (created if "
+      "missing):\n"
+      "                     DIR/stats.txt   metrics registry "
+      "(--stats=DIR/stats.txt)\n"
+      "                     DIR/trace.json  span tree "
+      "(--trace=DIR/trace.json)\n"
+      "                     DIR/series.csv  sampled series "
+      "(--series=DIR/series.csv)\n"
+      "                     DIR/report.md   run report, monitor/report "
+      "only\n"
+      "                                     (--report/--out "
+      "DIR/report.md)\n"
+      "                   the per-artifact aliases below override the\n"
+      "                   corresponding DIR path when both are given\n"
       "  --stats[=FILE]   dump metrics after the run (.json/.prom/table "
       "by extension; default stderr)\n"
-      "  --trace[=FILE]   dump the tracing span tree (default stderr)\n"
+      "  --trace[=FILE]   dump the tracing span tree (.json for machine-"
+      "readable; default stderr)\n"
       "  --series[=FILE]  dump sampled metric time series (.json else "
       "CSV; default stderr)\n"
+      "monitor/report flags:\n"
+      "  --pipeline DEPTH overlap window modeling with ingest on a "
+      "pipeline\n"
+      "                   thread; DEPTH bounds the backlog (0 = "
+      "synchronous).\n"
+      "                   Alarms and audits are identical either way.\n"
       "exit status: 0 ok/clean, 1 unknown changes or alarms (diff, "
       "monitor, report), 2 usage or I/O error\n",
-      stderr);
+      out);
+}
+
+int usage() {
+  print_help(stderr);
   return 2;
 }
 
-// --- observability plumbing (--stats / --trace) ---------------------------
+// --- global flags (--workers / --artifacts / --stats / --trace) -----------
 
-struct ObsOptions {
+struct GlobalOptions {
   bool stats = false;
   bool trace = false;
   bool series = false;
-  std::string stats_path;   // empty => stderr
-  std::string trace_path;   // empty => stderr
-  std::string series_path;  // empty => stderr
+  std::string stats_path;     // empty => stderr
+  std::string trace_path;     // empty => stderr
+  std::string series_path;    // empty => stderr
+  std::string artifacts_dir;  // empty => no artifact directory
+  int workers = 0;            // FlowDiffConfig::parallelism
 };
 
-/// Strips --stats[=FILE] / --trace[=FILE] / --series[=FILE] wherever they
-/// appear and enables the obs layer if any was present.
-ObsOptions extract_obs_options(std::vector<std::string>& args) {
-  ObsOptions opts;
+/// Set by main() before the subcommand runs; subcommands read the worker
+/// count and the artifacts directory (for the default report path) here.
+GlobalOptions g_opts;
+
+/// Strips the global flags wherever they appear and enables the obs layer
+/// if any artifact was requested. --artifacts=DIR is sugar for
+/// --stats=DIR/stats.txt --trace=DIR/trace.json --series=DIR/series.csv
+/// (+ a default report path in monitor/report); explicit per-artifact
+/// flags win over the DIR-derived paths regardless of order.
+GlobalOptions extract_global_options(std::vector<std::string>& args) {
+  GlobalOptions opts;
+  bool explicit_stats = false;
+  bool explicit_trace = false;
+  bool explicit_series = false;
   std::vector<std::string> kept;
-  for (const auto& arg : args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
     if (arg == "--stats") {
       opts.stats = true;
     } else if (arg.rfind("--stats=", 0) == 0) {
       opts.stats = true;
+      explicit_stats = true;
       opts.stats_path = arg.substr(std::strlen("--stats="));
     } else if (arg == "--trace") {
       opts.trace = true;
     } else if (arg.rfind("--trace=", 0) == 0) {
       opts.trace = true;
+      explicit_trace = true;
       opts.trace_path = arg.substr(std::strlen("--trace="));
     } else if (arg == "--series") {
       opts.series = true;
     } else if (arg.rfind("--series=", 0) == 0) {
       opts.series = true;
+      explicit_series = true;
       opts.series_path = arg.substr(std::strlen("--series="));
+    } else if (arg.rfind("--artifacts=", 0) == 0) {
+      opts.artifacts_dir = arg.substr(std::strlen("--artifacts="));
+    } else if (arg == "--artifacts" && i + 1 < args.size()) {
+      opts.artifacts_dir = args[++i];
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      opts.workers = std::stoi(arg.substr(std::strlen("--workers=")));
+    } else if (arg == "--workers" && i + 1 < args.size()) {
+      opts.workers = std::stoi(args[++i]);
     } else {
       kept.push_back(arg);
     }
   }
   args = std::move(kept);
+  if (!opts.artifacts_dir.empty()) {
+    opts.stats = opts.trace = opts.series = true;
+    const std::string dir = opts.artifacts_dir;
+    if (!explicit_stats) opts.stats_path = dir + "/stats.txt";
+    if (!explicit_trace) opts.trace_path = dir + "/trace.json";
+    if (!explicit_series) opts.series_path = dir + "/series.csv";
+  }
   if (opts.stats || opts.trace || opts.series) obs::set_enabled(true);
   return opts;
 }
@@ -127,7 +190,7 @@ int emit(const std::string& path, const std::string& text) {
 
 /// Dumps the metrics registry and/or span tree after the subcommand ran.
 /// Failures here degrade the exit code only if the run itself was clean.
-int dump_observability(const ObsOptions& opts) {
+int dump_observability(const GlobalOptions& opts) {
   int rc = 0;
   if (opts.stats) {
     const obs::Snapshot snap = obs::snapshot();
@@ -142,8 +205,10 @@ int dump_observability(const ObsOptions& opts) {
     rc = emit(opts.stats_path, text);
   }
   if (opts.trace && rc == 0) {
-    rc = emit(opts.trace_path,
-              obs::render_span_tree(obs::Trace::global().records()));
+    const auto records = obs::Trace::global().records();
+    rc = emit(opts.trace_path, has_suffix(opts.trace_path, ".json")
+                                   ? obs::render_span_json(records)
+                                   : obs::render_span_tree(records));
   }
   if (opts.series && rc == 0) {
     const std::string text = has_suffix(opts.series_path, ".json")
@@ -192,6 +257,7 @@ int cmd_summary(const std::vector<std::string>& args) {
   const auto log = load_log(positional[0]);
   if (!log) return fail("cannot load control log " + positional[0]);
   core::FlowDiffConfig config;
+  config.parallelism = g_opts.workers;
   if (!services_path.empty()) {
     auto services = load_services(services_path);
     if (!services) return fail("cannot load services " + services_path);
@@ -241,6 +307,7 @@ int cmd_diff(std::vector<std::string> args) {
   if (positional.size() != 2) return usage();
 
   core::FlowDiffConfig config;
+  config.parallelism = g_opts.workers;
   if (!services_path.empty()) {
     auto services = load_services(services_path);
     if (!services) return fail("cannot load services " + services_path);
@@ -392,6 +459,9 @@ std::optional<MonitorCliArgs> parse_monitor_args(
       window_sec = std::stod(args[++i]);
     } else if (args[i] == "--rolling") {
       parsed.config.rolling_baseline = true;
+    } else if (args[i] == "--pipeline" && i + 1 < args.size()) {
+      parsed.config.pipeline_depth =
+          static_cast<std::size_t>(std::stoul(args[++i]));
     } else if (!report_mode && args[i] == "--report" && i + 1 < args.size()) {
       parsed.report_path = args[++i];
     } else if (report_mode && args[i] == "--out" && i + 1 < args.size()) {
@@ -405,6 +475,16 @@ std::optional<MonitorCliArgs> parse_monitor_args(
   if (positional.size() != 1) return std::nullopt;
   parsed.log_path = positional[0];
   parsed.config.window = from_seconds(window_sec);
+  parsed.config.flowdiff.parallelism = g_opts.workers;
+  // --artifacts=DIR supplies the default report destination; an explicit
+  // --report/--out still wins.
+  if (!g_opts.artifacts_dir.empty()) {
+    const std::string fallback = g_opts.artifacts_dir + "/report.md";
+    if (report_mode && parsed.out_path.empty()) parsed.out_path = fallback;
+    if (!report_mode && parsed.report_path.empty()) {
+      parsed.report_path = fallback;
+    }
+  }
   if (!services_path.empty()) {
     auto services = load_services(services_path);
     if (!services) return std::nullopt;
@@ -512,8 +592,21 @@ int cmd_report(std::vector<std::string> args) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  if (command == "help" || command == "--help" || command == "-h") {
+    print_help(stdout);
+    return 0;
+  }
   std::vector<std::string> args(argv + 2, argv + argc);
-  const ObsOptions obs_opts = extract_obs_options(args);
+  const GlobalOptions obs_opts = extract_global_options(args);
+  g_opts = obs_opts;
+  if (!obs_opts.artifacts_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(obs_opts.artifacts_dir, ec);
+    if (ec) {
+      return fail("cannot create artifacts directory " +
+                  obs_opts.artifacts_dir + ": " + ec.message());
+    }
+  }
 
   int rc = 2;
   if (command == "summary") {
