@@ -1,0 +1,120 @@
+// Corruption sweep: diagnosis accuracy vs capture corruption rate.
+//
+// The paper assumes a clean control log; this bench measures how far that
+// assumption can erode before FlowDiff's verdicts do. One lab simulation
+// produces a healthy baseline window, a second healthy window, and a
+// server-slowdown fault window (Table I's verbose-logging fault). Each
+// capture is then corrupted at increasing rates (drop + duplicate +
+// reorder + truncate, several seeds per rate), pushed through the ingest
+// sanitizer, and diffed against the clean baseline model in degraded mode.
+//
+// Reported per rate:
+//   recall       fault windows where the slowdown's DD change survives as
+//                an unsuppressed unknown (the alarm still fires);
+//   false alarm  healthy windows that still raise an unknown change
+//                (corruption fabricating a fault);
+//   suppressed   mean low-confidence changes withheld by degraded mode.
+#include <cstdio>
+#include <vector>
+
+#include "experiment/lab_experiment.h"
+#include "faults/corruptor.h"
+#include "faults/faults.h"
+#include "ingest/sanitizer.h"
+#include "util/table.h"
+
+namespace flowdiff {
+namespace {
+
+struct Verdict {
+  bool dd_alarm = false;        ///< DD change among unsuppressed unknowns.
+  bool any_alarm = false;       ///< Any unsuppressed unknown at all.
+  std::size_t suppressed = 0;
+};
+
+Verdict judge(const core::FlowDiff& flowdiff,
+              const core::BehaviorModel& baseline,
+              const of::ControlLog& capture, double rate,
+              std::uint64_t seed) {
+  std::vector<of::ControlEvent> arrivals{capture.events().begin(),
+                                         capture.events().end()};
+  if (rate > 0.0) {
+    faults::StreamCorruptor corruptor(
+        faults::CorruptorConfig::uniform(rate, seed));
+    arrivals = corruptor.corrupt(capture);
+  }
+  const auto sanitized = ingest::sanitize_log(arrivals);
+  const auto model = flowdiff.model(sanitized.log);
+  const auto report =
+      flowdiff.diff(baseline, model, {}, &sanitized.quality);
+
+  Verdict verdict;
+  verdict.any_alarm = !report.unknown.empty();
+  verdict.suppressed = report.suppressed.size();
+  for (const auto& change : report.unknown) {
+    if (change.kind == core::SignatureKind::kDd) verdict.dd_alarm = true;
+  }
+  return verdict;
+}
+
+int run() {
+  std::printf("=== corruption sweep: diagnosis accuracy vs capture "
+              "corruption ===\n");
+  std::printf("Server-slowdown fault (S4 +60 ms, Table I) behind a capture "
+              "point corrupted at\nincreasing rates; sanitizer on, "
+              "degraded-mode diff vs the clean baseline model.\n\n");
+
+  exp::LabExperiment lab{exp::LabExperimentConfig{}};
+  const core::FlowDiff flowdiff(lab.flowdiff_config());
+  const auto baseline_model = flowdiff.model(lab.run_window());
+  const of::ControlLog healthy = lab.run_window();
+  faults::ServerSlowdownFault fault(lab.net(), lab.lab().host("S4"),
+                                    60 * kMillisecond, "logging");
+  const of::ControlLog faulty = lab.run_window(&fault);
+
+  const std::vector<double> rates = {0.0, 0.01, 0.02, 0.05, 0.10, 0.20};
+  const std::vector<std::uint64_t> seeds = {11, 23, 47};
+
+  TextTable table({"corruption", "fault recall", "false alarms",
+                   "suppressed/window"});
+  bool clean_perfect = true;
+  for (const double rate : rates) {
+    std::size_t recalled = 0;
+    std::size_t false_alarms = 0;
+    std::size_t suppressed = 0;
+    std::size_t trials = 0;
+    for (const std::uint64_t seed : seeds) {
+      const Verdict on_fault =
+          judge(flowdiff, baseline_model, faulty, rate, seed);
+      const Verdict on_healthy =
+          judge(flowdiff, baseline_model, healthy, rate, seed ^ 0x9e37u);
+      recalled += on_fault.dd_alarm ? 1 : 0;
+      false_alarms += on_healthy.any_alarm ? 1 : 0;
+      suppressed += on_fault.suppressed + on_healthy.suppressed;
+      ++trials;
+      if (rate == 0.0) break;  // No randomness to average at rate 0.
+    }
+    if (rate == 0.0) {
+      clean_perfect = recalled == trials && false_alarms == 0;
+    }
+    table.add_row(
+        {fmt_double(rate * 100.0, 0) + "%",
+         std::to_string(recalled) + "/" + std::to_string(trials),
+         std::to_string(false_alarms) + "/" + std::to_string(trials),
+         fmt_double(static_cast<double>(suppressed) /
+                        static_cast<double>(2 * trials),
+                    1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Clean capture diagnoses perfectly: %s\n",
+              clean_perfect ? "YES" : "no (!)");
+  std::printf("Reading: recall should degrade gracefully with corruption "
+              "while degraded-mode\nsuppression keeps false alarms from "
+              "growing in step.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace flowdiff
+
+int main() { return flowdiff::run(); }

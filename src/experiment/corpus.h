@@ -1,0 +1,55 @@
+// Golden-trace regression corpus: self-describing capture files whose
+// monitor transcripts are committed alongside them.
+//
+// A corpus case is one control-log file with a `# corpus ...` header line
+// encoding the replay configuration (window length, whether the ingest
+// sanitizer is on, the deployment's service IPs), followed by ordinary
+// log_io event lines *in arrival order* — corrupted captures keep their
+// deliberate disorder across the disk round-trip. Replaying a case feeds
+// the events through a SlidingMonitor built from the header and renders
+// the deterministic transcript (render_monitor_transcript); the
+// regression test byte-compares that text against the committed
+// `.golden` file, so any drift in modeling, diffing, diagnosis wording,
+// sanitizer behavior, or report rendering is caught as a one-line diff.
+//
+// tools/gen_corpus.cc regenerates the committed cases when a change is
+// intentional.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "flowdiff/monitor.h"
+#include "openflow/control_log.h"
+
+namespace flowdiff::exp {
+
+/// One parsed corpus file: the monitor configuration its header encodes
+/// plus the capture's events in file (arrival) order.
+struct CorpusCase {
+  core::MonitorConfig config;
+  std::vector<of::ControlEvent> events;
+};
+
+/// The `# corpus ...` header line (with trailing newline) describing how
+/// to replay a capture: window/lateness in microseconds, sanitize flag,
+/// and the comma-separated service IPs wired into FlowDiffConfig.
+[[nodiscard]] std::string corpus_header(const core::MonitorConfig& config);
+
+/// Serializes a full corpus case: header + events in the order given.
+[[nodiscard]] std::string serialize_corpus_case(
+    const core::MonitorConfig& config,
+    const std::vector<of::ControlEvent>& events);
+
+/// Parses a corpus file; nullopt if the header is missing/malformed or
+/// any event line fails to parse.
+[[nodiscard]] std::optional<CorpusCase> parse_corpus_case(
+    std::string_view text);
+
+/// Replays a case through a SlidingMonitor (feed in arrival order, then
+/// flush) and returns the deterministic transcript the golden files pin.
+[[nodiscard]] std::string replay_corpus_case(const CorpusCase& corpus_case);
+
+}  // namespace flowdiff::exp

@@ -1,0 +1,142 @@
+#include "faults/corruptor.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace flowdiff::faults {
+
+CorruptorConfig CorruptorConfig::uniform(double rate, std::uint64_t seed) {
+  CorruptorConfig config;
+  config.drop = rate;
+  config.duplicate = rate;
+  config.reorder = rate;
+  config.truncate = rate;
+  config.seed = seed;
+  return config;
+}
+
+StreamCorruptor::StreamCorruptor(CorruptorConfig config)
+    : config_(config), rng_(config.seed) {}
+
+namespace {
+
+/// Clips the record's byte counter the way a capture point that lost the
+/// tail of the message would; returns false when there was nothing to clip
+/// (the event type carries no counters, or they are already zero).
+bool clip_counters(of::ControlEvent& event) {
+  if (auto* fr = std::get_if<of::FlowRemoved>(&event.msg)) {
+    if (fr->byte_count == 0) return false;
+    fr->byte_count = 0;
+    return true;
+  }
+  if (auto* st = std::get_if<of::FlowStatsReply>(&event.msg)) {
+    if (st->byte_count == 0) return false;
+    st->byte_count = 0;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<of::ControlEvent> StreamCorruptor::corrupt(
+    const of::ControlLog& log) {
+  // Arrival order is modeled as a sort key: event i starts at key i, a
+  // reordered event jumps past `span` later slots, a duplicate rides just
+  // behind its original. One stable sort then realizes the arrival
+  // sequence deterministically.
+  std::vector<std::pair<double, of::ControlEvent>> keyed;
+  keyed.reserve(log.size());
+  double slot = 0.0;
+  for (const auto& event : log.events()) {
+    ++stats_.total;
+    if (rng_.bernoulli(config_.drop)) {
+      ++stats_.dropped;
+      slot += 1.0;
+      continue;
+    }
+    of::ControlEvent corrupted = event;
+    if (rng_.bernoulli(config_.truncate) && clip_counters(corrupted)) {
+      ++stats_.truncated;
+    }
+    double key = slot;
+    if (rng_.bernoulli(config_.reorder)) {
+      key += static_cast<double>(
+                 rng_.uniform_int(1, std::max(1, config_.reorder_span))) +
+             0.5;
+      ++stats_.reordered;
+    }
+    keyed.emplace_back(key, corrupted);
+    if (rng_.bernoulli(config_.duplicate)) {
+      keyed.emplace_back(key + 0.25, corrupted);
+      ++stats_.duplicated;
+    }
+    slot += 1.0;
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  std::vector<of::ControlEvent> out;
+  out.reserve(keyed.size());
+  for (auto& [key, event] : keyed) out.push_back(std::move(event));
+  return out;
+}
+
+std::string StreamCorruptor::corrupt_text(const std::string& text) {
+  std::vector<std::pair<double, std::string>> keyed;
+  std::istringstream stream(text);
+  std::string line;
+  double slot = 0.0;
+  while (std::getline(stream, line)) {
+    if (line.empty() || line[0] == '#') {
+      keyed.emplace_back(slot, line);
+      slot += 1.0;
+      continue;
+    }
+    ++stats_.total;
+    if (rng_.bernoulli(config_.drop)) {
+      ++stats_.dropped;
+      slot += 1.0;
+      continue;
+    }
+    if (rng_.bernoulli(config_.truncate) && line.size() > 1) {
+      line.resize(static_cast<std::size_t>(
+          rng_.uniform_int(1, static_cast<std::int64_t>(line.size()) - 1)));
+      ++stats_.truncated;
+    }
+    if (rng_.bernoulli(config_.byte_flip) && !line.empty()) {
+      const auto pos = static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(line.size()) - 1));
+      line[pos] = static_cast<char>('!' + rng_.uniform_int(0, 93));
+      ++stats_.byte_flipped;
+    }
+    double key = slot;
+    if (rng_.bernoulli(config_.reorder)) {
+      key += static_cast<double>(
+                 rng_.uniform_int(1, std::max(1, config_.reorder_span))) +
+             0.5;
+      ++stats_.reordered;
+    }
+    keyed.emplace_back(key, line);
+    if (rng_.bernoulli(config_.duplicate)) {
+      keyed.emplace_back(key + 0.25, line);
+      ++stats_.duplicated;
+    }
+    slot += 1.0;
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  std::string out;
+  out.reserve(text.size());
+  for (const auto& [key, kept] : keyed) {
+    out += kept;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace flowdiff::faults

@@ -1,0 +1,79 @@
+// StreamCorruptor: deterministic capture-corruption injector.
+//
+// The other injectors in this directory perturb the *data center* the way
+// the paper's lab faults do; this one perturbs the *measurement* itself —
+// the capture path between switches and the analysis pipeline. It applies
+// the four classic capture defects (drop, duplicate, reorder, truncate)
+// with independent per-class probabilities, fully determined by the seed,
+// so every degradation scenario in tests and benches is reproducible from
+// a (config, seed) pair.
+//
+// Two granularities:
+//   * corrupt(log)   — event-level: returns the raw *arrival sequence*
+//     (a vector, not a ControlLog: ControlLog re-sorts itself, which
+//     would silently undo reordering). Feed it to the ingest sanitizer
+//     or SlidingMonitor event by event.
+//   * corrupt_text() — byte/line-level on a serialized log: drops,
+//     duplicates and swaps lines, clips line tails, and flips bytes, for
+//     fuzzing the log_io parse path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "openflow/control_log.h"
+#include "util/rng.h"
+
+namespace flowdiff::faults {
+
+struct CorruptorConfig {
+  double drop = 0.0;       ///< P(event silently lost).
+  double duplicate = 0.0;  ///< P(event delivered twice).
+  double reorder = 0.0;    ///< P(event displaced later in arrival order).
+  double truncate = 0.0;   ///< P(counter fields clipped to zero).
+  /// How many arrival slots a reordered event is displaced by (uniform in
+  /// [1, reorder_span]). Against a sanitizer, displacement beyond the
+  /// lateness horizon becomes a late drop.
+  int reorder_span = 4;
+  /// corrupt_text() only: P(one byte of a line flipped to a random
+  /// printable character).
+  double byte_flip = 0.0;
+  std::uint64_t seed = 1;
+
+  /// All four event-level classes at the same rate — the ISSUE's
+  /// "combined corruption" sweeps.
+  static CorruptorConfig uniform(double rate, std::uint64_t seed);
+};
+
+struct CorruptionStats {
+  std::uint64_t total = 0;  ///< Events (or lines) examined.
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t truncated = 0;
+  std::uint64_t byte_flipped = 0;
+};
+
+class StreamCorruptor {
+ public:
+  explicit StreamCorruptor(CorruptorConfig config);
+
+  /// Event-level corruption of a captured log; the result is the arrival
+  /// sequence a flaky capture point would deliver.
+  [[nodiscard]] std::vector<of::ControlEvent> corrupt(
+      const of::ControlLog& log);
+
+  /// Line-level corruption of a serialized log (log_io text format).
+  [[nodiscard]] std::string corrupt_text(const std::string& text);
+
+  /// Tally across every corrupt()/corrupt_text() call on this instance.
+  [[nodiscard]] const CorruptionStats& stats() const { return stats_; }
+
+ private:
+  CorruptorConfig config_;
+  Rng rng_;
+  CorruptionStats stats_;
+};
+
+}  // namespace flowdiff::faults

@@ -37,6 +37,59 @@ bool is_infra(SignatureKind kind) {
          kind == SignatureKind::kCrt || kind == SignatureKind::kUtil;
 }
 
+const char* to_string(Confidence confidence) {
+  switch (confidence) {
+    case Confidence::kHigh:
+      return "high";
+    case Confidence::kMedium:
+      return "medium";
+    case Confidence::kLow:
+      return "low";
+  }
+  return "?";
+}
+
+double corruption_tolerance(SignatureKind kind) {
+  switch (kind) {
+    // Counter-derived statistics: every lost or truncated record moves the
+    // per-entry means directly.
+    case SignatureKind::kFs:
+    case SignatureKind::kUtil:
+      return 0.02;
+    // Host attachments ride on sparse per-host evidence (heartbeat-scale):
+    // one window's drop pattern hides hosts another window shows, so even
+    // sub-percent loss flaps the topology diff in both directions — and
+    // measured corruption understates true loss (a dropped event never
+    // reaches the sanitizer). Any measurable corruption distrusts PT.
+    case SignatureKind::kPt:
+      return 0.005;
+    // Distribution shapes and latency baselines: individual samples matter
+    // less, but a few percent loss still distorts tails.
+    case SignatureKind::kDd:
+    case SignatureKind::kCi:
+    case SignatureKind::kPc:
+    case SignatureKind::kIsl:
+    case SignatureKind::kCrt:
+      return 0.05;
+    // Connectivity edges re-announce with every flow between the pair, so
+    // they survive substantial loss before an edge genuinely vanishes.
+    case SignatureKind::kCg:
+      return 0.10;
+  }
+  return 0.05;
+}
+
+Confidence change_confidence(SignatureKind kind,
+                             const ingest::StreamQuality& quality) {
+  if (!quality.degraded()) return Confidence::kHigh;
+  const double effective = quality.effective_corruption_rate();
+  const double tolerance = corruption_tolerance(kind);
+  if (effective > tolerance) return Confidence::kLow;
+  // Degraded but within what the family absorbs: trust the change, flag
+  // the grade.
+  return Confidence::kMedium;
+}
+
 namespace {
 
 ComponentRef edge_component(const HostEdge& e) {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "flowdiff/model.h"
+#include "ingest/stream_quality.h"
 
 namespace flowdiff::core {
 
@@ -27,6 +28,30 @@ enum class SignatureKind : std::uint8_t {
 [[nodiscard]] const char* to_string(SignatureKind kind);
 [[nodiscard]] bool is_infra(SignatureKind kind);
 
+/// How much a change found over a degraded capture stream can be trusted.
+/// Graded per signature family: a 5% event loss barely moves the
+/// connectivity graph (every flow re-announces edges) but visibly skews
+/// per-entry flow statistics.
+enum class Confidence : std::uint8_t {
+  kHigh,    ///< Clean stream, or corruption far below the family's tolerance.
+  kMedium,  ///< Degraded stream but corruption within tolerance.
+  kLow,     ///< Corruption beyond tolerance: the change may be an artifact.
+};
+
+[[nodiscard]] const char* to_string(Confidence confidence);
+
+/// The effective corruption rate (measured + estimated capture loss) this
+/// signature family tolerates before changes in it become untrustworthy.
+/// Counter-based families (FS, Util) are the most fragile; redundant
+/// structural families (CG, PT) the most robust.
+[[nodiscard]] double corruption_tolerance(SignatureKind kind);
+
+/// Grades a change of `kind` against the window's stream quality. A
+/// non-degraded stream always yields kHigh, which keeps clean-log output
+/// byte-identical to a sanitizer-less run.
+[[nodiscard]] Confidence change_confidence(
+    SignatureKind kind, const ingest::StreamQuality& quality);
+
 struct ComponentRef {
   std::string label;
   std::vector<Ipv4> ips;  ///< Host endpoints involved (empty: switch-only).
@@ -45,6 +70,9 @@ struct Change {
   std::vector<ComponentRef> components;
   SimTime approx_time = -1;  ///< -1 when unknown.
   int group_index = -1;      ///< Baseline group, -1 for infra/new groups.
+  /// Trust grade given the window's stream quality; kHigh unless the diff
+  /// was handed a degraded StreamQuality record.
+  Confidence confidence = Confidence::kHigh;
 };
 
 struct DiffThresholds {

@@ -1,6 +1,7 @@
 #include "flowdiff/flowdiff.h"
 
 #include "obs/trace.h"
+#include "util/table.h"
 
 namespace flowdiff::core {
 
@@ -21,9 +22,11 @@ BehaviorModel FlowDiff::model(const of::ControlLog& log) const {
 
 DiffReport FlowDiff::diff(const BehaviorModel& baseline,
                           const BehaviorModel& current,
-                          const std::vector<TaskAutomaton>& tasks) const {
+                          const std::vector<TaskAutomaton>& tasks,
+                          const ingest::StreamQuality* quality) const {
   const obs::Span report_span("report");
   DiffReport report;
+  if (quality != nullptr) report.quality = *quality;
   report.changes = diff_models(baseline, current, config_.thresholds);
 
   if (!tasks.empty()) {
@@ -39,6 +42,34 @@ DiffReport FlowDiff::diff(const BehaviorModel& baseline,
     report.known = validated.known;
     report.known_explanations = validated.explanations;
     report.unknown = validated.unknown;
+  }
+
+  if (report.degraded()) {
+    // Degraded mode: grade every change against its family's corruption
+    // tolerance, then withhold low-confidence unknowns from diagnosis —
+    // an FS shift measured over a 5%-corrupted stream is as likely an
+    // artifact of the capture as of the data center.
+    const auto grade = [&report](std::vector<Change>& changes) {
+      for (auto& change : changes) {
+        change.confidence = change_confidence(change.kind, report.quality);
+      }
+    };
+    grade(report.changes);
+    grade(report.known);
+    grade(report.unknown);
+    std::vector<Change> trusted;
+    trusted.reserve(report.unknown.size());
+    for (auto& change : report.unknown) {
+      if (change.confidence == Confidence::kLow) {
+        report.suppressed.push_back(std::move(change));
+      } else {
+        trusted.push_back(std::move(change));
+      }
+    }
+    report.unknown = std::move(trusted);
+    static obs::Counter& suppressed =
+        obs::Registry::global().counter("diff.changes.suppressed");
+    suppressed.inc(report.suppressed.size());
   }
 
   static obs::Counter& known =
@@ -68,11 +99,17 @@ MinedTask FlowDiff::learn_task(const std::string& name,
 }
 
 std::string DiffReport::render() const {
+  // Every degraded-mode addition below is gated on degraded() — hard
+  // corruption evidence only — so a clean capture renders byte-identically
+  // whether or not a sanitizer sat in front of the diff.
   std::string out;
   out += "=== FlowDiff report ===\n";
   out += "changes: " + std::to_string(changes.size()) + " (known " +
          std::to_string(known.size()) + ", unknown " +
          std::to_string(unknown.size()) + ")\n";
+  if (degraded()) {
+    out += "stream quality: DEGRADED (" + quality.summary() + ")\n";
+  }
 
   if (!detected_tasks.empty()) {
     out += "\ndetected operator tasks:\n";
@@ -96,7 +133,12 @@ std::string DiffReport::render() const {
     out += "\nUNKNOWN changes (debugging flags):\n";
     for (const auto& change : unknown) {
       out += "  [" + std::string(to_string(change.kind)) + "] " +
-             change.description + "\n";
+             change.description;
+      if (degraded()) {
+        out += " (confidence " +
+               std::string(to_string(change.confidence)) + ")";
+      }
+      out += "\n";
     }
     out += "\ndependency matrix:\n" + matrix.render();
     if (!problems.empty()) {
@@ -116,6 +158,17 @@ std::string DiffReport::render() const {
     }
   } else {
     out += "\nno unknown changes: behavior matches the baseline.\n";
+  }
+
+  if (!suppressed.empty()) {
+    out += "\nsuppressed changes (capture stream too corrupted for the "
+           "family):\n";
+    for (const auto& change : suppressed) {
+      out += "  [" + std::string(to_string(change.kind)) + "] " +
+             change.description + " (family tolerates " +
+             fmt_double(corruption_tolerance(change.kind) * 100.0, 0) +
+             "% corruption)\n";
+    }
   }
   return out;
 }

@@ -41,12 +41,21 @@ struct DiffReport {
   std::vector<Change> known;                ///< Task-explained changes.
   std::vector<std::string> known_explanations;
   std::vector<Change> unknown;              ///< Needs operator attention.
+  /// Unknown changes withheld from diagnosis because the capture stream
+  /// was too corrupted for their signature family (confidence low); only
+  /// ever non-empty in degraded mode.
+  std::vector<Change> suppressed;
   std::vector<TaskOccurrence> detected_tasks;
   DependencyMatrix matrix;
   std::vector<ProblemScore> problems;       ///< Best first.
   std::vector<std::pair<std::string, int>> component_ranking;
+  /// Stream quality of the window diffed (all-zero when no sanitizer ran).
+  ingest::StreamQuality quality;
 
   [[nodiscard]] bool clean() const { return unknown.empty(); }
+  /// The capture stream showed hard corruption evidence; confidence
+  /// grades and the suppressed list are meaningful.
+  [[nodiscard]] bool degraded() const { return quality.degraded(); }
   [[nodiscard]] std::string render() const;
 };
 
@@ -59,9 +68,16 @@ class FlowDiff {
 
   /// Diffs `current` against `baseline`; task automata (if given) are
   /// matched against the current log's flow starts to validate changes.
+  /// When `quality` is given (the ingest sanitizer's record for the
+  /// current window) and shows degradation, every change is confidence-
+  /// graded against its family's corruption tolerance and low-confidence
+  /// unknowns are moved to DiffReport::suppressed before diagnosis, so
+  /// alarms are not raised from signature families the capture stream can
+  /// no longer support.
   [[nodiscard]] DiffReport diff(
       const BehaviorModel& baseline, const BehaviorModel& current,
-      const std::vector<TaskAutomaton>& tasks = {}) const;
+      const std::vector<TaskAutomaton>& tasks = {},
+      const ingest::StreamQuality* quality = nullptr) const;
 
   /// Convenience: learn a task automaton with the facade's service list.
   [[nodiscard]] MinedTask learn_task(

@@ -5,6 +5,7 @@
 #include <future>
 #include <utility>
 
+#include "flowdiff/flowdiff.h"
 #include "obs/executor_metrics.h"
 #include "obs/trace.h"
 
@@ -284,7 +285,12 @@ BehaviorModel Modeler::build(const of::ControlLog& log) const {
 
 BehaviorModel build_model(const of::ControlLog& log,
                           const ModelConfig& config) {
-  return Modeler(config).build(log);
+  // Routed through the facade so legacy callers get exactly the facade's
+  // modeling path (span accounting, executor observer wiring) rather than
+  // a second, drifting construction site.
+  FlowDiffConfig fc;
+  fc.model = config;
+  return FlowDiff(std::move(fc)).model(log);
 }
 
 int match_group(const BehaviorModel& model, const std::set<Ipv4>& members) {

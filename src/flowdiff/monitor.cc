@@ -6,6 +6,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "util/table.h"
 
 namespace flowdiff::core {
 
@@ -54,6 +55,7 @@ std::string family_breakdown(const std::vector<Change>& changes) {
 
 SlidingMonitor::SlidingMonitor(MonitorConfig config)
     : config_(std::move(config)), flowdiff_(config_.flowdiff) {
+  if (config_.sanitize) sanitizer_.emplace(config_.ingest);
   if (pipelined()) {
     pipeline_thread_ = std::thread([this] { pipeline_loop(); });
   }
@@ -70,6 +72,18 @@ SlidingMonitor::~SlidingMonitor() {
 }
 
 void SlidingMonitor::feed(const of::ControlEvent& event) {
+  if (!sanitizer_) {
+    ingest_event(event);
+    return;
+  }
+  // The sanitizer re-times the stream: windowing below happens on the
+  // restored order, so a displaced arrival lands in the window its
+  // timestamp belongs to (as long as it beat the lateness horizon).
+  sanitizer_->push(event,
+                   [this](const of::ControlEvent& e) { ingest_event(e); });
+}
+
+void SlidingMonitor::ingest_event(const of::ControlEvent& event) {
   if (window_start_ < 0) {
     window_start_ = event.ts;
   }
@@ -83,7 +97,15 @@ void SlidingMonitor::feed(const of::ControlLog& log) {
   for (const auto& event : log.events()) feed(event);
 }
 
+void SlidingMonitor::feed(const std::vector<of::ControlEvent>& events) {
+  for (const auto& event : events) feed(event);
+}
+
 void SlidingMonitor::flush() {
+  if (sanitizer_) {
+    sanitizer_->flush(
+        [this](const of::ControlEvent& e) { ingest_event(e); });
+  }
   if (window_start_ >= 0 && !current_.empty()) {
     close_window(current_.end_time() + 1);
   }
@@ -121,17 +143,27 @@ std::uint64_t SlidingMonitor::pipeline_stalls() const {
   return stalls_;
 }
 
+ingest::StreamQuality SlidingMonitor::stream_quality() const {
+  return sanitizer_ ? sanitizer_->total() : ingest::StreamQuality{};
+}
+
 void SlidingMonitor::close_window(SimTime window_end) {
   const SimTime begin = window_start_;
   window_start_ = window_end;
   of::ControlLog window_log = std::move(current_);
   current_ = of::ControlLog{};
+  // Window attribution: counters accumulated while this window was open.
+  // Events still in the reorder buffer were fed but not yet kept; they
+  // reconcile in the window that releases them.
+  ingest::StreamQuality quality;
+  if (sanitizer_) quality = sanitizer_->take_window_quality();
   if (window_log.empty()) return;  // Idle window: nothing to model.
   if (pipelined()) {
-    enqueue_window(PendingWindow{std::move(window_log), begin, window_end});
+    enqueue_window(PendingWindow{std::move(window_log), begin, window_end,
+                                 quality});
     return;
   }
-  process_window(std::move(window_log), begin, window_end);
+  process_window(std::move(window_log), begin, window_end, quality);
 }
 
 void SlidingMonitor::enqueue_window(PendingWindow pending) {
@@ -182,7 +214,8 @@ void SlidingMonitor::pipeline_loop() {
           static_cast<std::int64_t>(queue_.size()));
     }
     queue_space_.notify_one();
-    process_window(std::move(pending.log), pending.begin, pending.end);
+    process_window(std::move(pending.log), pending.begin, pending.end,
+                   pending.quality);
     {
       const std::lock_guard<std::mutex> lock(mu_);
       processing_ = false;
@@ -192,13 +225,20 @@ void SlidingMonitor::pipeline_loop() {
 }
 
 void SlidingMonitor::process_window(of::ControlLog window_log, SimTime begin,
-                                    SimTime window_end) {
+                                    SimTime window_end,
+                                    ingest::StreamQuality quality) {
   const obs::Span span("monitor/window");
   const auto wall_start = std::chrono::steady_clock::now();
   WindowAudit audit;
   audit.window_begin = begin;
   audit.window_end = window_end;
   audit.events = window_log.size();
+  audit.quality = quality;
+  if (quality.degraded() && obs::enabled()) {
+    obs::FlightRecorder::global().record(
+        obs::Severity::kWarn, "monitor", "window stream degraded",
+        {{"quality", quality.summary()}}, to_seconds(begin));
+  }
   {
     const std::lock_guard<std::mutex> lock(mu_);
     audit.index = windows_;
@@ -218,6 +258,9 @@ void SlidingMonitor::process_window(of::ControlLog window_log, SimTime begin,
     }
     audit.baseline_capture = true;
     audit.decision = "adopted as baseline (first non-idle window)";
+    if (quality.degraded()) {
+      audit.decision += "; stream DEGRADED (" + quality.summary() + ")";
+    }
     if (obs::enabled()) {
       obs::FlightRecorder::global().record(
           obs::Severity::kInfo, "monitor", "baseline adopted",
@@ -227,11 +270,13 @@ void SlidingMonitor::process_window(of::ControlLog window_log, SimTime begin,
     return;
   }
 
-  DiffReport report = flowdiff_.diff(*baseline_, model, config_.tasks);
+  DiffReport report = flowdiff_.diff(*baseline_, model, config_.tasks,
+                                     &quality);
   const bool clean = report.clean();
   audit.changes = report.changes.size();
   audit.known = report.known.size();
   audit.unknown = report.unknown.size();
+  audit.suppressed = report.suppressed.size();
   if (!clean) {
     audit.alarmed = true;
     audit.decision =
@@ -240,6 +285,10 @@ void SlidingMonitor::process_window(of::ControlLog window_log, SimTime begin,
     if (!report.known.empty()) {
       audit.decision += ", " + std::to_string(report.known.size()) +
                         " task-explained";
+    }
+    if (!report.suppressed.empty()) {
+      audit.decision += ", " + std::to_string(report.suppressed.size()) +
+                        " suppressed (low confidence)";
     }
     metrics().alarms.inc();
     if (obs::enabled()) {
@@ -255,11 +304,22 @@ void SlidingMonitor::process_window(of::ControlLog window_log, SimTime begin,
     metrics().clean.inc();
     if (report.changes.empty()) {
       audit.decision = "clean: no signature changes vs baseline";
-    } else {
+    } else if (report.suppressed.empty()) {
       audit.decision = "clean: " + std::to_string(report.known.size()) +
                        " change(s) all explained by operator tasks [" +
                        family_breakdown(report.known) + "]";
+    } else {
+      // Silent only because the stream could not support the families
+      // involved; the audit keeps the withheld evidence on record.
+      audit.decision = "clean: " + std::to_string(report.known.size()) +
+                       " task-explained, " +
+                       std::to_string(report.suppressed.size()) +
+                       " suppressed (stream too corrupted) [" +
+                       family_breakdown(report.suppressed) + "]";
     }
+  }
+  if (quality.degraded()) {
+    audit.decision += "; stream DEGRADED (" + quality.summary() + ")";
   }
   if (clean && config_.rolling_baseline) {
     {
@@ -302,6 +362,32 @@ void SlidingMonitor::finish_audit(
     obs::Sampler::global().sample(window_end_s);
     if (config_.self_watchdog) watchdog_.check(obs::Sampler::global());
   }
+}
+
+std::string render_monitor_transcript(const SlidingMonitor& monitor) {
+  // Deliberately omits WindowAudit::wall_ms (the only nondeterministic
+  // audit field): the golden corpus diffs this text byte for byte.
+  std::string out;
+  out += "=== monitor transcript ===\n";
+  out += "windows=" + std::to_string(monitor.windows_processed()) +
+         " alarms=" + std::to_string(monitor.alarms().size()) +
+         " audits_dropped=" + std::to_string(monitor.audits_dropped()) +
+         "\n";
+  for (const auto& audit : monitor.audits()) {
+    out += "[" + std::to_string(audit.index) + "] " +
+           fmt_double(to_seconds(audit.window_begin), 1) + "s.." +
+           fmt_double(to_seconds(audit.window_end), 1) +
+           "s events=" + std::to_string(audit.events) + " " +
+           audit.decision + "\n";
+  }
+  std::size_t alarm_no = 0;
+  for (const auto& alarm : monitor.alarms()) {
+    out += "\n--- alarm " + std::to_string(++alarm_no) + ": window " +
+           fmt_double(to_seconds(alarm.window_begin), 1) + "s.." +
+           fmt_double(to_seconds(alarm.window_end), 1) + "s ---\n";
+    out += alarm.report.render();
+  }
+  return out;
 }
 
 }  // namespace flowdiff::core

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "flowdiff/flowdiff.h"
+#include "ingest/sanitizer.h"
 #include "obs/watchdog.h"
 
 namespace flowdiff::core {
@@ -40,6 +41,15 @@ struct MonitorConfig {
   /// sample and file flight-recorder warnings when the diagnoser itself
   /// degrades.
   bool self_watchdog = true;
+  /// Route feed() through an ingest::StreamSanitizer: raw capture
+  /// arrivals may be out of order, duplicated, or truncated; the monitor
+  /// then windows the *sanitized* stream, stamps each WindowAudit with its
+  /// StreamQuality, and diffs in degraded mode (confidence grading, alarm
+  /// suppression) when the window shows corruption. Over a clean stream
+  /// this is invariant: identical alarms, audits, and reports.
+  bool sanitize = false;
+  /// Sanitizer tuning (lateness horizon etc.); used when sanitize is set.
+  ingest::SanitizerConfig ingest;
   /// > 0 enables pipelined window processing: a closed window's model+diff
   /// runs on a dedicated pipeline thread while feed() keeps ingesting the
   /// next window. The value bounds the closed-windows-in-flight backlog;
@@ -73,7 +83,11 @@ struct WindowAudit {
   std::size_t changes = 0;     ///< Raw signature changes found.
   std::size_t known = 0;       ///< Task-explained changes.
   std::size_t unknown = 0;     ///< Changes that raised (or would raise) alarm.
+  std::size_t suppressed = 0;  ///< Unknowns withheld (degraded stream).
   std::string decision;        ///< Human-readable explanation.
+  /// Ingest sanitizer's tally for this window (all-zero when
+  /// MonitorConfig::sanitize is off).
+  ingest::StreamQuality quality;
 };
 
 /// In pipelined mode (MonitorConfig::pipeline_depth > 0), feed() may block
@@ -88,14 +102,21 @@ class SlidingMonitor {
   SlidingMonitor(const SlidingMonitor&) = delete;
   SlidingMonitor& operator=(const SlidingMonitor&) = delete;
 
-  /// Feeds one control event; events must arrive in time order. Closing a
-  /// window (the event's timestamp crossing the boundary) triggers the
-  /// diff for the window that just ended — inline in synchronous mode, on
-  /// the pipeline thread (with bounded backlog) in pipelined mode.
+  /// Feeds one control event. Without a sanitizer events must arrive in
+  /// time order; with MonitorConfig::sanitize they may arrive in raw
+  /// capture order (displaced up to the lateness horizon) and the monitor
+  /// windows the restored stream. Closing a window (a sanitized event's
+  /// timestamp crossing the boundary) triggers the diff for the window
+  /// that just ended — inline in synchronous mode, on the pipeline thread
+  /// (with bounded backlog) in pipelined mode.
   void feed(const of::ControlEvent& event);
 
   /// Convenience: feeds a whole log.
   void feed(const of::ControlLog& log);
+
+  /// Convenience: feeds a raw arrival sequence (e.g. a corrupted capture
+  /// parsed with of::parse_control_events) in the order given.
+  void feed(const std::vector<of::ControlEvent>& events);
 
   /// Closes the current partial window (end of stream / shutdown) and, in
   /// pipelined mode, waits until every enqueued window was processed.
@@ -120,19 +141,25 @@ class SlidingMonitor {
   [[nodiscard]] SimTime baseline_captured_at() const;
   /// feed() calls that hit a full pipeline backlog and had to wait.
   [[nodiscard]] std::uint64_t pipeline_stalls() const;
+  /// Whole-run sanitizer totals (all-zero when sanitize is off). After
+  /// flush(), fed == kept + duplicates + late_dropped + truncated.
+  [[nodiscard]] ingest::StreamQuality stream_quality() const;
 
  private:
   struct PendingWindow {
     of::ControlLog log;
     SimTime begin = 0;
     SimTime end = 0;
+    ingest::StreamQuality quality;
   };
 
+  /// feed() after the sanitizer (or directly, when sanitize is off).
+  void ingest_event(const of::ControlEvent& event);
   void close_window(SimTime window_end);
   /// Models + diffs one closed window and commits the outcome; runs on the
   /// caller in synchronous mode, on pipeline_thread_ otherwise.
   void process_window(of::ControlLog window_log, SimTime begin,
-                      SimTime window_end);
+                      SimTime window_end, ingest::StreamQuality quality);
   /// Stamps the wall time onto the audit record and files it.
   void finish_audit(WindowAudit audit,
                     std::chrono::steady_clock::time_point wall_start);
@@ -142,6 +169,9 @@ class SlidingMonitor {
 
   MonitorConfig config_;
   FlowDiff flowdiff_;
+  /// Engaged when config_.sanitize; feed() pushes raw arrivals through it
+  /// and ingest_event() consumes the restored stream.
+  std::optional<ingest::StreamSanitizer> sanitizer_;
   std::optional<BehaviorModel> baseline_;
   SimTime baseline_begin_ = -1;
   of::ControlLog current_;
@@ -165,5 +195,12 @@ class SlidingMonitor {
   std::uint64_t stalls_ = 0;
   std::thread pipeline_thread_;
 };
+
+/// Renders the monitor's audits and alarms as a deterministic transcript:
+/// identical runs produce identical text (wall-clock fields are omitted),
+/// which is what the golden-trace corpus commits and diffs against. Call
+/// after flush().
+[[nodiscard]] std::string render_monitor_transcript(
+    const SlidingMonitor& monitor);
 
 }  // namespace flowdiff::core

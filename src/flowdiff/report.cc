@@ -231,19 +231,40 @@ std::string render_run_report(const SlidingMonitor& monitor,
       doc.para("Oldest " + std::to_string(monitor.audits_dropped()) +
                " window(s) rotated out of the audit trail.");
     }
+    // The quality column only appears once some window actually showed
+    // corruption — a clean run's report stays byte-identical to one
+    // produced without a sanitizer.
+    bool any_degraded = false;
+    for (const WindowAudit& audit : monitor.audits()) {
+      any_degraded = any_degraded || audit.quality.degraded();
+    }
     std::vector<std::vector<std::string>> rows;
     for (const WindowAudit& audit : monitor.audits()) {
-      rows.push_back({std::to_string(audit.index),
-                      window_label(audit.window_begin, audit.window_end),
-                      std::to_string(audit.events),
-                      fmt_double(audit.wall_ms, 3),
-                      std::to_string(audit.changes),
-                      std::to_string(audit.known),
-                      std::to_string(audit.unknown), audit.decision});
+      std::vector<std::string> row{
+          std::to_string(audit.index),
+          window_label(audit.window_begin, audit.window_end),
+          std::to_string(audit.events),
+          fmt_double(audit.wall_ms, 3),
+          std::to_string(audit.changes),
+          std::to_string(audit.known),
+          std::to_string(audit.unknown)};
+      if (any_degraded) {
+        row.push_back(std::to_string(audit.suppressed));
+        row.push_back(audit.quality.degraded()
+                          ? "DEGRADED " + audit.quality.summary()
+                          : "ok");
+      }
+      row.push_back(audit.decision);
+      rows.push_back(std::move(row));
     }
-    doc.table({"#", "window", "events", "wall_ms", "chg", "known", "unk",
-               "decision"},
-              rows);
+    std::vector<std::string> header{"#",     "window", "events", "wall_ms",
+                                    "chg",   "known",  "unk"};
+    if (any_degraded) {
+      header.push_back("supp");
+      header.push_back("quality");
+    }
+    header.push_back("decision");
+    doc.table(header, rows);
   }
 
   // --- Alarms and diagnosis ------------------------------------------------
@@ -255,10 +276,16 @@ std::string render_run_report(const SlidingMonitor& monitor,
     for (const MonitorAlarm& alarm : monitor.alarms()) {
       doc.heading(3, "Alarm window " +
                          window_label(alarm.window_begin, alarm.window_end));
-      doc.para(std::to_string(alarm.report.unknown.size()) +
-               " unknown change(s), " +
-               std::to_string(alarm.report.known.size()) +
-               " task-explained.");
+      std::string counts = std::to_string(alarm.report.unknown.size()) +
+                           " unknown change(s), " +
+                           std::to_string(alarm.report.known.size()) +
+                           " task-explained.";
+      if (alarm.report.degraded()) {
+        counts += " Stream DEGRADED (" + alarm.report.quality.summary() +
+                  "); " + std::to_string(alarm.report.suppressed.size()) +
+                  " low-confidence change(s) suppressed.";
+      }
+      doc.para(counts);
       doc.code(render_diagnosis_summary(alarm.report.unknown));
     }
   }

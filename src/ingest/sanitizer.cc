@@ -1,0 +1,154 @@
+#include "ingest/sanitizer.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "openflow/log_io.h"
+
+namespace flowdiff::ingest {
+
+namespace {
+
+struct IngestMetrics {
+  obs::Counter& fed = obs::Registry::global().counter("ingest.fed");
+  obs::Counter& kept = obs::Registry::global().counter("ingest.kept");
+  obs::Counter& duplicates =
+      obs::Registry::global().counter("ingest.duplicates");
+  obs::Counter& reordered =
+      obs::Registry::global().counter("ingest.reordered");
+  obs::Counter& late_dropped =
+      obs::Registry::global().counter("ingest.late_dropped");
+  obs::Counter& truncated =
+      obs::Registry::global().counter("ingest.truncated");
+  obs::Gauge& buffer_depth =
+      obs::Registry::global().gauge("ingest.buffer.depth");
+};
+
+IngestMetrics& metrics() {
+  static IngestMetrics m;
+  return m;
+}
+
+}  // namespace
+
+StreamSanitizer::StreamSanitizer(SanitizerConfig config) : config_(config) {}
+
+bool StreamSanitizer::is_truncated(const of::ControlEvent& event) const {
+  // A flow that carried packets carried bytes and vice versa; a record
+  // where one counter is zero and the other is not lost a field in
+  // capture. Both-zero is a legitimate never-hit entry.
+  if (const auto* fr = std::get_if<of::FlowRemoved>(&event.msg)) {
+    return (fr->byte_count == 0) != (fr->packet_count == 0);
+  }
+  if (const auto* st = std::get_if<of::FlowStatsReply>(&event.msg)) {
+    return (st->byte_count == 0) != (st->packet_count == 0);
+  }
+  return false;
+}
+
+void StreamSanitizer::push(const of::ControlEvent& event, const Sink& sink) {
+  ++window_.fed;
+  ++total_.fed;
+  metrics().fed.inc();
+
+  if (config_.drop_truncated && is_truncated(event)) {
+    ++window_.truncated;
+    ++total_.truncated;
+    metrics().truncated.inc();
+    return;
+  }
+
+  if (event.ts < released_up_to_) {
+    // Arrived after the watermark already passed its slot: order cannot be
+    // restored without rewriting history downstream.
+    ++window_.late_dropped;
+    ++total_.late_dropped;
+    metrics().late_dropped.inc();
+    return;
+  }
+
+  const std::string identity = of::serialize_event(event);
+  if (config_.dedup) {
+    const auto [lo, hi] = buffer_.equal_range(event.ts);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second.first == identity) {
+        ++window_.duplicates;
+        ++total_.duplicates;
+        metrics().duplicates.inc();
+        return;
+      }
+    }
+  }
+
+  if (max_ts_ >= 0 && event.ts < max_ts_) {
+    // Within-horizon displacement; the buffer will restore it.
+    ++window_.reordered;
+    ++total_.reordered;
+    metrics().reordered.inc();
+  }
+
+  buffer_.emplace(event.ts, std::make_pair(std::move(identity), event));
+  max_ts_ = std::max(max_ts_, event.ts);
+  metrics().buffer_depth.set(static_cast<std::int64_t>(buffer_.size()));
+  release(max_ts_ - config_.lateness_horizon, sink);
+}
+
+void StreamSanitizer::release(SimTime watermark, const Sink& sink) {
+  while (!buffer_.empty() && buffer_.begin()->first <= watermark) {
+    const of::ControlEvent& event = buffer_.begin()->second.second;
+    ++window_.kept;
+    ++total_.kept;
+    metrics().kept.inc();
+    note_pairing(event);
+    sink(event);
+    buffer_.erase(buffer_.begin());
+  }
+  released_up_to_ = std::max(released_up_to_, watermark);
+  metrics().buffer_depth.set(static_cast<std::int64_t>(buffer_.size()));
+}
+
+void StreamSanitizer::flush(const Sink& sink) {
+  if (max_ts_ >= 0) release(max_ts_, sink);
+}
+
+void StreamSanitizer::note_pairing(const of::ControlEvent& event) {
+  if (const auto* pin = std::get_if<of::PacketIn>(&event.msg)) {
+    if (pin->flow_uid != 0) pair_seen_[pin->flow_uid] |= 1u;
+  } else if (const auto* fm = std::get_if<of::FlowMod>(&event.msg)) {
+    if (fm->flow_uid != 0) pair_seen_[fm->flow_uid] |= 2u;
+  }
+}
+
+StreamQuality StreamSanitizer::take_window_quality() {
+  for (const auto& [uid, bits] : pair_seen_) {
+    if (bits == 3u) {
+      ++window_.pairs_matched;
+    } else if (bits == 1u) {
+      ++window_.orphan_packet_ins;
+    } else if (bits == 2u) {
+      ++window_.orphan_flow_mods;
+    }
+  }
+  pair_seen_.clear();
+  total_.pairs_matched += window_.pairs_matched;
+  total_.orphan_packet_ins += window_.orphan_packet_ins;
+  total_.orphan_flow_mods += window_.orphan_flow_mods;
+  StreamQuality out = window_;
+  window_ = StreamQuality{};
+  return out;
+}
+
+SanitizedLog sanitize_log(const std::vector<of::ControlEvent>& events,
+                          const SanitizerConfig& config) {
+  SanitizedLog out;
+  StreamSanitizer sanitizer(config);
+  const auto sink = [&out](const of::ControlEvent& event) {
+    out.log.append(event);
+  };
+  for (const auto& event : events) sanitizer.push(event, sink);
+  sanitizer.flush(sink);
+  out.quality = sanitizer.take_window_quality();
+  return out;
+}
+
+}  // namespace flowdiff::ingest

@@ -1,0 +1,115 @@
+// Control-stream sanitizer: the ingest edge between capture
+// (openflow/log_io, the controller) and modeling.
+//
+// A production capture point is not the clean oracle the paper assumes:
+// it drops events, duplicates them, delivers them out of order, and
+// truncates counter fields. Feeding such a stream straight into
+// FlowDiff::model() silently skews CG/FS/ISL signatures or trips parsing.
+// The StreamSanitizer restores what can be restored and measures what
+// cannot:
+//
+//   * bounded-lateness reorder buffer — events are held until the
+//     watermark (max timestamp seen - lateness_horizon) passes them, so
+//     any arrival displaced by at most the horizon is emitted back in
+//     timestamp order; arrivals behind an already-released watermark are
+//     dropped and counted (late_dropped);
+//   * duplicate suppression — an arrival identical to a buffered event
+//     with the same timestamp (same message type, switch, flow key,
+//     xid/cookie-equivalent uid, counters) is dropped and counted;
+//   * truncation guard — records whose byte/packet counters contradict
+//     each other (bytes without packets or packets without bytes on
+//     FlowRemoved/FlowStatsReply) are dropped rather than poisoning FS
+//     signatures;
+//   * gap reconciliation — released PacketIns and FlowMods are paired by
+//     flow uid; orphans on either side estimate capture loss that never
+//     reached the sanitizer at all.
+//
+// The per-window tally lands in a StreamQuality record
+// (take_window_quality()), which the monitor attaches to WindowAudits and
+// diff/diagnosis use for degraded-mode confidence grading.
+//
+// Invariant: a clean, time-ordered stream passes through bit-identically
+// (same events, same order) with zero duplicates/late/truncated counts —
+// parallel_model_test and the golden corpus pin this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "ingest/stream_quality.h"
+#include "openflow/control_log.h"
+
+namespace flowdiff::ingest {
+
+struct SanitizerConfig {
+  /// How far (in event time) an arrival may lag the newest timestamp seen
+  /// and still be restored to order. Larger horizons tolerate sloppier
+  /// capture at the cost of buffering latency.
+  SimDuration lateness_horizon = kSecond;
+  /// Suppress exact duplicates that arrive within the horizon.
+  bool dedup = true;
+  /// Drop records whose byte/packet counters contradict each other.
+  bool drop_truncated = true;
+};
+
+class StreamSanitizer {
+ public:
+  using Sink = std::function<void(const of::ControlEvent&)>;
+
+  explicit StreamSanitizer(SanitizerConfig config);
+
+  /// Feeds one raw capture arrival; zero or more sanitized events are
+  /// handed to `sink` in non-decreasing timestamp order.
+  void push(const of::ControlEvent& event, const Sink& sink);
+
+  /// Drains the reorder buffer (end of stream / window shutdown).
+  void flush(const Sink& sink);
+
+  /// Takes the counters accumulated since the last call (plus the
+  /// PacketIn/FlowMod reconciliation of the events released in between)
+  /// and resets them. Events still buffered have been counted as fed but
+  /// not yet kept; the totals reconcile once flush() has run.
+  [[nodiscard]] StreamQuality take_window_quality();
+
+  /// Whole-run totals (never reset). After flush(),
+  /// fed == kept + duplicates + late_dropped + truncated.
+  [[nodiscard]] const StreamQuality& total() const { return total_; }
+
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
+  [[nodiscard]] const SanitizerConfig& config() const { return config_; }
+
+ private:
+  /// Emits every buffered event with ts <= watermark, oldest first.
+  void release(SimTime watermark, const Sink& sink);
+  /// Pairs released PacketIns/FlowMods by flow uid (uid 0 = unknown).
+  void note_pairing(const of::ControlEvent& event);
+  [[nodiscard]] bool is_truncated(const of::ControlEvent& event) const;
+
+  SanitizerConfig config_;
+  /// Reorder buffer keyed by timestamp; the cached serialization doubles
+  /// as the duplicate-suppression identity.
+  std::multimap<SimTime, std::pair<std::string, of::ControlEvent>> buffer_;
+  SimTime max_ts_ = -1;           ///< Newest timestamp ever pushed.
+  SimTime released_up_to_ = -1;   ///< Highest watermark already released.
+  StreamQuality window_;
+  StreamQuality total_;
+  /// flow uid -> bitmask (1 = PacketIn seen, 2 = FlowMod seen) since the
+  /// last take_window_quality().
+  std::unordered_map<std::uint64_t, unsigned> pair_seen_;
+};
+
+/// Convenience: runs a whole raw arrival sequence through a sanitizer and
+/// returns the sanitized, time-ordered log plus the run's quality record.
+struct SanitizedLog {
+  of::ControlLog log;
+  StreamQuality quality;
+};
+[[nodiscard]] SanitizedLog sanitize_log(
+    const std::vector<of::ControlEvent>& events,
+    const SanitizerConfig& config = {});
+
+}  // namespace flowdiff::ingest

@@ -121,61 +121,73 @@ class Reader {
   std::istringstream stream_;
 };
 
+void append_event(std::string& out, const ControlEvent& event) {
+  const std::string prefix = std::to_string(event.ts) + ' ' +
+                             std::to_string(event.controller.value) + ' ';
+  if (const auto* pin = std::get_if<PacketIn>(&event.msg)) {
+    out += "PIN " + prefix + std::to_string(pin->sw.value) + ' ' +
+           std::to_string(pin->in_port.value) + ' ';
+    append_key(out, pin->key);
+    out += ' ' + std::to_string(pin->flow_uid) + '\n';
+  } else if (const auto* fm = std::get_if<FlowMod>(&event.msg)) {
+    out += "FMOD " + prefix + std::to_string(fm->sw.value) + ' ' +
+           std::to_string(fm->out_port.value) + ' ' +
+           std::to_string(fm->idle_timeout) + ' ' +
+           std::to_string(fm->hard_timeout) + ' ';
+    append_match(out, fm->match);
+    out += ' ';
+    append_key(out, fm->key);
+    out += ' ' + std::to_string(fm->flow_uid) + '\n';
+  } else if (const auto* po = std::get_if<PacketOut>(&event.msg)) {
+    out += "POUT " + prefix + std::to_string(po->sw.value) + ' ' +
+           std::to_string(po->out_port.value) + ' ';
+    append_key(out, po->key);
+    out += ' ' + std::to_string(po->flow_uid) + '\n';
+  } else if (const auto* fr = std::get_if<FlowRemoved>(&event.msg)) {
+    out += "FREM " + prefix + std::to_string(fr->sw.value) + ' ' +
+           std::to_string(static_cast<int>(fr->reason)) + ' ' +
+           std::to_string(fr->duration) + ' ' +
+           std::to_string(fr->byte_count) + ' ' +
+           std::to_string(fr->packet_count) + ' ';
+    append_match(out, fr->match);
+    out += ' ';
+    append_key(out, fr->key);
+    out += '\n';
+  } else if (const auto* echo = std::get_if<EchoReply>(&event.msg)) {
+    out += "ECHO " + prefix + std::to_string(echo->sw.value) + '\n';
+  } else if (const auto* st = std::get_if<FlowStatsReply>(&event.msg)) {
+    out += "STAT " + prefix + std::to_string(st->sw.value) + ' ' +
+           std::to_string(st->age) + ' ' +
+           std::to_string(st->byte_count) + ' ' +
+           std::to_string(st->packet_count) + ' ';
+    append_match(out, st->match);
+    out += ' ';
+    append_key(out, st->key);
+    out += '\n';
+  }
+}
+
 }  // namespace
 
-std::string serialize(const ControlLog& log) {
+std::string serialize_event(const ControlEvent& event) {
   std::string out;
-  out += "# flowdiff control log v1\n";
-  for (const auto& event : log.events()) {
-    const std::string prefix = std::to_string(event.ts) + ' ' +
-                               std::to_string(event.controller.value) + ' ';
-    if (const auto* pin = std::get_if<PacketIn>(&event.msg)) {
-      out += "PIN " + prefix + std::to_string(pin->sw.value) + ' ' +
-             std::to_string(pin->in_port.value) + ' ';
-      append_key(out, pin->key);
-      out += ' ' + std::to_string(pin->flow_uid) + '\n';
-    } else if (const auto* fm = std::get_if<FlowMod>(&event.msg)) {
-      out += "FMOD " + prefix + std::to_string(fm->sw.value) + ' ' +
-             std::to_string(fm->out_port.value) + ' ' +
-             std::to_string(fm->idle_timeout) + ' ' +
-             std::to_string(fm->hard_timeout) + ' ';
-      append_match(out, fm->match);
-      out += ' ';
-      append_key(out, fm->key);
-      out += ' ' + std::to_string(fm->flow_uid) + '\n';
-    } else if (const auto* po = std::get_if<PacketOut>(&event.msg)) {
-      out += "POUT " + prefix + std::to_string(po->sw.value) + ' ' +
-             std::to_string(po->out_port.value) + ' ';
-      append_key(out, po->key);
-      out += ' ' + std::to_string(po->flow_uid) + '\n';
-    } else if (const auto* fr = std::get_if<FlowRemoved>(&event.msg)) {
-      out += "FREM " + prefix + std::to_string(fr->sw.value) + ' ' +
-             std::to_string(static_cast<int>(fr->reason)) + ' ' +
-             std::to_string(fr->duration) + ' ' +
-             std::to_string(fr->byte_count) + ' ' +
-             std::to_string(fr->packet_count) + ' ';
-      append_match(out, fr->match);
-      out += ' ';
-      append_key(out, fr->key);
-      out += '\n';
-    } else if (const auto* echo = std::get_if<EchoReply>(&event.msg)) {
-      out += "ECHO " + prefix + std::to_string(echo->sw.value) + '\n';
-    } else if (const auto* st = std::get_if<FlowStatsReply>(&event.msg)) {
-      out += "STAT " + prefix + std::to_string(st->sw.value) + ' ' +
-             std::to_string(st->age) + ' ' +
-             std::to_string(st->byte_count) + ' ' +
-             std::to_string(st->packet_count) + ' ';
-      append_match(out, st->match);
-      out += ' ';
-      append_key(out, st->key);
-      out += '\n';
-    }
-  }
+  append_event(out, event);
+  if (!out.empty() && out.back() == '\n') out.pop_back();
   return out;
 }
 
-std::optional<ControlLog> parse_control_log(std::string_view text) {
-  ControlLog log;
+std::string serialize(const std::vector<ControlEvent>& events) {
+  std::string out;
+  out += "# flowdiff control log v1\n";
+  for (const auto& event : events) append_event(out, event);
+  return out;
+}
+
+std::string serialize(const ControlLog& log) { return serialize(log.events()); }
+
+std::optional<std::vector<ControlEvent>> parse_control_events(
+    std::string_view text) {
+  std::vector<ControlEvent> events;
   std::istringstream lines{std::string(text)};
   std::string line;
   while (std::getline(lines, line)) {
@@ -280,8 +292,16 @@ std::optional<ControlLog> parse_control_log(std::string_view text) {
     } else {
       return std::nullopt;  // Unknown record type.
     }
-    log.append(std::move(event));
+    events.push_back(std::move(event));
   }
+  return events;
+}
+
+std::optional<ControlLog> parse_control_log(std::string_view text) {
+  auto events = parse_control_events(text);
+  if (!events) return std::nullopt;
+  ControlLog log;
+  for (auto& event : *events) log.append(std::move(event));
   return log;
 }
 

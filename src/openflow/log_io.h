@@ -26,6 +26,23 @@ namespace flowdiff::of {
 [[nodiscard]] std::optional<ControlLog> parse_control_log(
     std::string_view text);
 
+/// One event as its log line (no trailing newline). Also serves as the
+/// ingest sanitizer's duplicate-suppression identity: two events are the
+/// same capture record iff their lines match.
+[[nodiscard]] std::string serialize_event(const ControlEvent& event);
+
+/// Serializes events in the order given — NOT time-sorted, unlike
+/// serialize(ControlLog). This is how corrupted captures (whose arrival
+/// order deliberately disagrees with their timestamps) survive a
+/// round-trip to disk, e.g. the golden-trace corpus.
+[[nodiscard]] std::string serialize(const std::vector<ControlEvent>& events);
+
+/// Parses log lines preserving file order (parse_control_log wraps this
+/// and hands back a lazily self-sorting ControlLog; use this form when
+/// arrival order matters, e.g. feeding the ingest sanitizer).
+[[nodiscard]] std::optional<std::vector<ControlEvent>> parse_control_events(
+    std::string_view text);
+
 /// Flow sequences (e.g. single-VM tcpdump-style captures) serialize as
 ///   FLOW <ts> <src_ip> <sport> <dst_ip> <dport> <proto>
 [[nodiscard]] std::string serialize(const FlowSequence& flows);

@@ -1,0 +1,115 @@
+// Golden-trace regression corpus: every committed capture under
+// tests/corpus/ replays to a byte-identical monitor transcript. Any
+// drift in modeling, diffing, diagnosis wording, sanitizer behavior, or
+// report rendering fails here as a plain text diff; intentional changes
+// regenerate the corpus with tools/gen_corpus.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "experiment/corpus.h"
+#include "openflow/log_io.h"
+
+namespace flowdiff::exp {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<fs::path> corpus_logs() {
+  std::vector<fs::path> logs;
+  for (const auto& entry : fs::directory_iterator(FLOWDIFF_CORPUS_DIR)) {
+    if (entry.path().extension() == ".log") logs.push_back(entry.path());
+  }
+  std::sort(logs.begin(), logs.end());
+  return logs;
+}
+
+TEST(CorpusRegression, CorpusIsPresent) {
+  // The committed corpus must cover at least the four canonical cases
+  // (steady / slowdown / unauthorized / corrupted_slowdown); an empty or
+  // partially deleted corpus would make every other test here pass
+  // vacuously.
+  const auto logs = corpus_logs();
+  ASSERT_GE(logs.size(), 4u)
+      << "expected >= 4 corpus cases in " << FLOWDIFF_CORPUS_DIR
+      << "; regenerate with tools/gen_corpus";
+  for (const auto& log : logs) {
+    fs::path golden = log;
+    golden.replace_extension(".golden");
+    EXPECT_TRUE(fs::exists(golden)) << golden << " missing for " << log;
+  }
+}
+
+TEST(CorpusRegression, EveryCaseReplaysToItsGolden) {
+  for (const auto& log_path : corpus_logs()) {
+    SCOPED_TRACE(log_path.filename().string());
+    const auto text = of::read_file(log_path.string());
+    ASSERT_TRUE(text.has_value()) << "unreadable: " << log_path;
+    const auto corpus_case = parse_corpus_case(*text);
+    ASSERT_TRUE(corpus_case.has_value()) << "unparseable: " << log_path;
+    ASSERT_FALSE(corpus_case->events.empty());
+
+    fs::path golden_path = log_path;
+    golden_path.replace_extension(".golden");
+    const auto golden = of::read_file(golden_path.string());
+    ASSERT_TRUE(golden.has_value()) << "unreadable: " << golden_path;
+
+    const std::string transcript = replay_corpus_case(*corpus_case);
+    EXPECT_EQ(transcript, *golden)
+        << "transcript drifted from " << golden_path.filename()
+        << "; if the change is intentional, regenerate with "
+           "tools/gen_corpus and commit the diff";
+  }
+}
+
+TEST(CorpusRegression, ReplayIsDeterministic) {
+  // The property the whole corpus rests on: replaying the same case twice
+  // (fresh monitor each time) yields identical text.
+  const auto logs = corpus_logs();
+  ASSERT_FALSE(logs.empty());
+  const auto text = of::read_file(logs.front().string());
+  ASSERT_TRUE(text.has_value());
+  const auto corpus_case = parse_corpus_case(*text);
+  ASSERT_TRUE(corpus_case.has_value());
+  EXPECT_EQ(replay_corpus_case(*corpus_case),
+            replay_corpus_case(*corpus_case));
+}
+
+TEST(CorpusRegression, SerializationRoundTripsLosslessly) {
+  // serialize(parse(file)) == file for every committed case — arrival
+  // order (including the corrupted case's deliberate disorder) must
+  // survive the disk round trip, or the corpus silently re-sorts itself.
+  for (const auto& log_path : corpus_logs()) {
+    SCOPED_TRACE(log_path.filename().string());
+    const auto text = of::read_file(log_path.string());
+    ASSERT_TRUE(text.has_value());
+    const auto corpus_case = parse_corpus_case(*text);
+    ASSERT_TRUE(corpus_case.has_value());
+    EXPECT_EQ(serialize_corpus_case(corpus_case->config,
+                                    corpus_case->events),
+              *text);
+  }
+}
+
+TEST(CorpusRegression, CorruptedCaseMarksDegradedWindows) {
+  // The sanitize=1 case exists to pin degraded-mode output; its transcript
+  // must actually exercise it.
+  bool found = false;
+  for (const auto& log_path : corpus_logs()) {
+    if (log_path.stem() != "corrupted_slowdown") continue;
+    found = true;
+    fs::path golden_path = log_path;
+    golden_path.replace_extension(".golden");
+    const auto golden = of::read_file(golden_path.string());
+    ASSERT_TRUE(golden.has_value());
+    EXPECT_NE(golden->find("DEGRADED"), std::string::npos)
+        << "corrupted corpus case never entered degraded mode";
+  }
+  EXPECT_TRUE(found) << "corrupted_slowdown.log missing from corpus";
+}
+
+}  // namespace
+}  // namespace flowdiff::exp

@@ -93,6 +93,21 @@ TEST(DiffReport, RenderListsTasksKnownAndUnknown) {
   EXPECT_FALSE(report.clean());
 }
 
+TEST(FlowDiffFacade, BuildModelShimMatchesFacade) {
+  // The deprecated build_model() shim routes through the facade; both
+  // construction paths must yield the same model (a diff between them is
+  // change-free in both directions).
+  exp::LabExperiment lab{exp::LabExperimentConfig{}};
+  const auto log = lab.run_window();
+  const FlowDiffConfig config = lab.flowdiff_config();
+  const BehaviorModel via_shim = build_model(log, config.model);
+  const FlowDiff flowdiff(config);
+  const BehaviorModel via_facade = flowdiff.model(log);
+  ASSERT_EQ(via_shim.groups.size(), via_facade.groups.size());
+  EXPECT_TRUE(flowdiff.diff(via_shim, via_facade).changes.empty());
+  EXPECT_TRUE(flowdiff.diff(via_facade, via_shim).changes.empty());
+}
+
 TEST(FlowDiffFacade, ModelRespectsSignatureConfig) {
   // A facade configured with a coarser DD bin produces coarser peaks.
   exp::LabExperiment lab{exp::LabExperimentConfig{}};

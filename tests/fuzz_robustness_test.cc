@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include "controller/controller.h"
+#include "faults/corruptor.h"
 #include "flowdiff/flowdiff.h"
+#include "flowdiff/monitor.h"
+#include "ingest/sanitizer.h"
 #include "openflow/log_io.h"
 #include "workload/tasks.h"
 
@@ -117,6 +120,99 @@ TEST_P(RandomLogTest, SerializationRoundTripsExactly) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomLogTest, ::testing::Range(1, 9));
+
+// ---------------------------------------------------------------------------
+// Corruption sweeps: seeded drop/dup/reorder/truncate at 1%, 5%, and 10%
+// through the full sanitized monitor pipeline. The contract is (a) never
+// crash, (b) every fed event is accounted for (kept + duplicates + late +
+// truncated == fed), (c) windows carry StreamQuality records and degraded
+// windows say so in the audit decision.
+
+class CorruptionSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CorruptionSweepTest, SanitizedMonitorSurvivesAndCountersReconcile) {
+  const double rate = static_cast<double>(GetParam()) / 100.0;
+  for (const std::uint64_t seed : {3u, 17u}) {
+    const auto log = random_log(seed * 131 + 7, 800);
+    faults::StreamCorruptor corruptor(
+        faults::CorruptorConfig::uniform(rate, seed));
+    const auto arrivals = corruptor.corrupt(log);
+
+    core::MonitorConfig config;
+    config.window = kSecond;
+    config.sample_metrics = false;
+    config.sanitize = true;
+    core::SlidingMonitor monitor(config);
+    monitor.feed(arrivals);
+    monitor.flush();
+
+    const ingest::StreamQuality q = monitor.stream_quality();
+    EXPECT_EQ(q.fed, arrivals.size()) << "rate=" << rate << " seed=" << seed;
+    EXPECT_EQ(q.fed, q.kept + q.duplicates + q.late_dropped + q.truncated)
+        << "rate=" << rate << " seed=" << seed;
+    // Per-window attribution never exceeds the run totals, and any window
+    // with hard corruption evidence is annotated in its audit decision.
+    std::uint64_t window_fed = 0;
+    for (const auto& audit : monitor.audits()) {
+      window_fed += audit.quality.fed;
+      if (audit.quality.degraded()) {
+        EXPECT_NE(audit.decision.find("DEGRADED"), std::string::npos);
+      }
+    }
+    EXPECT_LE(window_fed, q.fed);
+    // Alarm reports over a corrupted stream carry the quality record.
+    for (const auto& alarm : monitor.alarms()) {
+      EXPECT_FALSE(alarm.report.render().empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, CorruptionSweepTest,
+                         ::testing::Values(1, 5, 10));
+
+// Line-level corruption of the serialized form: drops, duplicates, and
+// swaps keep each line well-formed, so the parse must succeed and the
+// sanitized pipeline must model the result without choking.
+TEST(ByteLevelCorruption, LineCorruptedLogStillParsesAndModels) {
+  for (const std::uint64_t seed : {5u, 23u, 91u}) {
+    const auto log = random_log(seed * 977 + 3, 400);
+    faults::CorruptorConfig config;
+    config.drop = 0.05;
+    config.duplicate = 0.05;
+    config.reorder = 0.05;
+    config.seed = seed;
+    faults::StreamCorruptor corruptor(config);
+    const std::string corrupted = corruptor.corrupt_text(of::serialize(log));
+    const auto events = of::parse_control_events(corrupted);
+    ASSERT_TRUE(events.has_value()) << "seed=" << seed;
+    const auto sanitized = ingest::sanitize_log(*events);
+    EXPECT_EQ(sanitized.quality.fed, events->size());
+    const core::FlowDiff flowdiff{core::FlowDiffConfig{}};
+    const auto model = flowdiff.model(sanitized.log);
+    EXPECT_TRUE(flowdiff.diff(model, model).changes.empty());
+  }
+}
+
+// Byte flips and tail clipping can make lines unparseable; the contract
+// degrades to "fail cleanly or survive": parse either returns nullopt or
+// yields events the sanitized pipeline handles without crashing.
+TEST(ByteLevelCorruption, FlippedBytesFailCleanlyOrSurvive) {
+  for (const std::uint64_t seed : {2u, 13u, 47u, 101u}) {
+    const auto log = random_log(seed * 37 + 11, 300);
+    faults::CorruptorConfig config;
+    config.byte_flip = 0.2;
+    config.truncate = 0.1;
+    config.seed = seed;
+    faults::StreamCorruptor corruptor(config);
+    const std::string corrupted = corruptor.corrupt_text(of::serialize(log));
+    const auto events = of::parse_control_events(corrupted);
+    if (!events) continue;  // Clean failure is an acceptable outcome.
+    const auto sanitized = ingest::sanitize_log(*events);
+    const core::FlowDiff flowdiff{core::FlowDiffConfig{}};
+    const auto model = flowdiff.model(sanitized.log);
+    EXPECT_FALSE(flowdiff.diff(model, model).render().empty());
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Detector robustness across noise densities.

@@ -66,13 +66,15 @@ TEST(ParallelModel, RepeatedParallelBuildsAreStable) {
 
 /// One alarm/audit transcript of a monitor run, for sequence comparison.
 std::vector<std::string> monitor_transcript(std::size_t pipeline_depth,
-                                            int workers) {
+                                            int workers,
+                                            bool sanitize = false) {
   MonitorConfig config;
   config.flowdiff.parallelism = workers;
   config.window = kSecond;
   config.rolling_baseline = true;
   config.pipeline_depth = pipeline_depth;
   config.sample_metrics = false;
+  config.sanitize = sanitize;
   auto monitor = std::make_unique<SlidingMonitor>(config);
   monitor->feed(scenario().current);
   monitor->flush();
@@ -100,6 +102,41 @@ TEST(ParallelModel, PipelinedMonitorMatchesSynchronousSequence) {
           << "pipeline_depth=" << depth << " workers=" << workers;
     }
   }
+}
+
+TEST(ParallelModel, SanitizerOnCleanStreamIsInvariant) {
+  // Clean-log invariance: routing an uncorrupted capture through the
+  // ingest sanitizer must not change a single byte of any alarm, audit, or
+  // report, at any worker count or pipeline depth.
+  const std::vector<std::string> plain = monitor_transcript(0, 0, false);
+  ASSERT_FALSE(plain.empty());
+  for (const std::size_t depth : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{4}}) {
+    for (const int workers : {0, 2, 8}) {
+      EXPECT_EQ(monitor_transcript(depth, workers, true), plain)
+          << "sanitize=on pipeline_depth=" << depth
+          << " workers=" << workers;
+    }
+  }
+}
+
+TEST(ParallelModel, SanitizedTranscriptRenderIsInvariant) {
+  // Same invariance through the corpus renderer (the exact text the
+  // golden-trace corpus diffs byte for byte).
+  const auto transcript = [](bool sanitize) {
+    MonitorConfig config;
+    config.window = kSecond;
+    config.rolling_baseline = true;
+    config.sample_metrics = false;
+    config.sanitize = sanitize;
+    SlidingMonitor monitor(config);
+    monitor.feed(scenario().current);
+    monitor.flush();
+    return render_monitor_transcript(monitor);
+  };
+  const std::string plain = transcript(false);
+  EXPECT_FALSE(plain.empty());
+  EXPECT_EQ(transcript(true), plain);
 }
 
 }  // namespace

@@ -7,6 +7,8 @@
 
 #include "controller/controller.h"
 #include "flowdiff/flowdiff.h"
+#include "ingest/sanitizer.h"
+#include "openflow/log_io.h"
 #include "workload/app.h"
 #include "workload/scenario.h"
 #include "workload/tasks.h"
@@ -200,6 +202,58 @@ TEST_P(SelfDiffTest, ModelDiffedAgainstItselfIsEmpty) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Table2Cases, SelfDiffTest, ::testing::Range(1, 6));
+
+// ---------------------------------------------------------------------------
+// Sanitizer restoration property: ANY permutation that displaces each event
+// by at most the lateness horizon is fully restored — the sanitized stream
+// equals the original, with zero hard-evidence counters.
+
+class SanitizerRestorationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SanitizerRestorationTest, BoundedDisplacementIsFullyRestored) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 733 + 1);
+  // Events strictly 10 ms apart, so a displacement budget in *slots* maps
+  // directly to a displacement bound in event time.
+  std::vector<of::ControlEvent> ordered;
+  for (int i = 0; i < 300; ++i) {
+    of::PacketIn pin;
+    pin.sw = SwitchId{1};
+    pin.in_port = PortId{1};
+    pin.key = of::FlowKey{Ipv4(10, 0, 0, 1), Ipv4(10, 0, 0, 2),
+                          static_cast<std::uint16_t>(40000 + i), 80,
+                          of::Proto::kTcp};
+    pin.flow_uid = static_cast<std::uint64_t>(i + 1);
+    ordered.push_back(
+        of::ControlEvent{i * 10 * kMillisecond, ControllerId{0}, pin});
+  }
+  // Random local shuffle: each event trades places within a ±5-slot
+  // neighborhood (50 ms displacement, far inside the 1 s horizon).
+  std::vector<of::ControlEvent> shuffled = ordered;
+  for (std::size_t i = 0; i + 1 < shuffled.size(); ++i) {
+    const auto span = static_cast<std::size_t>(rng.uniform_int(0, 5));
+    const std::size_t j = std::min(i + span, shuffled.size() - 1);
+    std::swap(shuffled[i], shuffled[j]);
+  }
+
+  const auto sanitized = ingest::sanitize_log(shuffled);
+  ASSERT_EQ(sanitized.log.size(), ordered.size());
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    EXPECT_EQ(of::serialize_event(sanitized.log.events()[i]),
+              of::serialize_event(ordered[i]));
+  }
+  EXPECT_EQ(sanitized.quality.late_dropped, 0u);
+  EXPECT_EQ(sanitized.quality.duplicates, 0u);
+  EXPECT_EQ(sanitized.quality.truncated, 0u);
+  EXPECT_FALSE(sanitized.quality.degraded());
+
+  // Idempotence: sanitizing the restored stream changes nothing.
+  const auto again = ingest::sanitize_log(sanitized.log.events());
+  EXPECT_EQ(of::serialize(again.log), of::serialize(sanitized.log));
+  EXPECT_EQ(again.quality.reordered, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shuffles, SanitizerRestorationTest,
+                         ::testing::Range(1, 7));
 
 }  // namespace
 }  // namespace flowdiff::core

@@ -5,10 +5,16 @@
 #      rerun ctest;
 #   3. UndefinedBehaviorSanitizer pass: rebuild with
 #      FLOWDIFF_SANITIZE=undefined and rerun the obs-layer tests (the
-#      sampler/recorder/watchdog code paths PRs keep touching);
+#      sampler/recorder/watchdog code paths PRs keep touching), plus the
+#      ingest legs: the golden-trace corpus (ctest -L corpus) and the
+#      seeded-corruption fuzz suites (ctest -L fuzz) — corrupted captures
+#      are exactly where out-of-range arithmetic would hide;
 #   4. ThreadSanitizer pass: rebuild with FLOWDIFF_SANITIZE=thread and
 #      rerun the concurrency-heavy suites (executor pool, parallel model
-#      build, monitor pipeline thread, obs layer).
+#      build, monitor pipeline thread, obs layer);
+#   5. corruption sweep: run bench/corruption_sweep in the UBSan tree —
+#      diagnosis accuracy vs corruption rate, end to end under the
+#      sanitizer.
 #
 # Usage: tools/ci.sh [--skip-asan] [--skip-ubsan] [--skip-tsan]
 # Run from anywhere; build trees land in <repo>/build-ci{,-asan,-ubsan,-tsan}.
@@ -55,6 +61,11 @@ run_suite "$repo/build-ci"
 if [[ "$skip_asan" -eq 0 ]]; then
   echo "== ASan: build + ctest (FLOWDIFF_SANITIZE=address) =="
   run_suite "$repo/build-ci-asan" -DFLOWDIFF_SANITIZE=address
+  # The full suite above already ran these; the labeled rerun makes the
+  # ingest legs' verdicts visible on their own in the CI transcript.
+  echo "== ASan: golden corpus + corruption fuzz (ctest -L corpus/fuzz) =="
+  ctest --test-dir "$repo/build-ci-asan" --output-on-failure -j "$jobs" \
+    --no-tests=error -L 'corpus|fuzz'
 fi
 
 if [[ "$skip_ubsan" -eq 0 ]]; then
@@ -62,6 +73,11 @@ if [[ "$skip_ubsan" -eq 0 ]]; then
   run_suite "$repo/build-ci-ubsan" \
     "--tests=^(ObsTest|TimeseriesTest|FlightRecorderTest|ReportTest)\." \
     -DFLOWDIFF_SANITIZE=undefined
+  echo "== UBSan: golden corpus + corruption fuzz (ctest -L corpus/fuzz) =="
+  ctest --test-dir "$repo/build-ci-ubsan" --output-on-failure -j "$jobs" \
+    --no-tests=error -L 'corpus|fuzz'
+  echo "== UBSan: corruption sweep bench =="
+  "$repo/build-ci-ubsan/bench/corruption_sweep"
 fi
 
 if [[ "$skip_tsan" -eq 0 ]]; then

@@ -57,10 +57,11 @@ void print_help(std::FILE* out) {
       "  flowdiff detect <automaton>... --in <capture.flows> "
       "[--services FILE]\n"
       "  flowdiff monitor <log> [--window SECONDS] [--services FILE] "
-      "[--task FILE]... [--rolling] [--pipeline DEPTH] [--report FILE]\n"
+      "[--task FILE]... [--rolling] [--pipeline DEPTH] [--sanitize] "
+      "[--lateness SEC] [--report FILE]\n"
       "  flowdiff report <log> [--window SECONDS] [--services FILE] "
-      "[--task FILE]... [--rolling] [--pipeline DEPTH] [--out FILE] "
-      "[--html]\n"
+      "[--task FILE]... [--rolling] [--pipeline DEPTH] [--sanitize] "
+      "[--lateness SEC] [--out FILE] [--html]\n"
       "  flowdiff help\n"
       "global flags (any subcommand):\n"
       "  --workers=N      worker threads for model building (default 0 = "
@@ -92,6 +93,20 @@ void print_help(std::FILE* out) {
       "                   thread; DEPTH bounds the backlog (0 = "
       "synchronous).\n"
       "                   Alarms and audits are identical either way.\n"
+      "  --sanitize       run the log through the ingest sanitizer: the "
+      "file is\n"
+      "                   read in raw arrival order, duplicates and "
+      "truncated\n"
+      "                   records are dropped, bounded reordering is "
+      "repaired,\n"
+      "                   each window gets a stream-quality record, and "
+      "alarms\n"
+      "                   from over-corrupted signature families are "
+      "suppressed\n"
+      "                   (degraded mode). Clean logs are unaffected.\n"
+      "  --lateness SEC   sanitizer reorder horizon in seconds (default 1; "
+      "implies\n"
+      "                   --sanitize)\n"
       "exit status: 0 ok/clean, 1 unknown changes or alarms (diff, "
       "monitor, report), 2 usage or I/O error\n",
       out);
@@ -462,6 +477,12 @@ std::optional<MonitorCliArgs> parse_monitor_args(
     } else if (args[i] == "--pipeline" && i + 1 < args.size()) {
       parsed.config.pipeline_depth =
           static_cast<std::size_t>(std::stoul(args[++i]));
+    } else if (args[i] == "--sanitize") {
+      parsed.config.sanitize = true;
+    } else if (args[i] == "--lateness" && i + 1 < args.size()) {
+      parsed.config.sanitize = true;
+      parsed.config.ingest.lateness_horizon =
+          from_seconds(std::stod(args[++i]));
     } else if (!report_mode && args[i] == "--report" && i + 1 < args.size()) {
       parsed.report_path = args[++i];
     } else if (report_mode && args[i] == "--out" && i + 1 < args.size()) {
@@ -500,6 +521,27 @@ std::optional<MonitorCliArgs> parse_monitor_args(
   return parsed;
 }
 
+/// Feeds the log file into the monitor and flushes it. With --sanitize the
+/// file is parsed in raw arrival order (a corrupted capture's reordering
+/// must reach the sanitizer); otherwise through the time-sorted ControlLog
+/// as before.
+int feed_monitor_from_file(core::SlidingMonitor& monitor,
+                           const MonitorCliArgs& parsed) {
+  const auto text = of::read_file(parsed.log_path);
+  if (!text) return fail("cannot load control log " + parsed.log_path);
+  if (parsed.config.sanitize) {
+    const auto events = of::parse_control_events(*text);
+    if (!events) return fail("malformed control log " + parsed.log_path);
+    monitor.feed(*events);
+  } else {
+    const auto log = of::parse_control_log(*text);
+    if (!log) return fail("malformed control log " + parsed.log_path);
+    monitor.feed(*log);
+  }
+  monitor.flush();
+  return 0;
+}
+
 /// Renders the joined run report for a finished monitor and writes it to
 /// `path` (or stdout when empty).
 int write_run_report(const core::SlidingMonitor& monitor,
@@ -525,30 +567,47 @@ int cmd_monitor(std::vector<std::string> args) {
   // the obs layer there would be nothing to join.
   if (!parsed->report_path.empty()) obs::set_enabled(true);
 
-  const auto log = load_log(parsed->log_path);
-  if (!log) return fail("cannot load control log " + parsed->log_path);
-
   core::SlidingMonitor monitor(parsed->config);
-  monitor.feed(*log);
-  monitor.flush();
+  if (const int rc = feed_monitor_from_file(monitor, *parsed); rc != 0) {
+    return rc;
+  }
 
   std::printf("windows: %zu (baseline captured at t=%.1fs), alarms: %zu\n",
               monitor.windows_processed(),
               to_seconds(monitor.baseline_captured_at()),
               monitor.alarms().size());
   if (obs::enabled() && !monitor.audits().empty()) {
-    TextTable table({"#", "window", "events", "wall_ms", "chg", "known",
-                     "unk", "decision"});
+    // Quality columns appear only once a window actually degraded, so a
+    // clean run prints the same table with or without --sanitize.
+    bool any_degraded = false;
     for (const auto& audit : monitor.audits()) {
-      table.add_row({std::to_string(audit.index),
-                     "[" + fmt_double(to_seconds(audit.window_begin), 1) +
-                         "s, " +
-                         fmt_double(to_seconds(audit.window_end), 1) + "s)",
-                     std::to_string(audit.events),
-                     fmt_double(audit.wall_ms, 3),
-                     std::to_string(audit.changes),
-                     std::to_string(audit.known),
-                     std::to_string(audit.unknown), audit.decision});
+      any_degraded = any_degraded || audit.quality.degraded();
+    }
+    std::vector<std::string> header{"#",   "window", "events", "wall_ms",
+                                    "chg", "known",  "unk"};
+    if (any_degraded) {
+      header.push_back("supp");
+      header.push_back("quality");
+    }
+    header.push_back("decision");
+    TextTable table(header);
+    for (const auto& audit : monitor.audits()) {
+      std::vector<std::string> row{
+          std::to_string(audit.index),
+          "[" + fmt_double(to_seconds(audit.window_begin), 1) + "s, " +
+              fmt_double(to_seconds(audit.window_end), 1) + "s)",
+          std::to_string(audit.events),
+          fmt_double(audit.wall_ms, 3),
+          std::to_string(audit.changes),
+          std::to_string(audit.known),
+          std::to_string(audit.unknown)};
+      if (any_degraded) {
+        row.push_back(std::to_string(audit.suppressed));
+        row.push_back(audit.quality.degraded() ? audit.quality.summary()
+                                               : "ok");
+      }
+      row.push_back(audit.decision);
+      table.add_row(std::move(row));
     }
     std::printf("\nper-window audit trail:\n%s", table.render().c_str());
   }
@@ -575,12 +634,10 @@ int cmd_report(std::vector<std::string> args) {
   obs::set_enabled(true);
   obs::FlightRecorder::install_abnormal_exit_dump();
 
-  const auto log = load_log(parsed->log_path);
-  if (!log) return fail("cannot load control log " + parsed->log_path);
-
   core::SlidingMonitor monitor(parsed->config);
-  monitor.feed(*log);
-  monitor.flush();
+  if (const int rc = feed_monitor_from_file(monitor, *parsed); rc != 0) {
+    return rc;
+  }
 
   const int rc = write_run_report(monitor, parsed->out_path, parsed->html);
   if (rc != 0) return rc;

@@ -1,0 +1,160 @@
+// Regenerates the golden-trace regression corpus under tests/corpus/.
+//
+// Each case is a deterministic lab simulation (fixed seeds throughout)
+// captured as a corpus .log file plus the monitor transcript its replay
+// must reproduce byte for byte (.golden). Run after an *intentional*
+// behavior change, commit the diff, and the corpus_regression_test pins
+// the new behavior:
+//
+//   ./build/tools/gen_corpus [output_dir]   (default: tests/corpus)
+//
+// Cases:
+//   steady              three healthy windows — no alarms, ever;
+//   slowdown            a verbose-logging server slowdown window between
+//                       healthy ones — exactly the paper's Table I lab
+//                       procedure, expected to alarm with DD changes;
+//   unauthorized        an intruder host reaching a victim service — a CG
+//                       alarm no operator task explains;
+//   corrupted_slowdown  the slowdown capture corrupted at 5% (drop/dup/
+//                       reorder/truncate, seed 1005) and replayed with the
+//                       ingest sanitizer on — pins degraded-mode output.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "experiment/corpus.h"
+#include "experiment/lab_experiment.h"
+#include "faults/corruptor.h"
+#include "faults/faults.h"
+#include "flowdiff/monitor.h"
+#include "openflow/log_io.h"
+
+namespace flowdiff {
+namespace {
+
+/// All corpus cases replay with the lab's monitor setup: one 40 s monitor
+/// window per run_window() production (30 s window + 8 s drain + 2 s
+/// settle), no rolling baseline, no global obs sampling.
+core::MonitorConfig corpus_config(const exp::LabExperiment& lab,
+                                  bool sanitize) {
+  core::MonitorConfig config;
+  config.flowdiff = lab.flowdiff_config();
+  config.window = 40 * kSecond;
+  config.rolling_baseline = false;
+  config.sample_metrics = false;
+  config.sanitize = sanitize;
+  return config;
+}
+
+void append_capture(std::vector<of::ControlEvent>& stream,
+                    const of::ControlLog& capture) {
+  stream.insert(stream.end(), capture.events().begin(),
+                capture.events().end());
+}
+
+/// Three healthy windows: baseline adoption plus two clean diffs.
+std::vector<of::ControlEvent> steady_stream() {
+  exp::LabExperiment lab{exp::LabExperimentConfig{}};
+  std::vector<of::ControlEvent> stream;
+  for (int w = 0; w < 3; ++w) append_capture(stream, lab.run_window());
+  return stream;
+}
+
+/// Baseline, healthy, server-slowdown fault, healthy again.
+std::vector<of::ControlEvent> slowdown_stream() {
+  exp::LabExperiment lab{exp::LabExperimentConfig{}};
+  std::vector<of::ControlEvent> stream;
+  append_capture(stream, lab.run_window());
+  append_capture(stream, lab.run_window());
+  faults::ServerSlowdownFault fault(lab.net(), lab.lab().host("S4"),
+                                    60 * kMillisecond, "logging");
+  append_capture(stream, lab.run_window(&fault));
+  append_capture(stream, lab.run_window());
+  return stream;
+}
+
+/// Baseline, then an intruder host talking to a victim database port.
+std::vector<of::ControlEvent> unauthorized_stream() {
+  exp::LabExperiment lab{exp::LabExperimentConfig{}};
+  std::vector<of::ControlEvent> stream;
+  append_capture(stream, lab.run_window());
+  const SimTime begin = lab.now() + 5 * kSecond;
+  faults::UnauthorizedAccessFault fault(
+      lab.net(), lab.lab().host("S21"), lab.lab().host("S14"), 3306, begin,
+      begin + 15 * kSecond, 20);
+  append_capture(stream, lab.run_window(&fault));
+  return stream;
+}
+
+/// The slowdown capture pushed through the seeded corruptor: what the
+/// same fault looks like behind a lossy, duplicating, reordering capture
+/// point. Replayed with sanitize=1.
+std::vector<of::ControlEvent> corrupted_slowdown_stream() {
+  of::ControlLog merged;
+  for (const auto& event : slowdown_stream()) merged.append(event);
+  faults::StreamCorruptor corruptor(
+      faults::CorruptorConfig::uniform(0.05, 1005));
+  return corruptor.corrupt(merged);
+}
+
+struct CaseSpec {
+  const char* name;
+  bool sanitize;
+  std::vector<of::ControlEvent> (*stream)();
+};
+
+constexpr CaseSpec kCases[] = {
+    {"steady", false, steady_stream},
+    {"slowdown", false, slowdown_stream},
+    {"unauthorized", false, unauthorized_stream},
+    {"corrupted_slowdown", true, corrupted_slowdown_stream},
+};
+
+int run(const std::string& out_dir) {
+  for (const CaseSpec& spec : kCases) {
+    // The header only needs the monitor knobs, which are identical for
+    // every lab; build a throwaway lab to get the service IPs.
+    exp::LabExperiment lab{exp::LabExperimentConfig{}};
+    const core::MonitorConfig config = corpus_config(lab, spec.sanitize);
+    const std::string text =
+        exp::serialize_corpus_case(config, spec.stream());
+
+    // Golden text comes from the exact parse+replay path the regression
+    // test uses, so generator and test cannot disagree.
+    const auto parsed = exp::parse_corpus_case(text);
+    if (!parsed) {
+      std::fprintf(stderr, "%s: serialized case failed to re-parse\n",
+                   spec.name);
+      return 1;
+    }
+    const std::string golden = exp::replay_corpus_case(*parsed);
+
+    const std::string log_path = out_dir + "/" + spec.name + ".log";
+    const std::string golden_path = out_dir + "/" + spec.name + ".golden";
+    if (!of::write_file(log_path, text) ||
+        !of::write_file(golden_path, golden)) {
+      std::fprintf(stderr, "%s: write failed (does %s exist?)\n", spec.name,
+                   out_dir.c_str());
+      return 1;
+    }
+
+    // Summarize so a regeneration run shows what changed behaviorally.
+    std::size_t alarms = 0;
+    for (const char* p = golden.c_str(); (p = std::strstr(p, "ALARM:"));
+         ++p) {
+      ++alarms;
+    }
+    std::printf("%-20s events=%-6zu transcript=%zu bytes alarms=%zu\n",
+                spec.name, parsed->events.size(), golden.size(), alarms);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace flowdiff
+
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? argv[1] : "tests/corpus";
+  return flowdiff::run(out_dir);
+}
