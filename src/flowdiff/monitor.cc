@@ -54,7 +54,9 @@ std::string family_breakdown(const std::vector<Change>& changes) {
 }  // namespace
 
 SlidingMonitor::SlidingMonitor(MonitorConfig config)
-    : config_(std::move(config)), flowdiff_(config_.flowdiff) {
+    : config_(std::move(config)),
+      flowdiff_(config_.flowdiff),
+      ingest_sink_([this](const of::ControlEvent& e) { ingest_event(e); }) {
   if (config_.sanitize) sanitizer_.emplace(config_.ingest);
   if (pipelined()) {
     pipeline_thread_ = std::thread([this] { pipeline_loop(); });
@@ -79,8 +81,7 @@ void SlidingMonitor::feed(const of::ControlEvent& event) {
   // The sanitizer re-times the stream: windowing below happens on the
   // restored order, so a displaced arrival lands in the window its
   // timestamp belongs to (as long as it beat the lateness horizon).
-  sanitizer_->push(event,
-                   [this](const of::ControlEvent& e) { ingest_event(e); });
+  sanitizer_->push(event, ingest_sink_);
 }
 
 void SlidingMonitor::ingest_event(const of::ControlEvent& event) {
@@ -93,18 +94,21 @@ void SlidingMonitor::ingest_event(const of::ControlEvent& event) {
   current_.append(event);
 }
 
-void SlidingMonitor::feed(const of::ControlLog& log) {
-  for (const auto& event : log.events()) feed(event);
-}
+void SlidingMonitor::feed(const of::ControlLog& log) { feed(log.events()); }
 
 void SlidingMonitor::feed(const std::vector<of::ControlEvent>& events) {
-  for (const auto& event : events) feed(event);
+  // Batched fast path: resolve the sanitizer branch once and reuse the
+  // prebuilt sink, instead of paying both per event.
+  if (sanitizer_) {
+    sanitizer_->push(events, ingest_sink_);
+    return;
+  }
+  for (const auto& event : events) ingest_event(event);
 }
 
 void SlidingMonitor::flush() {
   if (sanitizer_) {
-    sanitizer_->flush(
-        [this](const of::ControlEvent& e) { ingest_event(e); });
+    sanitizer_->flush(ingest_sink_);
   }
   if (window_start_ >= 0 && !current_.empty()) {
     close_window(current_.end_time() + 1);
@@ -151,19 +155,30 @@ void SlidingMonitor::close_window(SimTime window_end) {
   const SimTime begin = window_start_;
   window_start_ = window_end;
   of::ControlLog window_log = std::move(current_);
-  current_ = of::ControlLog{};
+  // Recycle the previously retired window's storage (empty, capacity
+  // intact) so steady-state windowing stops allocating per window.
+  current_ = std::move(scratch_);
+  current_.clear();
   // Window attribution: counters accumulated while this window was open.
   // Events still in the reorder buffer were fed but not yet kept; they
   // reconcile in the window that releases them.
   ingest::StreamQuality quality;
   if (sanitizer_) quality = sanitizer_->take_window_quality();
-  if (window_log.empty()) return;  // Idle window: nothing to model.
+  if (window_log.empty()) {
+    scratch_ = std::move(window_log);  // Idle window: nothing to model.
+    return;
+  }
   if (pipelined()) {
+    // The pipeline thread owns the log from here; scratch reuse only
+    // applies to the synchronous path.
     enqueue_window(PendingWindow{std::move(window_log), begin, window_end,
                                  quality});
     return;
   }
   process_window(std::move(window_log), begin, window_end, quality);
+  // process_window read the log in place; take the storage back.
+  scratch_ = std::move(window_log);
+  scratch_.clear();
 }
 
 void SlidingMonitor::enqueue_window(PendingWindow pending) {
@@ -224,7 +239,7 @@ void SlidingMonitor::pipeline_loop() {
   }
 }
 
-void SlidingMonitor::process_window(of::ControlLog window_log, SimTime begin,
+void SlidingMonitor::process_window(of::ControlLog&& window_log, SimTime begin,
                                     SimTime window_end,
                                     ingest::StreamQuality quality) {
   const obs::Span span("monitor/window");

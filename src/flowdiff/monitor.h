@@ -157,8 +157,11 @@ class SlidingMonitor {
   void ingest_event(const of::ControlEvent& event);
   void close_window(SimTime window_end);
   /// Models + diffs one closed window and commits the outcome; runs on the
-  /// caller in synchronous mode, on pipeline_thread_ otherwise.
-  void process_window(of::ControlLog window_log, SimTime begin,
+  /// caller in synchronous mode, on pipeline_thread_ otherwise. Takes the
+  /// log by rvalue reference but reads it in place, so a synchronous
+  /// caller gets the (cleared) storage back afterwards — close_window
+  /// recycles it as the next window's scratch buffer.
+  void process_window(of::ControlLog&& window_log, SimTime begin,
                       SimTime window_end, ingest::StreamQuality quality);
   /// Stamps the wall time onto the audit record and files it.
   void finish_audit(WindowAudit audit,
@@ -172,9 +175,17 @@ class SlidingMonitor {
   /// Engaged when config_.sanitize; feed() pushes raw arrivals through it
   /// and ingest_event() consumes the restored stream.
   std::optional<ingest::StreamSanitizer> sanitizer_;
+  /// Built once in the constructor: the sanitizer's Sink is a
+  /// std::function, and rebuilding it per fed event showed up in the
+  /// ingest throughput bench.
+  ingest::StreamSanitizer::Sink ingest_sink_;
   std::optional<BehaviorModel> baseline_;
   SimTime baseline_begin_ = -1;
   of::ControlLog current_;
+  /// Retired window storage recycled by close_window (synchronous mode):
+  /// cleared but with capacity intact, so steady-state windowing allocates
+  /// nothing per window.
+  of::ControlLog scratch_;
   SimTime window_start_ = -1;
   std::vector<MonitorAlarm> alarms_;
   std::deque<WindowAudit> audits_;

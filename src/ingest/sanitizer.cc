@@ -67,20 +67,32 @@ void StreamSanitizer::push(const of::ControlEvent& event, const Sink& sink) {
     return;
   }
 
-  const std::string identity = of::serialize_event(event);
+  // Dedup identity (the serialized line) is computed lazily: most events
+  // carry a unique timestamp, and serializing every arrival just to compare
+  // it against nothing dominated the ingest hot path. Only a same-timestamp
+  // collision forces the serialization — of this event and, on demand, of
+  // buffered neighbors that skipped theirs (empty string = not yet
+  // computed; a real serialization is never empty).
+  std::string identity;
   if (config_.dedup) {
     const auto [lo, hi] = buffer_.equal_range(event.ts);
-    for (auto it = lo; it != hi; ++it) {
-      if (it->second.first == identity) {
-        ++window_.duplicates;
-        ++total_.duplicates;
-        metrics().duplicates.inc();
-        return;
+    if (lo != hi) {
+      identity = of::serialize_event(event);
+      for (auto it = lo; it != hi; ++it) {
+        if (it->second.first.empty()) {
+          it->second.first = of::serialize_event(it->second.second);
+        }
+        if (it->second.first == identity) {
+          ++window_.duplicates;
+          ++total_.duplicates;
+          metrics().duplicates.inc();
+          return;
+        }
       }
     }
   }
 
-  if (max_ts_ >= 0 && event.ts < max_ts_) {
+  if (max_ts_ != kNoTs && event.ts < max_ts_) {
     // Within-horizon displacement; the buffer will restore it.
     ++window_.reordered;
     ++total_.reordered;
@@ -90,7 +102,18 @@ void StreamSanitizer::push(const of::ControlEvent& event, const Sink& sink) {
   buffer_.emplace(event.ts, std::make_pair(std::move(identity), event));
   max_ts_ = std::max(max_ts_, event.ts);
   metrics().buffer_depth.set(static_cast<std::int64_t>(buffer_.size()));
-  release(max_ts_ - config_.lateness_horizon, sink);
+  // Saturate instead of underflowing when a deeply negative timestamp
+  // meets the horizon (signed overflow would be UB under UBSan).
+  const SimTime watermark =
+      (max_ts_ < kNoTs + config_.lateness_horizon)
+          ? kNoTs
+          : max_ts_ - config_.lateness_horizon;
+  release(watermark, sink);
+}
+
+void StreamSanitizer::push(const std::vector<of::ControlEvent>& events,
+                           const Sink& sink) {
+  for (const auto& event : events) push(event, sink);
 }
 
 void StreamSanitizer::release(SimTime watermark, const Sink& sink) {
@@ -108,7 +131,7 @@ void StreamSanitizer::release(SimTime watermark, const Sink& sink) {
 }
 
 void StreamSanitizer::flush(const Sink& sink) {
-  if (max_ts_ >= 0) release(max_ts_, sink);
+  if (!buffer_.empty()) release(max_ts_, sink);
 }
 
 void StreamSanitizer::note_pairing(const of::ControlEvent& event) {

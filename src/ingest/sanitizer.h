@@ -35,6 +35,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <string>
 #include <unordered_map>
@@ -66,6 +67,10 @@ class StreamSanitizer {
   /// handed to `sink` in non-decreasing timestamp order.
   void push(const of::ControlEvent& event, const Sink& sink);
 
+  /// Batch form of push(): one Sink for the whole run, so callers replaying
+  /// a parsed capture don't rebuild the std::function per event.
+  void push(const std::vector<of::ControlEvent>& events, const Sink& sink);
+
   /// Drains the reorder buffer (end of stream / window shutdown).
   void flush(const Sink& sink);
 
@@ -90,11 +95,17 @@ class StreamSanitizer {
   [[nodiscard]] bool is_truncated(const of::ControlEvent& event) const;
 
   SanitizerConfig config_;
-  /// Reorder buffer keyed by timestamp; the cached serialization doubles
-  /// as the duplicate-suppression identity.
+  /// Reorder buffer keyed by timestamp. The string is the event's cached
+  /// serialization (the duplicate-suppression identity), computed lazily
+  /// on the first same-timestamp collision — empty means "not computed
+  /// yet", which a real serialization can never be.
   std::multimap<SimTime, std::pair<std::string, of::ControlEvent>> buffer_;
-  SimTime max_ts_ = -1;           ///< Newest timestamp ever pushed.
-  SimTime released_up_to_ = -1;   ///< Highest watermark already released.
+  /// Timestamps are signed and a corrupted capture can legally parse to a
+  /// negative one, so -1 is not a safe "nothing yet" sentinel: it would
+  /// make flush() strand (and never account for) events at ts <= -1.
+  static constexpr SimTime kNoTs = std::numeric_limits<SimTime>::min();
+  SimTime max_ts_ = kNoTs;         ///< Newest timestamp ever pushed.
+  SimTime released_up_to_ = kNoTs; ///< Highest watermark already released.
   StreamQuality window_;
   StreamQuality total_;
   /// flow uid -> bitmask (1 = PacketIn seen, 2 = FlowMod seen) since the

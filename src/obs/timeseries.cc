@@ -1,6 +1,7 @@
 #include "obs/timeseries.h"
 
 #include <algorithm>
+#include <array>
 #include <cctype>
 #include <cstdio>
 
@@ -132,6 +133,11 @@ void Sampler::sample(double t) {
   for (const auto& [name, h] : snap.histograms) {
     if (!config_.histogram_stats) continue;
     series_locked(name + ".count").append(t, static_cast<double>(h.count));
+    // A zero-count snapshot (registered histogram, idle window) has no
+    // mean or quantiles; appending the 0.0 placeholders the snapshot
+    // arithmetic falls back to would fabricate data points that drag the
+    // derived series (and any EWMA watchdog over them) toward zero.
+    if (h.count == 0) continue;
     series_locked(name + ".mean").append(t, h.mean());
     series_locked(name + ".p50").append(t, h.quantile(0.5));
     series_locked(name + ".p99").append(t, h.quantile(0.99));
@@ -334,6 +340,71 @@ parse_series_json(std::string_view text) {
     } while (p.eat(','));
   }
   if (!p.eat('}') || !p.eat('}')) return std::nullopt;
+  return out;
+}
+
+std::optional<std::vector<std::pair<std::string, std::vector<SeriesPoint>>>>
+parse_series_csv(std::string_view text) {
+  constexpr std::string_view kHeader =
+      "series,t_begin,t_end,mean,min,max,count";
+  std::vector<std::pair<std::string, std::vector<SeriesPoint>>> out;
+  std::size_t pos = 0;
+  bool saw_header = false;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? text.size() - pos
+                                                       : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() : eol + 1;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) continue;
+    if (!saw_header) {
+      if (line != kHeader) return std::nullopt;
+      saw_header = true;
+      continue;
+    }
+    // name,t_begin,t_end,mean,min,max,count — metric names never contain
+    // commas, so a straight split is the inverse of the renderer.
+    std::array<std::string_view, 7> cells;
+    std::size_t cell = 0;
+    while (cell < cells.size()) {
+      const std::size_t comma = line.find(',');
+      if ((comma == std::string_view::npos) != (cell + 1 == cells.size())) {
+        return std::nullopt;  // Too few or too many columns.
+      }
+      cells[cell++] = line.substr(0, comma);
+      line.remove_prefix(comma == std::string_view::npos ? line.size()
+                                                         : comma + 1);
+    }
+    auto cell_double = [](std::string_view t) -> std::optional<double> {
+      double v = 0.0;
+      if (std::sscanf(std::string(t).c_str(), "%lf", &v) != 1) {
+        return std::nullopt;
+      }
+      return v;
+    };
+    SeriesPoint p;
+    const auto t_begin = cell_double(cells[1]);
+    const auto t_end = cell_double(cells[2]);
+    const auto mean = cell_double(cells[3]);
+    const auto min = cell_double(cells[4]);
+    const auto max = cell_double(cells[5]);
+    const auto count = cell_double(cells[6]);
+    if (!t_begin || !t_end || !mean || !min || !max || !count) {
+      return std::nullopt;
+    }
+    p.t_begin = *t_begin;
+    p.t_end = *t_end;
+    p.mean = *mean;
+    p.min = *min;
+    p.max = *max;
+    p.count = static_cast<std::uint64_t>(*count);
+    if (out.empty() || out.back().first != cells[0]) {
+      out.emplace_back(std::string(cells[0]), std::vector<SeriesPoint>{});
+    }
+    out.back().second.push_back(p);
+  }
+  if (!saw_header) return std::nullopt;
   return out;
 }
 

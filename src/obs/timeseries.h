@@ -149,4 +149,11 @@ class Sampler {
     std::vector<std::pair<std::string, std::vector<SeriesPoint>>>>
 parse_series_json(std::string_view text);
 
+/// Inverse of render_series_csv: name -> points, rows of one series
+/// grouped in file order. nullopt on a malformed header, row arity
+/// mismatch, or non-numeric cell.
+[[nodiscard]] std::optional<
+    std::vector<std::pair<std::string, std::vector<SeriesPoint>>>>
+parse_series_csv(std::string_view text);
+
 }  // namespace flowdiff::obs

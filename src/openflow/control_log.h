@@ -17,6 +17,18 @@ class ControlLog {
   /// itself lazily on the next ordered access, so bulk appends stay O(n).
   void append(ControlEvent event);
 
+  /// Pre-sizes the backing storage for a known batch (e.g. a parsed
+  /// capture file) so bulk appends don't reallocate along the way.
+  void reserve(std::size_t n) { events_.reserve(n); }
+
+  /// Drops every event but keeps the allocated capacity — lets a hot loop
+  /// (the monitor's window scratch buffer) reuse one allocation across
+  /// windows instead of growing a fresh vector each time.
+  void clear() {
+    events_.clear();
+    sorted_ = true;
+  }
+
   [[nodiscard]] const std::vector<ControlEvent>& events() const {
     ensure_sorted();
     return events_;

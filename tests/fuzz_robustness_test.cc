@@ -3,6 +3,10 @@
 // serialization round-trips, detector stability under noise floods.
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <string>
+#include <vector>
+
 #include "controller/controller.h"
 #include "faults/corruptor.h"
 #include "flowdiff/flowdiff.h"
@@ -211,6 +215,105 @@ TEST(ByteLevelCorruption, FlippedBytesFailCleanlyOrSurvive) {
     const core::FlowDiff flowdiff{core::FlowDiffConfig{}};
     const auto model = flowdiff.model(sanitized.log);
     EXPECT_FALSE(flowdiff.diff(model, model).render().empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial numeric fields, systematically: take one canonical line per
+// event type and substitute every numeric token with alpha bytes, -1, a
+// 20-digit overflow, 65536, and outright removal. The contract mirrors the
+// byte-flip tests but is exhaustive per field: no substitution may throw;
+// unparseable bytes and missing fields must yield nullopt; values that do
+// parse (e.g. -1 into a signed duration) must flow through the sanitizer
+// with exact accounting and model without choking.
+
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') ++i;
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ' ') ++j;
+    if (j > i) fields.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return fields;
+}
+
+bool is_numeric_token(const std::string& tok) {
+  std::size_t i = (tok.size() > 1 && tok[0] == '-') ? 1 : 0;
+  if (i == tok.size()) return false;  // Bare "-" is a match wildcard.
+  for (; i < tok.size(); ++i) {
+    if (tok[i] < '0' || tok[i] > '9') return false;
+  }
+  return true;
+}
+
+std::string join_fields(const std::vector<std::string>& fields) {
+  std::string line;
+  for (const auto& f : fields) {
+    if (!line.empty()) line += ' ';
+    line += f;
+  }
+  return line;
+}
+
+TEST(AdversarialNumericSweep, EveryNumericFieldFailsCleanlyOrSurvives) {
+  // One canonical, known-good line per event type (matches the serializer
+  // format; the sanity ASSERT below keeps them honest if it evolves).
+  const std::vector<std::string> canonical = {
+      "PIN 1000 0 3 1 10.0.0.1 40000 10.0.0.2 80 6 42",
+      "FMOD 1200 0 3 2 5000000 60000000 10.0.0.1 40000 10.0.0.2 80 6 1 "
+      "10.0.0.1 40000 10.0.0.2 80 6 42",
+      "POUT 1300 0 3 2 10.0.0.1 40000 10.0.0.2 80 6 42",
+      "FREM 9000000 0 3 0 7000000 123456 99 10.0.0.1 - 10.0.0.2 - 6 - "
+      "10.0.0.1 40000 10.0.0.2 80 6",
+      "STAT 1000 0 3 5000000 123 45 10.0.0.1 40000 10.0.0.2 80 6 1 "
+      "10.0.0.1 40000 10.0.0.2 80 6",
+      "ECHO 10000000 1 3",
+  };
+  const std::vector<std::string> substitutions = {
+      "abc", "-1", "99999999999999999999", "65536"};
+
+  for (const std::string& line : canonical) {
+    ASSERT_TRUE(of::parse_control_events(line).has_value()) << line;
+    const std::vector<std::string> fields = split_fields(line);
+    for (std::size_t i = 1; i < fields.size(); ++i) {
+      if (!is_numeric_token(fields[i])) continue;
+
+      auto check = [&](const std::string& mutated, bool must_fail) {
+        std::optional<std::vector<of::ControlEvent>> events;
+        ASSERT_NO_THROW(events = of::parse_control_events(mutated))
+            << mutated;
+        if (must_fail) {
+          EXPECT_FALSE(events.has_value()) << mutated;
+        }
+        if (!events.has_value()) return;
+        // The value was legal for this field's type: the sanitized
+        // pipeline must account for every event and model cleanly.
+        const auto sanitized = ingest::sanitize_log(*events);
+        const auto& q = sanitized.quality;
+        EXPECT_EQ(q.fed, events->size()) << mutated;
+        EXPECT_EQ(q.fed, q.kept + q.duplicates + q.late_dropped + q.truncated)
+            << mutated;
+        const core::FlowDiff flowdiff{core::FlowDiffConfig{}};
+        const auto model = flowdiff.model(sanitized.log);
+        EXPECT_TRUE(flowdiff.diff(model, model).changes.empty()) << mutated;
+      };
+
+      for (const std::string& sub : substitutions) {
+        std::vector<std::string> mutated = fields;
+        mutated[i] = sub;
+        // Alpha bytes can never be a number; the rest depend on the
+        // field's width and signedness, so "reject or survive" applies.
+        check(join_fields(mutated), /*must_fail=*/sub == "abc");
+      }
+      // Empty field: removing the token shifts the tail and starves the
+      // fixed-arity line parser, which must fail cleanly every time.
+      std::vector<std::string> shortened = fields;
+      shortened.erase(shortened.begin() + static_cast<std::ptrdiff_t>(i));
+      check(join_fields(shortened), /*must_fail=*/true);
+    }
   }
 }
 

@@ -102,6 +102,79 @@ TEST(LogIo, RejectsMalformedInput) {
   EXPECT_TRUE(ok->empty());
 }
 
+// Corrupted captures land adversarial bytes in numeric fields; every one
+// of them must come back as a parse failure (nullopt), never an exception
+// (the seed parser's std::stoi/std::stoul threw and could take the whole
+// capture daemon down) and never a silent modulo-2^16 truncation.
+TEST(LogIo, AdversarialNumericFieldsRejectWithoutThrow) {
+  const char* bad_lines[] = {
+      // PIN: alpha timestamp, negative switch, port overflow, uid overflow,
+      // missing trailing field.
+      "PIN abc 0 3 1 10.0.0.1 40000 10.0.0.2 80 6 42",
+      "PIN 1000 0 -1 1 10.0.0.1 40000 10.0.0.2 80 6 42",
+      "PIN 1000 0 3 1 10.0.0.1 65536 10.0.0.2 80 6 42",
+      "PIN 1000 0 3 1 10.0.0.1 40000 10.0.0.2 80 6 99999999999999999999",
+      "PIN 1000 0 3 1 10.0.0.1 40000 10.0.0.2 80 6",
+      // FMOD: alpha idle timeout, match port > 65535 (was truncated to
+      // 4464 by the old static_cast), negative match in_port, garbled
+      // match IP (was silently widened to a wildcard).
+      "FMOD 1200 0 3 2 5e6x 60000000 10.0.0.1 40000 10.0.0.2 80 6 1 "
+      "10.0.0.1 40000 10.0.0.2 80 6 42",
+      "FMOD 1200 0 3 2 5000000 60000000 10.0.0.1 70000 10.0.0.2 80 6 1 "
+      "10.0.0.1 40000 10.0.0.2 80 6 42",
+      "FMOD 1200 0 3 2 5000000 60000000 10.0.0.1 40000 10.0.0.2 80 6 -1 "
+      "10.0.0.1 40000 10.0.0.2 80 6 42",
+      "FMOD 1200 0 3 2 5000000 60000000 10.0.0.x 40000 10.0.0.2 80 6 1 "
+      "10.0.0.1 40000 10.0.0.2 80 6 42",
+      // POUT: out_port overflow, empty (missing) uid field.
+      "POUT 1200 0 3 99999999999999999999 10.0.0.1 40000 10.0.0.2 80 6 42",
+      "POUT 1200 0 3 2 10.0.0.1 40000 10.0.0.2 80 6",
+      // FREM: alpha reason, negative byte count, key port exactly 65536.
+      "FREM 9000000 0 3 idle 7000000 123456 99 10.0.0.1 - 10.0.0.2 - 6 - "
+      "10.0.0.1 40000 10.0.0.2 80 6",
+      "FREM 9000000 0 3 0 7000000 -1 99 10.0.0.1 - 10.0.0.2 - 6 - "
+      "10.0.0.1 40000 10.0.0.2 80 6",
+      "FREM 9000000 0 3 0 7000000 123456 99 10.0.0.1 - 10.0.0.2 - 6 - "
+      "10.0.0.1 40000 10.0.0.2 65536 6",
+      // STAT: alpha age, packet-count overflow.
+      "STAT 1000 0 3 age 123 45 10.0.0.1 40000 10.0.0.2 80 6 1 "
+      "10.0.0.1 40000 10.0.0.2 80 6",
+      "STAT 1000 0 3 5000000 123 99999999999999999999 10.0.0.1 40000 "
+      "10.0.0.2 80 6 1 10.0.0.1 40000 10.0.0.2 80 6",
+      // ECHO: negative switch, alpha switch, missing switch.
+      "ECHO 10000000 1 -1",
+      "ECHO 10000000 1 sw",
+      "ECHO 10000000 1",
+  };
+  for (const char* line : bad_lines) {
+    ASSERT_NO_THROW({
+      EXPECT_FALSE(parse_control_events(line).has_value()) << line;
+    }) << line;
+  }
+}
+
+TEST(LogIo, BoundaryNumericFieldsStillParse) {
+  // 65535 is the last valid port, uint64 max the last valid counter, and
+  // a match in_port is 32-bit so 65536 is in range there.
+  const auto events = parse_control_events(
+      "PIN 1000 0 3 1 10.0.0.1 65535 10.0.0.2 80 6 "
+      "18446744073709551615\n"
+      "FMOD 1200 0 3 2 5000000 60000000 10.0.0.1 65535 10.0.0.2 80 6 "
+      "65536 10.0.0.1 40000 10.0.0.2 80 6 42\n");
+  ASSERT_TRUE(events.has_value());
+  ASSERT_EQ(events->size(), 2u);
+  const auto* pin = std::get_if<PacketIn>(&(*events)[0].msg);
+  ASSERT_NE(pin, nullptr);
+  EXPECT_EQ(pin->key.src_port, 65535u);
+  EXPECT_EQ(pin->flow_uid, 18446744073709551615ull);
+  const auto* fm = std::get_if<FlowMod>(&(*events)[1].msg);
+  ASSERT_NE(fm, nullptr);
+  ASSERT_TRUE(fm->match.src_port.has_value());
+  EXPECT_EQ(*fm->match.src_port, 65535u);
+  ASSERT_TRUE(fm->match.in_port.has_value());
+  EXPECT_EQ(fm->match.in_port->value, 65536u);
+}
+
 TEST(LogIo, FlowSequenceRoundTrip) {
   FlowSequence flows;
   for (int i = 0; i < 5; ++i) {

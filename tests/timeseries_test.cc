@@ -148,6 +148,80 @@ TEST_F(TimeseriesTest, SamplerDerivesHistogramStats) {
   EXPECT_LE(p50->last().mean, p99->last().mean);
 }
 
+TEST_F(TimeseriesTest, IdleHistogramWindowAppendsNoDerivedGarbage) {
+  // A registered-but-idle histogram must not fabricate .mean/.p50/.p99
+  // rows: a zero-count snapshot has no such statistics, and the 0.0
+  // placeholders would drag the derived series (and the watchdog reading
+  // them) toward zero on every idle window.
+  Registry::global().histogram("ts.idle_ms", 10.0);
+  Sampler sampler;
+  sampler.sample(1.0);
+  sampler.sample(2.0);
+
+  const auto count = sampler.find("ts.idle_ms.count");
+  ASSERT_TRUE(count.has_value());
+  EXPECT_EQ(count->total(), 2u);
+  EXPECT_DOUBLE_EQ(count->last().mean, 0.0);
+  EXPECT_FALSE(sampler.find("ts.idle_ms.mean").has_value());
+  EXPECT_FALSE(sampler.find("ts.idle_ms.p50").has_value());
+  EXPECT_FALSE(sampler.find("ts.idle_ms.p99").has_value());
+
+  // Traffic arrives: derived series start at the first real observation,
+  // with no zero backfill from the idle samples.
+  Registry::global().histogram("ts.idle_ms", 10.0).observe(42.0);
+  sampler.sample(3.0);
+  const auto mean = sampler.find("ts.idle_ms.mean");
+  ASSERT_TRUE(mean.has_value());
+  EXPECT_EQ(mean->total(), 1u);
+  EXPECT_DOUBLE_EQ(mean->last().mean, 42.0);
+
+  // Nothing unparseable reaches the exporters.
+  const std::string csv = render_series_csv(sampler);
+  EXPECT_EQ(csv.find("nan"), std::string::npos);
+  EXPECT_EQ(csv.find("inf"), std::string::npos);
+  ASSERT_TRUE(parse_series_csv(csv).has_value());
+}
+
+TEST_F(TimeseriesTest, SeriesCsvParseInverseRoundTrips) {
+  Registry::global().counter("ts.rtc.events").inc(7);
+  LatencyHistogram& h = Registry::global().histogram("ts.rtc_ms", 5.0);
+  h.observe(3.0);
+  h.observe(12.5);
+  Registry::global().gauge("ts.rtc.depth").set(-4);
+  Sampler sampler;
+  sampler.sample(1.0);
+  Registry::global().counter("ts.rtc.events").inc(5);
+  sampler.sample(2.5);
+
+  const std::string csv = render_series_csv(sampler);
+  const auto parsed = parse_series_csv(csv);
+  ASSERT_TRUE(parsed.has_value());
+
+  const auto original = sampler.series();
+  ASSERT_EQ(parsed->size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].first, original[i].first);
+    const auto expected = original[i].second.points();
+    const auto& got = (*parsed)[i].second;
+    ASSERT_EQ(got.size(), expected.size()) << original[i].first;
+    for (std::size_t j = 0; j < expected.size(); ++j) {
+      EXPECT_EQ(got[j], expected[j]) << original[i].first;
+    }
+  }
+}
+
+TEST_F(TimeseriesTest, SeriesCsvParserRejectsGarbage) {
+  EXPECT_FALSE(parse_series_csv("").has_value());
+  EXPECT_FALSE(parse_series_csv("bogus header\n").has_value());
+  EXPECT_FALSE(
+      parse_series_csv("series,t_begin,t_end,mean,min,max,count\na,1,2\n")
+          .has_value());
+  EXPECT_FALSE(
+      parse_series_csv(
+          "series,t_begin,t_end,mean,min,max,count\na,1,2,x,4,5,6\n")
+          .has_value());
+}
+
 TEST_F(TimeseriesTest, SamplerRespectsMinInterval) {
   Registry::global().gauge("ts.g").set(7);
   SamplerConfig config;

@@ -14,7 +14,13 @@
 #      build, monitor pipeline thread, obs layer);
 #   5. corruption sweep: run bench/corruption_sweep in the UBSan tree —
 #      diagnosis accuracy vs corruption rate, end to end under the
-#      sanitizer.
+#      sanitizer;
+#   6. throughput bench: run bench/throughput_replay (full timed leg, the
+#      uninstrumented tier-1 tree) over the golden-trace corpus and
+#      refresh BENCH_throughput.json at the repo root — the recorded perf
+#      trajectory every PR extends. Sanitizer trees skip the timed leg but
+#      still cover the code path once via the ctest case labeled `bench`
+#      (ThroughputReplay.Quick) that the full ASan suite includes.
 #
 # Usage: tools/ci.sh [--skip-asan] [--skip-ubsan] [--skip-tsan]
 # Run from anywhere; build trees land in <repo>/build-ci{,-asan,-ubsan,-tsan}.
@@ -57,6 +63,11 @@ run_suite() {
 
 echo "== tier-1: build + ctest =="
 run_suite "$repo/build-ci"
+
+echo "== bench: corpus ingest throughput (BENCH_throughput.json) =="
+# Timed leg on the uninstrumented tree only; it also re-pins every
+# committed .golden transcript byte for byte before reporting numbers.
+"$repo/build-ci/bench/throughput_replay" --out="$repo/BENCH_throughput.json"
 
 if [[ "$skip_asan" -eq 0 ]]; then
   echo "== ASan: build + ctest (FLOWDIFF_SANITIZE=address) =="
