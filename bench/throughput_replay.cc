@@ -19,9 +19,12 @@
 // bench exits nonzero — a fast wrong parser scores zero.
 //
 // Usage: throughput_replay [--quick] [--iters=N] [--corpus=DIR]
-//                          [--out=FILE]
+//                          [--out=FILE] [--listen=ADDR:PORT]
 //   --quick    single iteration (the ctest -L bench coverage run)
 //   --iters=N  timing iterations per stage, best-of (default 5)
+//   --listen=ADDR:PORT  serve the live telemetry plane during the run
+//              (enables obs instrumentation, so timings shift; the flag is
+//              for watching a long bench, not for recording trajectories)
 #include <sys/resource.h>
 
 #include <algorithm>
@@ -38,8 +41,10 @@
 
 #include "experiment/corpus.h"
 #include "flowdiff/monitor.h"
+#include "flowdiff/telemetry.h"
 #include "ingest/sanitizer.h"
 #include "obs/export.h"
+#include "obs/http_server.h"
 #include "obs/metrics.h"
 #include "openflow/log_io.h"
 
@@ -321,6 +326,7 @@ int fail(const std::string& message) {
 int run(int argc, char** argv) {
   std::string corpus_dir = FLOWDIFF_CORPUS_DIR;
   std::string out_path;
+  std::string listen;
   int iters = 5;
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
@@ -333,13 +339,37 @@ int run(int argc, char** argv) {
       corpus_dir = std::string(arg.substr(9));
     } else if (arg.rfind("--out=", 0) == 0) {
       out_path = std::string(arg.substr(6));
+    } else if (arg.rfind("--listen=", 0) == 0) {
+      listen = std::string(arg.substr(9));
     } else {
       return fail("unknown flag: " + std::string(arg) +
                   " (usage: throughput_replay [--quick] [--iters=N] "
-                  "[--corpus=DIR] [--out=FILE])");
+                  "[--corpus=DIR] [--out=FILE] [--listen=ADDR:PORT])");
     }
   }
   if (quick) iters = 1;
+
+  // Optional live telemetry plane: each stage-3 monitor is attached while
+  // it runs, so a scraper can watch a long bench converge. Implies obs
+  // instrumentation for the whole run.
+  std::optional<core::TelemetryPlane> plane;
+  if (!listen.empty()) {
+    const auto addr = obs::parse_listen_address(listen);
+    if (!addr) return fail("malformed --listen address: " + listen);
+    core::TelemetryConfig tconfig;
+    tconfig.http.address = addr->first;
+    tconfig.http.port = addr->second;
+    plane.emplace(std::move(tconfig));
+    if (!plane->start()) {
+      return fail("cannot start telemetry plane on " + listen + ": " +
+                  plane->last_error());
+    }
+    obs::set_enabled(true);
+    std::printf(
+        "throughput_replay: telemetry plane listening on http://%s:%u\n",
+        addr->first.c_str(), static_cast<unsigned>(plane->port()));
+    std::fflush(stdout);
+  }
 
   std::vector<std::filesystem::path> logs;
   std::error_code ec;
@@ -408,10 +438,12 @@ int run(int argc, char** argv) {
                                [&] {
                                  core::SlidingMonitor monitor(
                                      parsed_case->config);
+                                 if (plane) plane->attach(&monitor);
                                  monitor.feed(parsed_case->events);
                                  monitor.flush();
                                  transcript =
                                      core::render_monitor_transcript(monitor);
+                                 if (plane) plane->attach(nullptr);
                                }),
                      r.events, r.bytes);
 
@@ -455,8 +487,10 @@ int run(int argc, char** argv) {
     const auto text = of::read_file(path.string());
     const auto replayed = exp::parse_corpus_case(*text);
     core::SlidingMonitor monitor(replayed->config);
+    if (plane) plane->attach(&monitor);
     monitor.feed(replayed->events);
     monitor.flush();
+    if (plane) plane->attach(nullptr);
   }
   obs::set_enabled(false);
   const obs::Snapshot snap = obs::Registry::global().snapshot();

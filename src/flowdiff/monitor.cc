@@ -56,7 +56,8 @@ std::string family_breakdown(const std::vector<Change>& changes) {
 SlidingMonitor::SlidingMonitor(MonitorConfig config)
     : config_(std::move(config)),
       flowdiff_(config_.flowdiff),
-      ingest_sink_([this](const of::ControlEvent& e) { ingest_event(e); }) {
+      ingest_sink_([this](const of::ControlEvent& e) { ingest_event(e); }),
+      watchdog_(config_.watchdog) {
   if (config_.sanitize) sanitizer_.emplace(config_.ingest);
   if (pipelined()) {
     pipeline_thread_ = std::thread([this] { pipeline_loop(); });
@@ -151,6 +152,53 @@ ingest::StreamQuality SlidingMonitor::stream_quality() const {
   return sanitizer_ ? sanitizer_->total() : ingest::StreamQuality{};
 }
 
+std::uint64_t SlidingMonitor::watchdog_alerts() const {
+  return watchdog_.alerts();
+}
+
+MonitorSnapshot SlidingMonitor::snapshot() const {
+  MonitorSnapshot snap;
+  const std::lock_guard<std::mutex> lock(mu_);
+  snap.windows = windows_;
+  snap.has_baseline = baseline_.has_value();
+  snap.baseline_begin = baseline_begin_;
+  snap.audits.assign(audits_.begin(), audits_.end());
+  snap.audits_dropped = audits_dropped_;
+  snap.alarms = alarms_;
+  snap.pipeline_stalls = stalls_;
+  return snap;
+}
+
+MonitorHealth SlidingMonitor::health() const {
+  MonitorHealth health;
+  health.watchdog_alerts = watchdog_.alerts();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    health.windows = windows_;
+    health.alarms = alarms_.size();
+    health.pipeline_stalls = stalls_;
+    health.suppressed_changes = suppressed_total_;
+    health.quality = quality_total_;
+  }
+  health.stream_degraded = health.quality.degraded();
+  if (health.watchdog_alerts > 0) {
+    health.reasons.push_back(
+        "watchdog filed " + std::to_string(health.watchdog_alerts) +
+        " pipeline degradation warning(s)");
+  }
+  if (health.stream_degraded) {
+    health.reasons.push_back("capture stream degraded (" +
+                             health.quality.summary() + ")");
+  }
+  if (health.suppressed_changes > 0) {
+    health.reasons.push_back(
+        std::to_string(health.suppressed_changes) +
+        " change(s) suppressed as low confidence");
+  }
+  health.healthy = health.reasons.empty();
+  return health;
+}
+
 void SlidingMonitor::close_window(SimTime window_end) {
   const SimTime begin = window_start_;
   window_start_ = window_end;
@@ -163,7 +211,14 @@ void SlidingMonitor::close_window(SimTime window_end) {
   // Events still in the reorder buffer were fed but not yet kept; they
   // reconcile in the window that releases them.
   ingest::StreamQuality quality;
-  if (sanitizer_) quality = sanitizer_->take_window_quality();
+  if (sanitizer_) {
+    quality = sanitizer_->take_window_quality();
+    // Health accumulation happens here on the feed thread (not in
+    // process_window) so idle-window quality is never lost and a /healthz
+    // scrape sees corruption as soon as the window closes.
+    const std::lock_guard<std::mutex> lock(mu_);
+    quality_total_ += quality;
+  }
   if (window_log.empty()) {
     scratch_ = std::move(window_log);  // Idle window: nothing to model.
     return;
@@ -359,6 +414,7 @@ void SlidingMonitor::finish_audit(
   std::size_t dropped = 0;
   {
     const std::lock_guard<std::mutex> lock(mu_);
+    suppressed_total_ += audit.suppressed;
     audits_.push_back(std::move(audit));
     // Rotation keeps week-long runs at fixed memory: oldest audits leave,
     // the gauge records how much history the trail no longer covers.

@@ -41,6 +41,10 @@ struct MonitorConfig {
   /// sample and file flight-recorder warnings when the diagnoser itself
   /// degrades.
   bool self_watchdog = true;
+  /// Self-watchdog tuning (EWMA weight, warmup, rules); empty rules select
+  /// obs::default_pipeline_rules(). Tests use this to induce deterministic
+  /// watchdog alerts (and the /healthz 503 flip).
+  obs::WatchdogConfig watchdog;
   /// Route feed() through an ingest::StreamSanitizer: raw capture
   /// arrivals may be out of order, duplicated, or truncated; the monitor
   /// then windows the *sanitized* stream, stamps each WindowAudit with its
@@ -90,10 +94,46 @@ struct WindowAudit {
   ingest::StreamQuality quality;
 };
 
+/// Coherent copy of the monitor's committed results, taken under the same
+/// lock every window commit holds — the telemetry plane's /audits and
+/// /report endpoints read this, so a concurrent scrape observes whole
+/// windows only, never a half-committed one.
+struct MonitorSnapshot {
+  std::size_t windows = 0;
+  bool has_baseline = false;
+  SimTime baseline_begin = -1;
+  std::vector<WindowAudit> audits;   ///< Retained trail, oldest first.
+  std::size_t audits_dropped = 0;
+  std::vector<MonitorAlarm> alarms;
+  std::uint64_t pipeline_stalls = 0;
+};
+
+/// Live self-assessment of the monitor, the /healthz contract: healthy
+/// until the watchdog files a warning or the stream shows hard corruption
+/// evidence / suppressed alarms. Target-system alarms do NOT flip health —
+/// an alarming monitor is doing its job; a degraded one cannot be trusted
+/// to.
+struct MonitorHealth {
+  bool healthy = true;
+  std::vector<std::string> reasons;  ///< Why unhealthy; empty when healthy.
+  std::uint64_t watchdog_alerts = 0;
+  std::uint64_t pipeline_stalls = 0;
+  std::size_t windows = 0;
+  std::size_t alarms = 0;
+  /// Unknown changes withheld across all windows (degraded stream).
+  std::uint64_t suppressed_changes = 0;
+  bool stream_degraded = false;
+  /// Sanitizer tallies accumulated over every closed window (all-zero
+  /// without a sanitizer).
+  ingest::StreamQuality quality;
+};
+
 /// In pipelined mode (MonitorConfig::pipeline_depth > 0), feed() may block
 /// on backpressure and window results materialize asynchronously; call
 /// flush() (or drain()) before reading alarms()/audits() — both synchronize
-/// with the pipeline thread, so reads after them are race-free.
+/// with the pipeline thread, so reads after them are race-free. For live
+/// reads while another thread is still feeding, use snapshot()/health(),
+/// which copy under the commit lock.
 class SlidingMonitor {
  public:
   explicit SlidingMonitor(MonitorConfig config);
@@ -145,6 +185,15 @@ class SlidingMonitor {
   /// flush(), fed == kept + duplicates + late_dropped + truncated.
   [[nodiscard]] ingest::StreamQuality stream_quality() const;
 
+  /// Coherent copy of every committed result, safe to call from any thread
+  /// at any time (the telemetry scrape path). After flush() it is
+  /// equivalent to reading alarms()/audits() directly.
+  [[nodiscard]] MonitorSnapshot snapshot() const;
+  /// Live health verdict (see MonitorHealth); safe from any thread.
+  [[nodiscard]] MonitorHealth health() const;
+  /// Alerts the self-watchdog has filed so far; safe from any thread.
+  [[nodiscard]] std::uint64_t watchdog_alerts() const;
+
  private:
   struct PendingWindow {
     of::ControlLog log;
@@ -191,6 +240,10 @@ class SlidingMonitor {
   std::deque<WindowAudit> audits_;
   std::size_t audits_dropped_ = 0;
   std::size_t windows_ = 0;
+  /// Health accumulators (guarded by mu_): sanitizer tallies summed over
+  /// every closed window, and unknown changes withheld as low-confidence.
+  ingest::StreamQuality quality_total_;
+  std::uint64_t suppressed_total_ = 0;
   obs::Watchdog watchdog_;
 
   // Pipelined mode only. mu_ guards the queue and the result/baseline

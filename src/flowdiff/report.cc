@@ -189,7 +189,7 @@ const std::vector<std::string>& priority_series() {
 
 }  // namespace
 
-std::string render_run_report(const SlidingMonitor& monitor,
+std::string render_run_report(const MonitorSnapshot& snap,
                               const obs::Sampler& sampler,
                               const obs::FlightRecorder& recorder,
                               const RunReportOptions& options) {
@@ -201,19 +201,17 @@ std::string render_run_report(const SlidingMonitor& monitor,
   const auto warnings = recorder.events(obs::Severity::kWarn);
   doc.heading(2, "Summary");
   std::vector<std::string> summary;
-  summary.push_back("windows processed: " +
-                    std::to_string(monitor.windows_processed()));
-  if (monitor.has_baseline()) {
-    summary.push_back(
-        "baseline captured at t=" +
-        fmt_double(to_seconds(monitor.baseline_captured_at()), 1) + "s");
+  summary.push_back("windows processed: " + std::to_string(snap.windows));
+  if (snap.has_baseline) {
+    summary.push_back("baseline captured at t=" +
+                      fmt_double(to_seconds(snap.baseline_begin), 1) + "s");
   } else {
     summary.push_back("no baseline captured (empty stream)");
   }
-  summary.push_back("alarms: " + std::to_string(monitor.alarms().size()));
+  summary.push_back("alarms: " + std::to_string(snap.alarms.size()));
   summary.push_back("audit records retained: " +
-                    std::to_string(monitor.audits().size()) + " (rotated out: " +
-                    std::to_string(monitor.audits_dropped()) + ")");
+                    std::to_string(snap.audits.size()) + " (rotated out: " +
+                    std::to_string(snap.audits_dropped) + ")");
   summary.push_back("metric samples taken: " +
                     std::to_string(sampler.samples_taken()));
   summary.push_back("flight-recorder events: " +
@@ -224,22 +222,22 @@ std::string render_run_report(const SlidingMonitor& monitor,
 
   // --- Per-window timeline -------------------------------------------------
   doc.heading(2, "Per-window timeline");
-  if (monitor.audits().empty()) {
+  if (snap.audits.empty()) {
     doc.para("No windows were processed.");
   } else {
-    if (monitor.audits_dropped() > 0) {
-      doc.para("Oldest " + std::to_string(monitor.audits_dropped()) +
+    if (snap.audits_dropped > 0) {
+      doc.para("Oldest " + std::to_string(snap.audits_dropped) +
                " window(s) rotated out of the audit trail.");
     }
     // The quality column only appears once some window actually showed
     // corruption — a clean run's report stays byte-identical to one
     // produced without a sanitizer.
     bool any_degraded = false;
-    for (const WindowAudit& audit : monitor.audits()) {
+    for (const WindowAudit& audit : snap.audits) {
       any_degraded = any_degraded || audit.quality.degraded();
     }
     std::vector<std::vector<std::string>> rows;
-    for (const WindowAudit& audit : monitor.audits()) {
+    for (const WindowAudit& audit : snap.audits) {
       std::vector<std::string> row{
           std::to_string(audit.index),
           window_label(audit.window_begin, audit.window_end),
@@ -269,11 +267,11 @@ std::string render_run_report(const SlidingMonitor& monitor,
 
   // --- Alarms and diagnosis ------------------------------------------------
   doc.heading(2, "Alarms");
-  if (monitor.alarms().empty()) {
+  if (snap.alarms.empty()) {
     doc.para("No alarms: every window matched the baseline or was "
              "explained by operator tasks.");
   } else {
-    for (const MonitorAlarm& alarm : monitor.alarms()) {
+    for (const MonitorAlarm& alarm : snap.alarms) {
       doc.heading(3, "Alarm window " +
                          window_label(alarm.window_begin, alarm.window_end));
       std::string counts = std::to_string(alarm.report.unknown.size()) +
@@ -352,6 +350,13 @@ std::string render_run_report(const SlidingMonitor& monitor,
 
   doc.close_document();
   return doc.take();
+}
+
+std::string render_run_report(const SlidingMonitor& monitor,
+                              const obs::Sampler& sampler,
+                              const obs::FlightRecorder& recorder,
+                              const RunReportOptions& options) {
+  return render_run_report(monitor.snapshot(), sampler, recorder, options);
 }
 
 }  // namespace flowdiff::core

@@ -1,0 +1,300 @@
+#include "flowdiff/telemetry.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "obs/export.h"
+#include "obs/flight_recorder.h"
+#include "obs/timeseries.h"
+#include "util/table.h"
+
+namespace flowdiff::core {
+
+namespace {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// CSV cell quoting: always quoted, inner quotes doubled — the quality and
+/// decision columns contain commas and percent signs.
+std::string csv_quote(std::string_view text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string quality_json(const ingest::StreamQuality& q) {
+  std::string out = "{";
+  out += "\"fed\":" + std::to_string(q.fed);
+  out += ",\"kept\":" + std::to_string(q.kept);
+  out += ",\"duplicates\":" + std::to_string(q.duplicates);
+  out += ",\"reordered\":" + std::to_string(q.reordered);
+  out += ",\"late_dropped\":" + std::to_string(q.late_dropped);
+  out += ",\"truncated\":" + std::to_string(q.truncated);
+  out += ",\"pairs_matched\":" + std::to_string(q.pairs_matched);
+  out += ",\"orphan_packet_ins\":" + std::to_string(q.orphan_packet_ins);
+  out += ",\"orphan_flow_mods\":" + std::to_string(q.orphan_flow_mods);
+  out += "}";
+  return out;
+}
+
+std::optional<obs::Severity> parse_severity(std::string_view name) {
+  if (name == "debug") return obs::Severity::kDebug;
+  if (name == "info") return obs::Severity::kInfo;
+  if (name == "warn") return obs::Severity::kWarn;
+  if (name == "error") return obs::Severity::kError;
+  return std::nullopt;
+}
+
+obs::HttpResponse text_response(int status, std::string body) {
+  obs::HttpResponse response;
+  response.status = status;
+  response.body = std::move(body);
+  return response;
+}
+
+obs::HttpResponse no_monitor_response() {
+  obs::HttpResponse response;
+  response.status = 503;
+  response.content_type = "application/json";
+  response.body = "{\"error\":\"no monitor attached\"}\n";
+  return response;
+}
+
+}  // namespace
+
+std::string render_health_json(const MonitorHealth& health) {
+  std::string out = "{";
+  out += std::string("\"healthy\":") + (health.healthy ? "true" : "false");
+  out += ",\"reasons\":[";
+  for (std::size_t i = 0; i < health.reasons.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"' + json_escape(health.reasons[i]) + '"';
+  }
+  out += "]";
+  out += ",\"watchdog_alerts\":" + std::to_string(health.watchdog_alerts);
+  out += ",\"pipeline_stalls\":" + std::to_string(health.pipeline_stalls);
+  out += ",\"windows\":" + std::to_string(health.windows);
+  out += ",\"alarms\":" + std::to_string(health.alarms);
+  out += ",\"suppressed_changes\":" + std::to_string(health.suppressed_changes);
+  out += std::string(",\"stream_degraded\":") +
+         (health.stream_degraded ? "true" : "false");
+  out += ",\"quality\":" + quality_json(health.quality);
+  out += "}\n";
+  return out;
+}
+
+std::string render_audits_csv(const MonitorSnapshot& snap) {
+  std::string out =
+      "index,window_begin_s,window_end_s,events,baseline,alarmed,"
+      "rebaselined,changes,known,unknown,suppressed,degraded,quality,"
+      "decision\n";
+  for (const WindowAudit& audit : snap.audits) {
+    out += std::to_string(audit.index);
+    out += ',' + fmt_double(to_seconds(audit.window_begin), 3);
+    out += ',' + fmt_double(to_seconds(audit.window_end), 3);
+    out += ',' + std::to_string(audit.events);
+    out += audit.baseline_capture ? ",1" : ",0";
+    out += audit.alarmed ? ",1" : ",0";
+    out += audit.rebaselined ? ",1" : ",0";
+    out += ',' + std::to_string(audit.changes);
+    out += ',' + std::to_string(audit.known);
+    out += ',' + std::to_string(audit.unknown);
+    out += ',' + std::to_string(audit.suppressed);
+    out += audit.quality.degraded() ? ",1" : ",0";
+    out += ',' + csv_quote(audit.quality.summary());
+    out += ',' + csv_quote(audit.decision);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string render_audits_json(const MonitorSnapshot& snap) {
+  std::string out = "{\"audits_dropped\":" + std::to_string(snap.audits_dropped);
+  out += ",\"audits\":[";
+  for (std::size_t i = 0; i < snap.audits.size(); ++i) {
+    const WindowAudit& audit = snap.audits[i];
+    if (i > 0) out += ',';
+    out += "{\"index\":" + std::to_string(audit.index);
+    out += ",\"window_begin_s\":" + fmt_double(to_seconds(audit.window_begin), 3);
+    out += ",\"window_end_s\":" + fmt_double(to_seconds(audit.window_end), 3);
+    out += ",\"events\":" + std::to_string(audit.events);
+    out += std::string(",\"baseline\":") +
+           (audit.baseline_capture ? "true" : "false");
+    out += std::string(",\"alarmed\":") + (audit.alarmed ? "true" : "false");
+    out += std::string(",\"rebaselined\":") +
+           (audit.rebaselined ? "true" : "false");
+    out += ",\"changes\":" + std::to_string(audit.changes);
+    out += ",\"known\":" + std::to_string(audit.known);
+    out += ",\"unknown\":" + std::to_string(audit.unknown);
+    out += ",\"suppressed\":" + std::to_string(audit.suppressed);
+    out += std::string(",\"degraded\":") +
+           (audit.quality.degraded() ? "true" : "false");
+    out += ",\"quality\":" + quality_json(audit.quality);
+    out += ",\"decision\":\"" + json_escape(audit.decision) + "\"}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+TelemetryPlane::TelemetryPlane(TelemetryConfig config)
+    : config_(std::move(config)), server_(config_.http) {
+  register_routes();
+}
+
+TelemetryPlane::~TelemetryPlane() { stop(); }
+
+void TelemetryPlane::attach(const SlidingMonitor* monitor) {
+  monitor_.store(monitor, std::memory_order_release);
+}
+
+bool TelemetryPlane::start() { return server_.start(); }
+
+void TelemetryPlane::stop() {
+  server_.stop();
+  // The server thread is joined: no handler can observe the monitor
+  // anymore, so the caller may destroy it after stop() returns.
+  monitor_.store(nullptr, std::memory_order_release);
+}
+
+void TelemetryPlane::register_routes() {
+  server_.handle("/", [](const obs::HttpRequest&) {
+    return text_response(
+        200,
+        "flowdiff telemetry plane\n"
+        "  /metrics   Prometheus exposition (registry + span aggregates)\n"
+        "  /healthz   health verdict (JSON; 503 once degraded)\n"
+        "  /series    sampled time series (?format=csv|json)\n"
+        "  /recorder  flight-recorder excerpt (?min_severity=debug|info|"
+        "warn|error)\n"
+        "  /audits    per-window audit trail (?format=csv|json)\n"
+        "  /report    run report (?format=md|html)\n");
+  });
+
+  server_.handle("/metrics", [this](const obs::HttpRequest&) {
+    obs::update_process_gauges();
+    obs::HttpResponse response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body =
+        obs::render_prometheus(obs::snapshot(), config_.prometheus_prefix);
+    return response;
+  });
+
+  server_.handle("/healthz", [this](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    response.content_type = "application/json";
+    const SlidingMonitor* m = monitor();
+    if (m == nullptr) {
+      // A plane with nothing attached is alive but idle; report healthy so
+      // a scraper between replay stages sees liveness, not an outage.
+      response.body = "{\"healthy\":true,\"monitor_attached\":false}\n";
+      return response;
+    }
+    const MonitorHealth health = m->health();
+    response.status = health.healthy ? 200 : 503;
+    response.body = render_health_json(health);
+    return response;
+  });
+
+  server_.handle("/series", [](const obs::HttpRequest& request) {
+    const std::string format = request.param("format").value_or("csv");
+    obs::HttpResponse response;
+    if (format == "json") {
+      response.content_type = "application/json";
+      response.body = obs::render_series_json(obs::Sampler::global());
+    } else if (format == "csv") {
+      response.content_type = "text/csv; charset=utf-8";
+      response.body = obs::render_series_csv(obs::Sampler::global());
+    } else {
+      return text_response(400, "unknown format: " + format + "\n");
+    }
+    return response;
+  });
+
+  server_.handle("/recorder", [](const obs::HttpRequest& request) {
+    const std::string name = request.param("min_severity").value_or("debug");
+    const auto severity = parse_severity(name);
+    if (!severity) {
+      return text_response(400, "unknown min_severity: " + name + "\n");
+    }
+    std::string body;
+    for (const obs::FlightEvent& event :
+         obs::FlightRecorder::global().events(*severity)) {
+      body += obs::render_flight_event(event);
+      body += '\n';
+    }
+    return text_response(200, std::move(body));
+  });
+
+  server_.handle("/audits", [this](const obs::HttpRequest& request) {
+    const SlidingMonitor* m = monitor();
+    if (m == nullptr) return no_monitor_response();
+    const std::string format = request.param("format").value_or("csv");
+    const MonitorSnapshot snap = m->snapshot();
+    obs::HttpResponse response;
+    if (format == "json") {
+      response.content_type = "application/json";
+      response.body = render_audits_json(snap);
+    } else if (format == "csv") {
+      response.content_type = "text/csv; charset=utf-8";
+      response.body = render_audits_csv(snap);
+    } else {
+      return text_response(400, "unknown format: " + format + "\n");
+    }
+    return response;
+  });
+
+  server_.handle("/report", [this](const obs::HttpRequest& request) {
+    const SlidingMonitor* m = monitor();
+    if (m == nullptr) return no_monitor_response();
+    const std::string format = request.param("format").value_or("md");
+    if (format != "md" && format != "html") {
+      return text_response(400, "unknown format: " + format + "\n");
+    }
+    RunReportOptions options = config_.report;
+    options.html = format == "html";
+    obs::HttpResponse response;
+    response.content_type = options.html ? "text/html; charset=utf-8"
+                                         : "text/markdown; charset=utf-8";
+    response.body =
+        render_run_report(m->snapshot(), obs::Sampler::global(),
+                          obs::FlightRecorder::global(), options);
+    return response;
+  });
+}
+
+}  // namespace flowdiff::core

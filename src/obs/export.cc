@@ -1,6 +1,10 @@
 #include "obs/export.h"
 
+#include <dirent.h>
+#include <sys/resource.h>
+
 #include <cctype>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -160,6 +164,39 @@ Snapshot snapshot() {
   Snapshot snap = Registry::global().snapshot();
   snap.spans = Trace::global().aggregates();
   return snap;
+}
+
+namespace {
+/// Static-init epoch: uptime is measured from library load (≈ process
+/// start), not from the first scrape.
+const std::chrono::steady_clock::time_point g_process_epoch =
+    std::chrono::steady_clock::now();
+}  // namespace
+
+void update_process_gauges() {
+  // Early out before the static registrations: a disabled process never
+  // grows process.* entries in the registry (keeps unit-test snapshots
+  // and sampled series exactly as they were).
+  if (!enabled()) return;
+  static Gauge& uptime = Registry::global().gauge("process.uptime_s");
+  static Gauge& peak_rss = Registry::global().gauge("process.peak_rss_bytes");
+  static Gauge& open_fds = Registry::global().gauge("process.open_fds");
+  uptime.set(std::chrono::duration_cast<std::chrono::seconds>(
+                 std::chrono::steady_clock::now() - g_process_epoch)
+                 .count());
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    // Linux reports ru_maxrss in kilobytes.
+    peak_rss.set(static_cast<std::int64_t>(usage.ru_maxrss) * 1024);
+  }
+  std::int64_t fds = 0;
+  if (DIR* dir = opendir("/proc/self/fd"); dir != nullptr) {
+    while (readdir(dir) != nullptr) ++fds;
+    closedir(dir);
+    fds -= 3;  // ".", "..", and the directory fd itself.
+    if (fds < 0) fds = 0;
+    open_fds.set(fds);
+  }
 }
 
 std::string render_table(const Snapshot& snap) {

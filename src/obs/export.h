@@ -20,6 +20,13 @@ namespace flowdiff::obs {
 /// Registry metrics plus span aggregates in one coherent Snapshot.
 [[nodiscard]] Snapshot snapshot();
 
+/// Refreshes the process-level gauges in the global registry —
+/// process.uptime_s, process.peak_rss_bytes, process.open_fds — so a
+/// /metrics scrape (or a --stats dump) is operationally useful without any
+/// pipeline-specific instrumentation. No-op (and the gauges stay
+/// unregistered) while obs is disabled.
+void update_process_gauges();
+
 [[nodiscard]] std::string render_table(const Snapshot& snap);
 [[nodiscard]] std::string render_json(const Snapshot& snap);
 /// Metric names are sanitized (non-alphanumerics -> '_') and prefixed,

@@ -1,7 +1,10 @@
 #include "obs/flight_recorder.h"
 
+#include <unistd.h>
+
 #include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <exception>
 
 namespace flowdiff::obs {
@@ -43,12 +46,22 @@ void FlightRecorder::record(
   event.component = std::string(component);
   event.message = std::string(message);
   event.fields = std::move(fields);
+  // Pre-render for the async-signal-safe dump while we already hold the
+  // lock and the event is hot: the fatal-signal handler may only read flat
+  // memory and call write(2).
+  const std::string line = render_flight_event(event);
+  char* slot = panic_[static_cast<std::size_t>(total_ % kPanicSlots)];
+  const std::size_t n = line.size() < kPanicLine - 1 ? line.size()
+                                                     : kPanicLine - 1;
+  std::memcpy(slot, line.data(), n);
+  slot[n] = '\0';
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(event));
   } else {
     ring_[static_cast<std::size_t>(total_ % capacity_)] = std::move(event);
   }
   ++total_;
+  panic_count_.store(total_, std::memory_order_release);
 }
 
 std::vector<FlightEvent> FlightRecorder::events() const {
@@ -86,8 +99,23 @@ void FlightRecorder::clear(std::size_t new_capacity) {
   const std::lock_guard<std::mutex> lock(mu_);
   ring_.clear();
   total_ = 0;
+  panic_count_.store(0, std::memory_order_release);
   if (new_capacity > 0) capacity_ = new_capacity;
   epoch_ = std::chrono::steady_clock::now();
+}
+
+void FlightRecorder::write_prerendered_tail(int fd) const noexcept {
+  const std::uint64_t count = panic_count_.load(std::memory_order_acquire);
+  if (count == 0) return;
+  const std::uint64_t shown = count < kPanicSlots ? count : kPanicSlots;
+  for (std::uint64_t seq = count - shown; seq < count; ++seq) {
+    const char* line = panic_[static_cast<std::size_t>(seq % kPanicSlots)];
+    std::size_t len = 0;
+    while (len < kPanicLine && line[len] != '\0') ++len;
+    if (len == 0) continue;
+    (void)!::write(fd, line, len);
+    (void)!::write(fd, "\n", 1);
+  }
 }
 
 std::string render_flight_event(const FlightEvent& event) {
@@ -133,6 +161,8 @@ std::string FlightRecorder::render(std::size_t tail) const {
 
 namespace {
 
+/// std::terminate path only: not a signal context, so the allocating
+/// render is legal and gives the full fidelity dump.
 void dump_global_recorder(const char* reason) {
   FlightRecorder& recorder = FlightRecorder::global();
   if (recorder.total() == 0) return;
@@ -150,10 +180,15 @@ std::terminate_handler g_prev_terminate = nullptr;
   std::abort();
 }
 
+/// Fatal-signal path: async-signal-safe only. SA_RESETHAND already
+/// restored the default disposition on entry, so the re-raise terminates
+/// the process with the original signal semantics (core dump, exit code).
 void on_fatal_signal(int sig) {
-  dump_global_recorder("fatal signal");
-  std::signal(sig, SIG_DFL);
-  std::raise(sig);
+  static const char kHeader[] =
+      "\n=== flight recorder dump (fatal signal) ===\n";
+  (void)!::write(2, kHeader, sizeof(kHeader) - 1);
+  FlightRecorder::global().write_prerendered_tail(2);
+  (void)std::raise(sig);
 }
 
 }  // namespace
@@ -162,10 +197,17 @@ void FlightRecorder::install_abnormal_exit_dump() {
   static bool installed = false;
   if (installed) return;
   installed = true;
+  // Force the global recorder into existence now: the signal handler must
+  // not be the first caller of a function-local static's constructor.
+  (void)FlightRecorder::global();
   g_prev_terminate = std::set_terminate(on_terminate);
-  std::signal(SIGABRT, on_fatal_signal);
-  std::signal(SIGSEGV, on_fatal_signal);
-  std::signal(SIGFPE, on_fatal_signal);
+  struct sigaction action {};
+  action.sa_handler = on_fatal_signal;
+  action.sa_flags = SA_RESETHAND;
+  sigemptyset(&action.sa_mask);
+  for (const int sig : {SIGABRT, SIGSEGV, SIGFPE, SIGBUS, SIGILL}) {
+    sigaction(sig, &action, nullptr);
+  }
 }
 
 }  // namespace flowdiff::obs

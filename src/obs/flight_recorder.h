@@ -9,10 +9,17 @@
 // into `flowdiff report`, and install_abnormal_exit_dump() wires a
 // last-gasp dump to stderr on std::terminate or a fatal signal.
 //
+// The fatal-signal path is async-signal-safe: record() pre-renders every
+// event into a fixed ring of flat char lines, and the handler (installed
+// with sigaction + SA_RESETHAND) emits that ring with write(2) only — no
+// allocation, no stdio, no locks. std::terminate is not a signal context,
+// so that path keeps the richer allocating render.
+//
 // record() is gated on obs::enabled() like every other obs mutation: one
 // relaxed load and a branch when observability is off.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <mutex>
@@ -70,19 +77,35 @@ class FlightRecorder {
   /// One line per retained event; `tail` > 0 keeps only the newest N.
   [[nodiscard]] std::string render(std::size_t tail = 0) const;
 
-  /// Dumps the global recorder's tail to stderr from std::terminate and
-  /// fatal-signal (SIGABRT/SIGSEGV/SIGFPE) handlers. Best effort: the
-  /// handlers allocate, which is formally unsafe there, but this path only
-  /// runs when the process is already lost. Idempotent.
+  /// Writes the pre-rendered tail of the newest events to `fd` using
+  /// write(2) only — async-signal-safe (no allocation, no stdio, no
+  /// locks), which is what the fatal-signal handler calls. Reads race
+  /// record() by design; a torn line is acceptable in a dying process.
+  void write_prerendered_tail(int fd) const noexcept;
+
+  /// Dumps the global recorder's tail to stderr from std::terminate (full
+  /// render; not a signal context) and fatal-signal handlers
+  /// (SIGABRT/SIGSEGV/SIGFPE/SIGBUS/SIGILL; pre-rendered ring via write(2)
+  /// only). Signal handlers are installed with sigaction + SA_RESETHAND,
+  /// so the re-raise after the dump hits the default disposition.
+  /// Idempotent.
   static void install_abnormal_exit_dump();
 
  private:
+  /// Pre-rendered lines for the async-signal-safe dump: fixed flat
+  /// storage, newest kPanicSlots events, each truncated to kPanicLine - 1
+  /// chars and NUL-terminated.
+  static constexpr std::size_t kPanicSlots = 64;
+  static constexpr std::size_t kPanicLine = 232;
+
   mutable std::mutex mu_;
   std::size_t capacity_;
   std::vector<FlightEvent> ring_;  ///< ring_[seq % capacity_].
   std::uint64_t total_ = 0;
   std::chrono::steady_clock::time_point epoch_ =
       std::chrono::steady_clock::now();
+  char panic_[kPanicSlots][kPanicLine] = {};
+  std::atomic<std::uint64_t> panic_count_{0};
 };
 
 /// Renders one event the way render() does (shared with the run report).

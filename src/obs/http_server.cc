@@ -1,0 +1,414 @@
+#include "obs/http_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace flowdiff::obs {
+
+namespace {
+
+struct HttpMetrics {
+  Counter& requests =
+      Registry::global().counter("telemetry.http.requests");
+  Counter& rejected =
+      Registry::global().counter("telemetry.http.rejected");
+  Counter& bad_requests =
+      Registry::global().counter("telemetry.http.bad_requests");
+  Counter& timeouts =
+      Registry::global().counter("telemetry.http.timeouts");
+};
+
+HttpMetrics& http_metrics() {
+  static HttpMetrics m;
+  return m;
+}
+
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string percent_decode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '%' && i + 2 < text.size()) {
+      const int hi = hex_value(text[i + 1]);
+      const int lo = hex_value(text[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+        continue;
+      }
+    }
+    out += c == '+' ? ' ' : c;
+  }
+  return out;
+}
+
+/// Fills method/path/params from the request head; false on anything that
+/// is not a plausible "METHOD SP /target SP HTTP/1.x" request line.
+bool parse_request_head(const std::string& head, HttpRequest& request) {
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view line(head.data(), line_end == std::string::npos
+                                               ? head.size()
+                                               : line_end);
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 == 0) return false;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos || sp2 == sp1 + 1) return false;
+  const std::string_view version = line.substr(sp2 + 1);
+  if (version.rfind("HTTP/1.", 0) != 0) return false;
+  const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (target.empty() || target.front() != '/') return false;
+
+  request.method = std::string(line.substr(0, sp1));
+  const std::size_t qmark = target.find('?');
+  request.path = percent_decode(target.substr(0, qmark));
+  if (qmark != std::string_view::npos) {
+    std::string_view query = target.substr(qmark + 1);
+    while (!query.empty()) {
+      const std::size_t amp = query.find('&');
+      const std::string_view pair = query.substr(0, amp);
+      const std::size_t eq = pair.find('=');
+      if (!pair.empty()) {
+        request.params.emplace_back(
+            percent_decode(pair.substr(0, eq)),
+            eq == std::string_view::npos
+                ? std::string()
+                : percent_decode(pair.substr(eq + 1)));
+      }
+      if (amp == std::string_view::npos) break;
+      query.remove_prefix(amp + 1);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::string> HttpRequest::param(std::string_view name) const {
+  for (const auto& [key, value] : params) {
+    if (key == name) return value;
+  }
+  return std::nullopt;
+}
+
+std::string render_http_response(const HttpResponse& response,
+                                 bool head_only) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    reason_phrase(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  if (!head_only) out += response.body;
+  return out;
+}
+
+std::optional<std::pair<std::string, std::uint16_t>> parse_listen_address(
+    std::string_view spec) {
+  std::string address = "127.0.0.1";
+  std::string_view port_part = spec;
+  const std::size_t colon = spec.rfind(':');
+  if (colon != std::string_view::npos) {
+    address = colon == 0 ? "0.0.0.0" : std::string(spec.substr(0, colon));
+    port_part = spec.substr(colon + 1);
+  }
+  if (port_part.empty()) return std::nullopt;
+  unsigned value = 0;
+  const auto [ptr, ec] = std::from_chars(
+      port_part.data(), port_part.data() + port_part.size(), value);
+  if (ec != std::errc{} || ptr != port_part.data() + port_part.size() ||
+      value > 65535) {
+    return std::nullopt;
+  }
+  in_addr probe{};
+  if (inet_pton(AF_INET, address.c_str(), &probe) != 1) return std::nullopt;
+  return std::make_pair(address, static_cast<std::uint16_t>(value));
+}
+
+HttpServer::HttpServer(HttpServerConfig config) : config_(std::move(config)) {
+  if (config_.max_connections < 1) config_.max_connections = 1;
+  if (config_.request_timeout_s <= 0.0) config_.request_timeout_s = 5.0;
+  if (config_.max_request_bytes < 64) config_.max_request_bytes = 64;
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::handle(std::string path, Handler handler) {
+  // Routes are read lock-free by the serve thread; registration is only
+  // legal before start().
+  if (running()) return;
+  routes_[std::move(path)] = std::move(handler);
+}
+
+void HttpServer::fail_start(const std::string& what) {
+  error_ = what + ": " + std::strerror(errno);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (int& fd : wake_fds_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+}
+
+bool HttpServer::start() {
+  if (running()) return true;
+  stop_.store(false, std::memory_order_release);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    fail_start("socket");
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (inet_pton(AF_INET, config_.address.c_str(), &addr.sin_addr) != 1) {
+    errno = EINVAL;
+    fail_start("bad listen address " + config_.address);
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    fail_start("bind " + config_.address + ":" +
+               std::to_string(config_.port));
+    return false;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    fail_start("listen");
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    fail_start("getsockname");
+    return false;
+  }
+  bound_port_ = ntohs(bound.sin_port);
+  if (!set_nonblocking(listen_fd_) || ::pipe(wake_fds_) != 0 ||
+      !set_nonblocking(wake_fds_[0]) || !set_nonblocking(wake_fds_[1])) {
+    fail_start("pipe/nonblock setup");
+    return false;
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { loop(); });
+  return true;
+}
+
+void HttpServer::stop() {
+  if (!thread_.joinable()) return;
+  stop_.store(true, std::memory_order_release);
+  // Self-pipe wakeup: poll() returns immediately instead of riding out its
+  // tick.
+  (void)!::write(wake_fds_[1], "x", 1);
+  thread_.join();
+  running_.store(false, std::memory_order_release);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::close(wake_fds_[0]);
+  ::close(wake_fds_[1]);
+  wake_fds_[0] = wake_fds_[1] = -1;
+}
+
+std::string HttpServer::dispatch(const std::string& head) {
+  HttpRequest request;
+  if (!parse_request_head(head, request)) {
+    http_metrics().bad_requests.inc();
+    return render_http_response(
+        HttpResponse{400, "text/plain; charset=utf-8", "bad request\n"});
+  }
+  const bool head_only = request.method == "HEAD";
+  if (request.method != "GET" && !head_only) {
+    http_metrics().bad_requests.inc();
+    return render_http_response(
+        HttpResponse{405, "text/plain; charset=utf-8",
+                     "only GET and HEAD are supported\n"},
+        head_only);
+  }
+  const auto route = routes_.find(request.path);
+  if (route == routes_.end()) {
+    return render_http_response(
+        HttpResponse{404, "text/plain; charset=utf-8",
+                     "no such endpoint: " + request.path + "\n"},
+        head_only);
+  }
+  served_.fetch_add(1, std::memory_order_relaxed);
+  http_metrics().requests.inc();
+  try {
+    return render_http_response(route->second(request), head_only);
+  } catch (...) {
+    return render_http_response(
+        HttpResponse{500, "text/plain; charset=utf-8",
+                     "handler failed\n"},
+        head_only);
+  }
+}
+
+void HttpServer::serve_connection(Connection& conn) {
+  if (!conn.responded) {
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+      if (n > 0) {
+        conn.in.append(buf, static_cast<std::size_t>(n));
+        if (conn.in.size() > config_.max_request_bytes) {
+          http_metrics().bad_requests.inc();
+          conn.out = render_http_response(
+              HttpResponse{431, "text/plain; charset=utf-8",
+                           "request too large\n"});
+          conn.responded = true;
+          break;
+        }
+        const std::size_t head_end = conn.in.find("\r\n\r\n");
+        if (head_end != std::string::npos) {
+          conn.out = dispatch(conn.in.substr(0, head_end));
+          conn.responded = true;
+          break;
+        }
+        continue;
+      }
+      if (n == 0) {  // Peer closed before completing a request.
+        conn.out.clear();
+        conn.responded = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      conn.out.clear();  // Read error: drop silently.
+      conn.responded = true;
+      break;
+    }
+  }
+  while (conn.responded && conn.out_off < conn.out.size()) {
+    // MSG_NOSIGNAL: a scraper that disconnects mid-response must cost one
+    // EPIPE on this connection, not a SIGPIPE for the whole process.
+    const ssize_t n = ::send(conn.fd, conn.out.data() + conn.out_off,
+                             conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    conn.out_off = conn.out.size();  // Write error: give up on this conn.
+  }
+}
+
+void HttpServer::loop() {
+  std::vector<Connection> conns;
+  std::vector<pollfd> fds;
+  const auto timeout = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(config_.request_timeout_s));
+  for (;;) {
+    fds.clear();
+    fds.push_back(pollfd{wake_fds_[0], POLLIN, 0});
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    for (const Connection& conn : conns) {
+      short events = 0;
+      if (!conn.responded) events |= POLLIN;
+      if (conn.responded && conn.out_off < conn.out.size()) events |= POLLOUT;
+      fds.push_back(pollfd{conn.fd, events, 0});
+    }
+    // A fixed tick bounds how stale the deadline sweep can get; the wake
+    // pipe cuts shutdown latency below it.
+    (void)::poll(fds.data(), fds.size(), /*timeout_ms=*/100);
+    if (stop_.load(std::memory_order_acquire)) break;
+
+    if ((fds[1].revents & POLLIN) != 0) {
+      for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+          if (errno == EINTR) continue;
+          break;  // EAGAIN or transient accept error: try next tick.
+        }
+        if (!set_nonblocking(fd)) {
+          ::close(fd);
+          continue;
+        }
+        Connection conn;
+        conn.fd = fd;
+        conn.deadline = std::chrono::steady_clock::now() + timeout;
+        if (conns.size() >= static_cast<std::size_t>(config_.max_connections)) {
+          // Over the cap: answer 503 immediately rather than letting a
+          // scraper pile-up starve the pipeline it is observing.
+          rejected_.fetch_add(1, std::memory_order_relaxed);
+          http_metrics().rejected.inc();
+          conn.out = render_http_response(
+              HttpResponse{503, "text/plain; charset=utf-8",
+                           "connection limit reached\n"});
+          conn.responded = true;
+        }
+        serve_connection(conn);  // Opportunistic first read/write.
+        conns.push_back(std::move(conn));
+      }
+    }
+
+    std::size_t fd_index = 2;
+    for (Connection& conn : conns) {
+      const short revents = fds.size() > fd_index ? fds[fd_index].revents : 0;
+      ++fd_index;
+      if (revents != 0) serve_connection(conn);
+    }
+
+    const auto now = std::chrono::steady_clock::now();
+    std::erase_if(conns, [&](Connection& conn) {
+      const bool done =
+          conn.responded && conn.out_off >= conn.out.size();
+      const bool expired = now >= conn.deadline;
+      if (expired && !done) http_metrics().timeouts.inc();
+      if (done || expired) {
+        ::close(conn.fd);
+        return true;
+      }
+      return false;
+    });
+  }
+  for (Connection& conn : conns) ::close(conn.fd);
+}
+
+}  // namespace flowdiff::obs

@@ -1,0 +1,142 @@
+// Embedded HTTP/1.1 server for the live telemetry plane.
+//
+// The observability stack (registry, sampler, flight recorder, reports) was
+// write-to-file only: you learned what happened after the run ended. This
+// server turns it into a pull-based plane — a Prometheus scraper, a curl, or
+// a load balancer health check can ask the running process directly. It is
+// deliberately dependency free (raw sockets + poll(2)) and deliberately
+// small: GET/HEAD only, one bounded accept/serve thread, connection-close
+// semantics, a per-connection request deadline, and a hard cap on concurrent
+// connections (beyond it new requests get an immediate 503 instead of
+// queueing behind the scrape they would starve).
+//
+// Routing is exact-path: register handlers with handle() before start().
+// Handlers run on the server thread, so they must be thread safe against the
+// pipeline they observe — the flowdiff TelemetryPlane (flowdiff/telemetry.h)
+// only calls snapshot-style accessors that copy under the producers' own
+// locks, which is what keeps a concurrent scrape from ever tearing a window
+// commit.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace flowdiff::obs {
+
+struct HttpRequest {
+  std::string method;  ///< "GET" or "HEAD" by the time a handler runs.
+  std::string path;    ///< Percent-decoded path, no query string.
+  /// Decoded query parameters in order of appearance.
+  std::vector<std::pair<std::string, std::string>> params;
+
+  /// First value of `name`, or nullopt.
+  [[nodiscard]] std::optional<std::string> param(std::string_view name) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+struct HttpServerConfig {
+  /// IPv4 listen address; "0.0.0.0" binds every interface.
+  std::string address = "127.0.0.1";
+  /// 0 picks an ephemeral port (port() reports the one bound).
+  std::uint16_t port = 0;
+  /// Concurrent connections served; extra arrivals get an immediate 503.
+  int max_connections = 32;
+  /// Seconds a connection may take to deliver its request (and drain its
+  /// response) before the server drops it.
+  double request_timeout_s = 5.0;
+  /// Request head larger than this is rejected with 431.
+  std::size_t max_request_bytes = 8192;
+};
+
+/// Poll-based single-thread HTTP server. start() binds and spawns the
+/// accept/serve thread; stop() (idempotent, also run by the destructor)
+/// shuts it down. handle() must be called before start().
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit HttpServer(HttpServerConfig config = {});
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers an exact-path route. Unknown paths answer 404, non-GET/HEAD
+  /// methods 405, malformed requests 400.
+  void handle(std::string path, Handler handler);
+
+  /// Binds, listens, and starts the serve thread. Returns false (with
+  /// last_error() set) on socket errors; safe to call once.
+  [[nodiscard]] bool start();
+  void stop();
+
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+  /// Port actually bound (resolves port 0); valid after a successful
+  /// start().
+  [[nodiscard]] std::uint16_t port() const { return bound_port_; }
+  [[nodiscard]] const std::string& last_error() const { return error_; }
+
+  /// Requests answered by a handler (2xx..5xx from dispatch).
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+  /// Connections turned away by the connection cap.
+  [[nodiscard]] std::uint64_t requests_rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::string in;        ///< Bytes read so far (request head).
+    std::string out;       ///< Serialized response being written.
+    std::size_t out_off = 0;
+    bool responded = false;  ///< Response composed; no more reads.
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  void loop();
+  void serve_connection(Connection& conn);
+  [[nodiscard]] std::string dispatch(const std::string& head);
+  void fail_start(const std::string& what);
+
+  HttpServerConfig config_;
+  std::map<std::string, Handler> routes_;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  ///< Self-pipe: stop() wakes the poll loop.
+  std::uint16_t bound_port_ = 0;
+  std::string error_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::thread thread_;
+};
+
+/// Parses "ADDR:PORT", ":PORT" (all interfaces), or "PORT" (loopback) into
+/// (address, port). nullopt on malformed input or an out-of-range port.
+[[nodiscard]] std::optional<std::pair<std::string, std::uint16_t>>
+parse_listen_address(std::string_view spec);
+
+/// Serializes one response as an HTTP/1.1 connection-close message.
+/// `head_only` omits the body (HEAD requests).
+[[nodiscard]] std::string render_http_response(const HttpResponse& response,
+                                               bool head_only = false);
+
+}  // namespace flowdiff::obs

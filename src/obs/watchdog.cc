@@ -61,7 +61,7 @@ bool Watchdog::observe(std::string_view series, double t, double value) {
   if (state.samples >= config_.warmup && value >= rule->min_value &&
       value > rule->factor * state.ewma) {
     fired = true;
-    ++alerts_;
+    alerts_.fetch_add(1, std::memory_order_relaxed);
     static Counter& alert_counter =
         Registry::global().counter("obs.watchdog.alerts");
     alert_counter.inc();

@@ -9,6 +9,7 @@
 // window; anything driving a Sampler can do the same.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -49,7 +50,11 @@ class Watchdog {
   /// Returns true when it fired an alert.
   bool observe(std::string_view series, double t, double value);
 
-  [[nodiscard]] std::uint64_t alerts() const { return alerts_; }
+  /// Total alerts ever fired. Atomic so a telemetry scrape thread can read
+  /// it live (the /healthz flip) while the monitor thread keeps checking.
+  [[nodiscard]] std::uint64_t alerts() const {
+    return alerts_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct State {
@@ -61,7 +66,7 @@ class Watchdog {
 
   WatchdogConfig config_;
   std::map<std::string, State, std::less<>> state_;
-  std::uint64_t alerts_ = 0;
+  std::atomic<std::uint64_t> alerts_{0};
 };
 
 }  // namespace flowdiff::obs

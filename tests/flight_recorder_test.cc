@@ -2,6 +2,8 @@
 // filtering, disabled-path no-ops, and rendering.
 #include "obs/flight_recorder.h"
 
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include <string>
@@ -113,6 +115,60 @@ TEST_F(FlightRecorderTest, InstallAbnormalExitDumpIsIdempotent) {
   FlightRecorder::install_abnormal_exit_dump();
   FlightRecorder::install_abnormal_exit_dump();
   SUCCEED();
+}
+
+TEST_F(FlightRecorderTest, PrerenderedTailWritesNewestEventsInOrder) {
+  // The fatal-signal path: lines pre-rendered at record() time, emitted
+  // with write(2) only. A pipe stands in for stderr.
+  FlightRecorder recorder(8);
+  recorder.record(Severity::kInfo, "comp", "alpha event");
+  recorder.record(Severity::kWarn, "comp", "bravo event", {{"k", "v"}}, 2.5);
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  recorder.write_prerendered_tail(fds[1]);
+  close(fds[1]);
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = read(fds[0], buf, sizeof(buf))) > 0) {
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  close(fds[0]);
+  const std::size_t alpha = out.find("alpha event");
+  const std::size_t bravo = out.find("bravo event");
+  ASSERT_NE(alpha, std::string::npos);
+  ASSERT_NE(bravo, std::string::npos);
+  EXPECT_LT(alpha, bravo);  // Oldest first, like render().
+  EXPECT_NE(out.find("WARN"), std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, PrerenderedTailKeepsOnlyNewestSlotsAndTruncates) {
+  FlightRecorder recorder(256);
+  // Overflow the 64-slot panic ring; only the newest 64 lines survive.
+  for (int i = 0; i < 100; ++i) {
+    recorder.record(Severity::kInfo, "comp",
+                    "event number " + std::to_string(i));
+  }
+  // A line longer than a panic slot must come out truncated, not torn.
+  recorder.record(Severity::kError, "comp", std::string(500, 'z'));
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  recorder.write_prerendered_tail(fds[1]);
+  close(fds[1]);
+  std::string out;
+  char buf[8192];
+  ssize_t n;
+  while ((n = read(fds[0], buf, sizeof(buf))) > 0) {
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  close(fds[0]);
+  EXPECT_EQ(out.find("event number 30"), std::string::npos);  // Rotated out.
+  EXPECT_NE(out.find("event number 99"), std::string::npos);
+  EXPECT_NE(out.find("zzzz"), std::string::npos);
+  for (const std::string& line :
+       {std::string("ERROR"), std::string("zzzz")}) {
+    EXPECT_NE(out.find(line), std::string::npos) << line;
+  }
 }
 
 }  // namespace

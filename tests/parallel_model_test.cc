@@ -5,13 +5,17 @@
 // same alarm/audit sequence as the synchronous one.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "experiment/scalability.h"
 #include "flowdiff/flowdiff.h"
 #include "flowdiff/monitor.h"
+#include "flowdiff/telemetry.h"
+#include "http_test_util.h"
 
 namespace flowdiff::core {
 namespace {
@@ -116,6 +120,66 @@ TEST(ParallelModel, SanitizerOnCleanStreamIsInvariant) {
       EXPECT_EQ(monitor_transcript(depth, workers, true), plain)
           << "sanitize=on pipeline_depth=" << depth
           << " workers=" << workers;
+    }
+  }
+}
+
+TEST(ParallelModel, ScrapeUnderLoadKeepsTranscriptIdentical) {
+  // The telemetry plane's contract: a scraper hammering every endpoint
+  // while windows commit must never perturb (or tear) the results — the
+  // transcript stays bit-identical to an unobserved run at every pipeline
+  // depth and worker count.
+  const std::vector<std::string> plain = monitor_transcript(0, 0);
+  ASSERT_FALSE(plain.empty());
+
+  for (const std::size_t depth : {std::size_t{0}, std::size_t{2}}) {
+    for (const int workers : {0, 2}) {
+      MonitorConfig config;
+      config.flowdiff.parallelism = workers;
+      config.window = kSecond;
+      config.rolling_baseline = true;
+      config.pipeline_depth = depth;
+      config.sample_metrics = false;
+      auto monitor = std::make_unique<SlidingMonitor>(config);
+
+      TelemetryPlane plane;
+      plane.attach(monitor.get());
+      ASSERT_TRUE(plane.start()) << plane.last_error();
+      std::atomic<bool> stop{false};
+      std::atomic<int> scrapes{0};
+      std::thread scraper([&] {
+        const char* targets[] = {"/metrics", "/healthz", "/audits",
+                                 "/report"};
+        std::size_t i = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const auto result = flowdiff::testing::http_get(
+              plane.port(), targets[i++ % 4]);
+          if (result) scrapes.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+
+      monitor->feed(scenario().current);
+      monitor->flush();
+      stop.store(true, std::memory_order_relaxed);
+      scraper.join();
+      plane.stop();
+      EXPECT_GT(scrapes.load(), 0)
+          << "scraper never completed a request; the test lost its point";
+
+      std::vector<std::string> transcript;
+      for (const auto& audit : monitor->audits()) {
+        transcript.push_back(std::to_string(audit.index) + "|" +
+                             std::to_string(audit.alarmed) + "|" +
+                             std::to_string(audit.rebaselined) + "|" +
+                             audit.decision);
+      }
+      for (const auto& alarm : monitor->alarms()) {
+        transcript.push_back("alarm@" + std::to_string(alarm.window_begin) +
+                             "\n" + alarm.report.render());
+      }
+      EXPECT_EQ(transcript, plain)
+          << "pipeline_depth=" << depth << " workers=" << workers
+          << " diverged under scrape load";
     }
   }
 }

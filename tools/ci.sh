@@ -2,7 +2,8 @@
 # Minimal CI for FlowDiff:
 #   1. tier-1 verify: configure, build, and run the full test suite;
 #   2. AddressSanitizer pass: rebuild with FLOWDIFF_SANITIZE=address and
-#      rerun ctest;
+#      rerun ctest, then rerun the telemetry-plane suite (ctest -L http)
+#      so its verdict is visible on its own in the transcript;
 #   3. UndefinedBehaviorSanitizer pass: rebuild with
 #      FLOWDIFF_SANITIZE=undefined and rerun the obs-layer tests (the
 #      sampler/recorder/watchdog code paths PRs keep touching), plus the
@@ -11,7 +12,9 @@
 #      are exactly where out-of-range arithmetic would hide;
 #   4. ThreadSanitizer pass: rebuild with FLOWDIFF_SANITIZE=thread and
 #      rerun the concurrency-heavy suites (executor pool, parallel model
-#      build, monitor pipeline thread, obs layer);
+#      build, monitor pipeline thread, obs layer), plus the http-labeled
+#      telemetry-plane suite — scraping a live monitor is the cross-thread
+#      read path most likely to hide a race;
 #   5. corruption sweep: run bench/corruption_sweep in the UBSan tree —
 #      diagnosis accuracy vs corruption rate, end to end under the
 #      sanitizer;
@@ -77,6 +80,9 @@ if [[ "$skip_asan" -eq 0 ]]; then
   echo "== ASan: golden corpus + corruption fuzz (ctest -L corpus/fuzz) =="
   ctest --test-dir "$repo/build-ci-asan" --output-on-failure -j "$jobs" \
     --no-tests=error -L 'corpus|fuzz'
+  echo "== ASan: telemetry plane (ctest -L http) =="
+  ctest --test-dir "$repo/build-ci-asan" --output-on-failure -j "$jobs" \
+    --no-tests=error -L http
 fi
 
 if [[ "$skip_ubsan" -eq 0 ]]; then
@@ -96,6 +102,12 @@ if [[ "$skip_tsan" -eq 0 ]]; then
   run_suite "$repo/build-ci-tsan" \
     "--tests=^(ExecutorTest|ParallelModel|MonitorPipeline|SlidingMonitor|ObsTest|TimeseriesTest|FlightRecorderTest)\." \
     -DFLOWDIFF_SANITIZE=thread
+  # The scrape path is where a torn window commit would surface as a data
+  # race: the serve thread reading monitor state while feed/pipeline
+  # threads commit windows.
+  echo "== TSan: telemetry plane under scrape load (ctest -L http) =="
+  ctest --test-dir "$repo/build-ci-tsan" --output-on-failure -j "$jobs" \
+    --no-tests=error -L http
 fi
 
 echo "CI passed."

@@ -22,8 +22,10 @@
 // older per-artifact flags --stats[=FILE], --trace[=FILE] and
 // --series[=FILE] remain as aliases and override the corresponding
 // artifacts path; `flowdiff help` documents the mapping.
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <filesystem>
 #include <optional>
 #include <set>
@@ -33,6 +35,8 @@
 #include "flowdiff/flowdiff.h"
 #include "flowdiff/monitor.h"
 #include "flowdiff/report.h"
+#include "flowdiff/telemetry.h"
+#include "obs/http_server.h"
 #include "obs/obs.h"
 #include "openflow/log_io.h"
 #include "util/table.h"
@@ -58,10 +62,10 @@ void print_help(std::FILE* out) {
       "[--services FILE]\n"
       "  flowdiff monitor <log> [--window SECONDS] [--services FILE] "
       "[--task FILE]... [--rolling] [--pipeline DEPTH] [--sanitize] "
-      "[--lateness SEC] [--report FILE]\n"
+      "[--lateness SEC] [--listen ADDR:PORT] [--report FILE]\n"
       "  flowdiff report <log> [--window SECONDS] [--services FILE] "
       "[--task FILE]... [--rolling] [--pipeline DEPTH] [--sanitize] "
-      "[--lateness SEC] [--out FILE] [--html]\n"
+      "[--lateness SEC] [--listen ADDR:PORT] [--out FILE] [--html]\n"
       "  flowdiff help\n"
       "global flags (any subcommand):\n"
       "  --workers=N      worker threads for model building (default 0 = "
@@ -107,6 +111,15 @@ void print_help(std::FILE* out) {
       "  --lateness SEC   sanitizer reorder horizon in seconds (default 1; "
       "implies\n"
       "                   --sanitize)\n"
+      "  --listen ADDR:PORT  serve the live telemetry plane over HTTP while "
+      "the\n"
+      "                   run is live (/metrics /healthz /series /recorder\n"
+      "                   /audits /report; \":PORT\" binds all interfaces, "
+      "port 0\n"
+      "                   picks one). After the log is fed the process keeps\n"
+      "                   serving until SIGINT/SIGTERM, then flushes the "
+      "final\n"
+      "                   window and writes its artifacts.\n"
       "exit status: 0 ok/clean, 1 unknown changes or alarms (diff, "
       "monitor, report), 2 usage or I/O error\n",
       out);
@@ -456,6 +469,7 @@ struct MonitorCliArgs {
   std::string report_path;  ///< monitor --report FILE (empty = none)
   std::string out_path;     ///< report --out FILE (empty = stdout)
   bool html = false;        ///< report --html (or --report *.html)
+  std::string listen;       ///< --listen ADDR:PORT (empty = no plane)
 };
 
 std::optional<MonitorCliArgs> parse_monitor_args(
@@ -483,6 +497,10 @@ std::optional<MonitorCliArgs> parse_monitor_args(
       parsed.config.sanitize = true;
       parsed.config.ingest.lateness_horizon =
           from_seconds(std::stod(args[++i]));
+    } else if (args[i] == "--listen" && i + 1 < args.size()) {
+      parsed.listen = args[++i];
+    } else if (args[i].rfind("--listen=", 0) == 0) {
+      parsed.listen = args[i].substr(std::strlen("--listen="));
     } else if (!report_mode && args[i] == "--report" && i + 1 < args.size()) {
       parsed.report_path = args[++i];
     } else if (report_mode && args[i] == "--out" && i + 1 < args.size()) {
@@ -521,12 +539,13 @@ std::optional<MonitorCliArgs> parse_monitor_args(
   return parsed;
 }
 
-/// Feeds the log file into the monitor and flushes it. With --sanitize the
-/// file is parsed in raw arrival order (a corrupted capture's reordering
-/// must reach the sanitizer); otherwise through the time-sorted ControlLog
-/// as before.
+/// Feeds the log file into the monitor and (by default) flushes it. With
+/// --sanitize the file is parsed in raw arrival order (a corrupted
+/// capture's reordering must reach the sanitizer); otherwise through the
+/// time-sorted ControlLog as before. A --listen run defers the flush until
+/// shutdown so /healthz keeps seeing a live partial window.
 int feed_monitor_from_file(core::SlidingMonitor& monitor,
-                           const MonitorCliArgs& parsed) {
+                           const MonitorCliArgs& parsed, bool flush = true) {
   const auto text = of::read_file(parsed.log_path);
   if (!text) return fail("cannot load control log " + parsed.log_path);
   if (parsed.config.sanitize) {
@@ -538,7 +557,54 @@ int feed_monitor_from_file(core::SlidingMonitor& monitor,
     if (!log) return fail("malformed control log " + parsed.log_path);
     monitor.feed(*log);
   }
-  monitor.flush();
+  if (flush) monitor.flush();
+  return 0;
+}
+
+// --- telemetry plane + graceful shutdown (--listen) ------------------------
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void on_shutdown_signal(int) { g_shutdown = 1; }
+
+/// SIGINT/SIGTERM request a graceful shutdown: the main thread notices the
+/// flag, flushes the final window, stops the plane, and writes artifacts —
+/// none of which is legal in the handler itself.
+void install_shutdown_signals() {
+  struct sigaction action = {};
+  action.sa_handler = on_shutdown_signal;
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+void wait_for_shutdown() {
+  while (g_shutdown == 0) {
+    struct timespec delay = {0, 50 * 1000 * 1000};  // 50ms
+    nanosleep(&delay, nullptr);
+  }
+}
+
+/// Parses --listen, starts the plane, and announces the bound endpoint on
+/// stdout (tests and scripts parse that line to find an ephemeral port).
+int start_telemetry_plane(std::optional<core::TelemetryPlane>& plane,
+                          const std::string& listen) {
+  const auto addr = obs::parse_listen_address(listen);
+  if (!addr) return fail("malformed --listen address: " + listen);
+  core::TelemetryConfig config;
+  config.http.address = addr->first;
+  config.http.port = addr->second;
+  plane.emplace(std::move(config));
+  if (!plane->start()) {
+    return fail("cannot start telemetry plane on " + listen + ": " +
+                plane->last_error());
+  }
+  // Handlers first, announcement second: a supervisor that signals the
+  // moment it sees the line must never catch the default disposition.
+  install_shutdown_signals();
+  std::printf("flowdiff: telemetry plane listening on http://%s:%u\n",
+              addr->first.c_str(), static_cast<unsigned>(plane->port()));
+  std::fflush(stdout);
   return 0;
 }
 
@@ -564,12 +630,35 @@ int cmd_monitor(std::vector<std::string> args) {
   const auto parsed = parse_monitor_args(args, /*report_mode=*/false);
   if (!parsed) return usage();
   // The report joins sampled series and flight-recorder events; without
-  // the obs layer there would be nothing to join.
-  if (!parsed->report_path.empty()) obs::set_enabled(true);
+  // the obs layer there would be nothing to join. The telemetry plane
+  // serves the same stack, so --listen implies it too.
+  if (!parsed->report_path.empty() || !parsed->listen.empty()) {
+    obs::set_enabled(true);
+  }
 
   core::SlidingMonitor monitor(parsed->config);
-  if (const int rc = feed_monitor_from_file(monitor, *parsed); rc != 0) {
+  // Declared after the monitor: the plane destructs (joining its server
+  // thread) first on every exit path, so no handler can observe a dead
+  // monitor.
+  std::optional<core::TelemetryPlane> plane;
+  if (!parsed->listen.empty()) {
+    if (const int rc = start_telemetry_plane(plane, parsed->listen); rc != 0) {
+      return rc;
+    }
+    plane->attach(&monitor);
+  }
+  if (const int rc =
+          feed_monitor_from_file(monitor, *parsed, /*flush=*/!plane);
+      rc != 0) {
     return rc;
+  }
+  if (plane) {
+    // Keep serving the finished-but-unflushed run until the operator (or a
+    // supervisor) signals; then flush the final window and fall through to
+    // the normal summary/report/artifact path.
+    wait_for_shutdown();
+    monitor.flush();
+    plane->stop();
   }
 
   std::printf("windows: %zu (baseline captured at t=%.1fs), alarms: %zu\n",
@@ -635,8 +724,22 @@ int cmd_report(std::vector<std::string> args) {
   obs::FlightRecorder::install_abnormal_exit_dump();
 
   core::SlidingMonitor monitor(parsed->config);
-  if (const int rc = feed_monitor_from_file(monitor, *parsed); rc != 0) {
+  std::optional<core::TelemetryPlane> plane;  // Destructs before monitor.
+  if (!parsed->listen.empty()) {
+    if (const int rc = start_telemetry_plane(plane, parsed->listen); rc != 0) {
+      return rc;
+    }
+    plane->attach(&monitor);
+  }
+  if (const int rc =
+          feed_monitor_from_file(monitor, *parsed, /*flush=*/!plane);
+      rc != 0) {
     return rc;
+  }
+  if (plane) {
+    wait_for_shutdown();
+    monitor.flush();
+    plane->stop();
   }
 
   const int rc = write_run_report(monitor, parsed->out_path, parsed->html);
