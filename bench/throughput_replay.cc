@@ -509,7 +509,7 @@ int run(int argc, char** argv) {
 
   std::string json = "{\n";
   json += "  \"bench\": \"throughput_replay\",\n";
-  json += "  \"schema\": 1,\n";
+  json += "  \"schema\": 2,\n";
   json += std::string("  \"quick\": ") + (quick ? "true" : "false") + ",\n";
   json += "  \"iterations\": " + std::to_string(iters) + ",\n";
   json += "  \"cases\": [\n";
@@ -547,6 +547,40 @@ int run(int argc, char** argv) {
                   ? static_cast<double>(total_bytes) / total_e2e_s / 1.0e6
                   : 0.0) +
           "},\n";
+  // Detection latency (schema 2): the monitor.latency.* stage histograms
+  // from the instrumented pass, summarized as event->alarm percentiles
+  // plus a per-stage breakdown. Wall-clock, so values vary run to run;
+  // the trajectory tracks the distribution shape, not exact numbers.
+  const auto find_hist =
+      [&snap](const std::string& name) -> const obs::HistogramSnapshot* {
+    for (const auto& [n, h] : snap.histograms) {
+      if (n == name) return &h;
+    }
+    return nullptr;
+  };
+  json += "  \"detection_latency_ms\": {\n";
+  {
+    const auto* e2a = find_hist("monitor.latency.event_to_alarm_ms");
+    json += "    \"event_to_alarm\": {\"count\": " +
+            std::to_string(e2a ? e2a->count : 0) +
+            ", \"p50\": " + num(e2a ? e2a->quantile(0.5) : 0.0) +
+            ", \"p99\": " + num(e2a ? e2a->quantile(0.99) : 0.0) +
+            ", \"mean\": " + num(e2a ? e2a->mean() : 0.0) + "},\n";
+    json += "    \"stages\": {";
+    const std::array<const char*, 5> stages = {"ingest", "queue", "model",
+                                               "diff", "decide"};
+    for (std::size_t s = 0; s < stages.size(); ++s) {
+      const auto* h =
+          find_hist(std::string("monitor.latency.") + stages[s] + "_ms");
+      json += s == 0 ? "\n" : ",\n";
+      json += std::string("      \"") + stages[s] +
+              "\": {\"count\": " + std::to_string(h ? h->count : 0) +
+              ", \"mean\": " + num(h ? h->mean() : 0.0) +
+              ", \"p99\": " + num(h ? h->quantile(0.99) : 0.0) + "}";
+    }
+    json += "\n    }\n";
+  }
+  json += "  },\n";
   json += "  \"peak_rss_mb\": " + num(peak_rss_mb()) + ",\n";
   json += "  \"obs\": {\"counters\": {";
   bool first = true;

@@ -107,4 +107,11 @@ std::string replay_corpus_case(const CorpusCase& corpus_case) {
   return core::render_monitor_transcript(monitor);
 }
 
+std::string replay_corpus_provenance(const CorpusCase& corpus_case) {
+  core::SlidingMonitor monitor(corpus_case.config);
+  monitor.feed(corpus_case.events);
+  monitor.flush();
+  return core::render_provenance_transcript(monitor);
+}
+
 }  // namespace flowdiff::exp

@@ -52,4 +52,10 @@ struct CorpusCase {
 /// flush) and returns the deterministic transcript the golden files pin.
 [[nodiscard]] std::string replay_corpus_case(const CorpusCase& corpus_case);
 
+/// Same replay, but renders the provenance transcript
+/// (render_provenance_transcript, latency lines omitted) — the text the
+/// committed `.provenance` golden files pin for alarming cases.
+[[nodiscard]] std::string replay_corpus_provenance(
+    const CorpusCase& corpus_case);
+
 }  // namespace flowdiff::exp

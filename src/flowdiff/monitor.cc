@@ -26,6 +26,28 @@ struct MonitorMetrics {
       obs::Registry::global().histogram("monitor.events_per_window", 100.0);
   obs::Gauge& audits_dropped =
       obs::Registry::global().gauge("monitor.audits_dropped");
+  // Detection-latency stages (see StageLatency in provenance.h): the
+  // wall-clock path from the window's newest event arriving at feed() to
+  // the monitor committing its verdict.
+  obs::LatencyHistogram& latency_ingest =
+      obs::Registry::global().histogram("monitor.latency.ingest_ms", 5.0);
+  obs::LatencyHistogram& latency_queue =
+      obs::Registry::global().histogram("monitor.latency.queue_ms", 1.0);
+  obs::LatencyHistogram& latency_model =
+      obs::Registry::global().histogram("monitor.latency.model_ms", 1.0);
+  obs::LatencyHistogram& latency_diff =
+      obs::Registry::global().histogram("monitor.latency.diff_ms", 1.0);
+  obs::LatencyHistogram& latency_decide =
+      obs::Registry::global().histogram("monitor.latency.decide_ms", 0.5);
+  /// End-to-end newest-event -> verdict, observed for alarmed windows only
+  /// (the p50/p99 the throughput bench reports as detection latency).
+  obs::LatencyHistogram& latency_event_to_alarm =
+      obs::Registry::global().histogram("monitor.latency.event_to_alarm_ms",
+                                        5.0);
+  /// How far the sanitizer's release watermark trails its newest arrival
+  /// (µs of stream time buffered for reordering; 0 without a sanitizer).
+  obs::Gauge& watermark_lag_us =
+      obs::Registry::global().gauge("monitor.watermark_lag_us");
   obs::Gauge& pipeline_depth =
       obs::Registry::global().gauge("monitor.pipeline.depth");
   obs::Counter& pipeline_stalls =
@@ -57,6 +79,7 @@ SlidingMonitor::SlidingMonitor(MonitorConfig config)
     : config_(std::move(config)),
       flowdiff_(config_.flowdiff),
       ingest_sink_([this](const of::ControlEvent& e) { ingest_event(e); }),
+      feed_wall_(std::chrono::steady_clock::now()),
       watchdog_(config_.watchdog) {
   if (config_.sanitize) sanitizer_.emplace(config_.ingest);
   if (pipelined()) {
@@ -75,6 +98,7 @@ SlidingMonitor::~SlidingMonitor() {
 }
 
 void SlidingMonitor::feed(const of::ControlEvent& event) {
+  feed_wall_ = std::chrono::steady_clock::now();
   if (!sanitizer_) {
     ingest_event(event);
     return;
@@ -99,7 +123,9 @@ void SlidingMonitor::feed(const of::ControlLog& log) { feed(log.events()); }
 
 void SlidingMonitor::feed(const std::vector<of::ControlEvent>& events) {
   // Batched fast path: resolve the sanitizer branch once and reuse the
-  // prebuilt sink, instead of paying both per event.
+  // prebuilt sink, instead of paying both per event. One arrival stamp
+  // per batch keeps the hot path free of per-event clock reads.
+  feed_wall_ = std::chrono::steady_clock::now();
   if (sanitizer_) {
     sanitizer_->push(events, ingest_sink_);
     return;
@@ -131,6 +157,20 @@ bool SlidingMonitor::has_baseline() const {
 std::size_t SlidingMonitor::audits_dropped() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return audits_dropped_;
+}
+
+std::uint64_t SlidingMonitor::provenance_dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return provenance_dropped_;
+}
+
+std::optional<ProvenanceRecord> SlidingMonitor::find_provenance(
+    std::uint64_t id) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& rec : provenance_) {
+    if (rec.id == id) return rec;
+  }
+  return std::nullopt;
 }
 
 std::size_t SlidingMonitor::windows_processed() const {
@@ -165,6 +205,8 @@ MonitorSnapshot SlidingMonitor::snapshot() const {
   snap.audits.assign(audits_.begin(), audits_.end());
   snap.audits_dropped = audits_dropped_;
   snap.alarms = alarms_;
+  snap.provenance.assign(provenance_.begin(), provenance_.end());
+  snap.provenance_dropped = provenance_dropped_;
   snap.pipeline_stalls = stalls_;
   return snap;
 }
@@ -213,6 +255,7 @@ void SlidingMonitor::close_window(SimTime window_end) {
   ingest::StreamQuality quality;
   if (sanitizer_) {
     quality = sanitizer_->take_window_quality();
+    metrics().watermark_lag_us.set(sanitizer_->watermark_lag());
     // Health accumulation happens here on the feed thread (not in
     // process_window) so idle-window quality is never lost and a /healthz
     // scrape sees corruption as soon as the window closes.
@@ -223,16 +266,17 @@ void SlidingMonitor::close_window(SimTime window_end) {
     scratch_ = std::move(window_log);  // Idle window: nothing to model.
     return;
   }
+  PendingWindow pending{std::move(window_log), begin, window_end, quality,
+                        feed_wall_, std::chrono::steady_clock::now()};
   if (pipelined()) {
     // The pipeline thread owns the log from here; scratch reuse only
     // applies to the synchronous path.
-    enqueue_window(PendingWindow{std::move(window_log), begin, window_end,
-                                 quality});
+    enqueue_window(std::move(pending));
     return;
   }
-  process_window(std::move(window_log), begin, window_end, quality);
+  process_window(std::move(pending));
   // process_window read the log in place; take the storage back.
-  scratch_ = std::move(window_log);
+  scratch_ = std::move(pending.log);
   scratch_.clear();
 }
 
@@ -284,8 +328,7 @@ void SlidingMonitor::pipeline_loop() {
           static_cast<std::int64_t>(queue_.size()));
     }
     queue_space_.notify_one();
-    process_window(std::move(pending.log), pending.begin, pending.end,
-                   pending.quality);
+    process_window(std::move(pending));
     {
       const std::lock_guard<std::mutex> lock(mu_);
       processing_ = false;
@@ -294,11 +337,21 @@ void SlidingMonitor::pipeline_loop() {
   }
 }
 
-void SlidingMonitor::process_window(of::ControlLog&& window_log, SimTime begin,
-                                    SimTime window_end,
-                                    ingest::StreamQuality quality) {
+void SlidingMonitor::process_window(PendingWindow&& pending) {
   const obs::Span span("monitor/window");
   const auto wall_start = std::chrono::steady_clock::now();
+  const auto wall_ms = [](std::chrono::steady_clock::time_point from,
+                          std::chrono::steady_clock::time_point to) {
+    const std::chrono::duration<double, std::milli> d = to - from;
+    return d.count() < 0.0 ? 0.0 : d.count();
+  };
+  const of::ControlLog& window_log = pending.log;
+  const SimTime begin = pending.begin;
+  const SimTime window_end = pending.end;
+  ingest::StreamQuality quality = pending.quality;
+  StageLatency latency;
+  latency.ingest_ms = wall_ms(pending.arrival_wall, pending.close_wall);
+  latency.queue_ms = wall_ms(pending.close_wall, wall_start);
   WindowAudit audit;
   audit.window_begin = begin;
   audit.window_end = window_end;
@@ -318,8 +371,13 @@ void SlidingMonitor::process_window(of::ControlLog&& window_log, SimTime begin,
   metrics().events.inc(window_log.size());
   metrics().events_per_window.observe(
       static_cast<double>(window_log.size()));
+  metrics().latency_ingest.observe(latency.ingest_ms);
+  metrics().latency_queue.observe(latency.queue_ms);
 
   BehaviorModel model = flowdiff_.model(window_log);
+  const auto model_done = std::chrono::steady_clock::now();
+  latency.model_ms = wall_ms(wall_start, model_done);
+  metrics().latency_model.observe(latency.model_ms);
   if (!baseline_) {
     {
       const std::lock_guard<std::mutex> lock(mu_);
@@ -336,13 +394,31 @@ void SlidingMonitor::process_window(of::ControlLog&& window_log, SimTime begin,
           obs::Severity::kInfo, "monitor", "baseline adopted",
           {{"events", std::to_string(audit.events)}}, to_seconds(begin));
     }
-    finish_audit(std::move(audit), wall_start);
+    finish_audit(std::move(audit), wall_start, std::nullopt);
     return;
   }
 
   DiffReport report = flowdiff_.diff(*baseline_, model, config_.tasks,
                                      &quality);
+  const auto diff_done = std::chrono::steady_clock::now();
+  latency.diff_ms = wall_ms(model_done, diff_done);
+  metrics().latency_diff.observe(latency.diff_ms);
   const bool clean = report.clean();
+  // Any unknown or suppressed change earns the window a provenance record:
+  // alarmed windows explain what fired, suppressed-only windows explain
+  // why nothing did. The id is assigned here (the processing thread is the
+  // sole window consumer, so the sequence is deterministic) but the record
+  // commits with the audit under the lock.
+  std::optional<ProvenanceRecord> record;
+  if (!report.unknown.empty() || !report.suppressed.empty()) {
+    record = build_provenance(report, config_.provenance_top_k);
+    record->id = ++provenance_seq_;
+    record->window_index = audit.index;
+    record->window_begin = begin;
+    record->window_end = window_end;
+    record->events = audit.events;
+    record->alarmed = !clean;
+  }
   audit.changes = report.changes.size();
   audit.known = report.known.size();
   audit.unknown = report.unknown.size();
@@ -369,7 +445,8 @@ void SlidingMonitor::process_window(of::ControlLog&& window_log, SimTime begin,
           to_seconds(begin));
     }
     const std::lock_guard<std::mutex> lock(mu_);
-    alarms_.push_back(MonitorAlarm{begin, window_end, std::move(report)});
+    alarms_.push_back(MonitorAlarm{begin, window_end, std::move(report),
+                                   record ? record->id : 0});
   } else {
     metrics().clean.inc();
     if (report.changes.empty()) {
@@ -401,11 +478,26 @@ void SlidingMonitor::process_window(of::ControlLog&& window_log, SimTime begin,
     audit.decision += "; baseline rolled forward";
     metrics().rebaselines.inc();
   }
-  finish_audit(std::move(audit), wall_start);
+  if (record) {
+    // The verdict is the final decision string (rolling-baseline and
+    // DEGRADED annotations included), so all three surfaces — transcript,
+    // /provenance, `flowdiff explain` — agree with the audit trail.
+    record->verdict = audit.decision;
+    const auto decided = std::chrono::steady_clock::now();
+    record->latency = latency;
+    record->latency.decide_ms = wall_ms(diff_done, decided);
+    record->latency.total_ms = wall_ms(pending.arrival_wall, decided);
+    metrics().latency_decide.observe(record->latency.decide_ms);
+    if (record->alarmed) {
+      metrics().latency_event_to_alarm.observe(record->latency.total_ms);
+    }
+  }
+  finish_audit(std::move(audit), wall_start, std::move(record));
 }
 
 void SlidingMonitor::finish_audit(
-    WindowAudit audit, std::chrono::steady_clock::time_point wall_start) {
+    WindowAudit audit, std::chrono::steady_clock::time_point wall_start,
+    std::optional<ProvenanceRecord> record) {
   const std::chrono::duration<double, std::milli> wall =
       std::chrono::steady_clock::now() - wall_start;
   audit.wall_ms = wall.count();
@@ -423,6 +515,14 @@ void SlidingMonitor::finish_audit(
       ++audits_dropped_;
     }
     dropped = audits_dropped_;
+    if (record) {
+      provenance_.push_back(std::move(*record));
+      while (config_.max_provenance > 0 &&
+             provenance_.size() > config_.max_provenance) {
+        provenance_.pop_front();
+        ++provenance_dropped_;
+      }
+    }
   }
   metrics().audits_dropped.set(static_cast<std::int64_t>(dropped));
 
@@ -457,6 +557,20 @@ std::string render_monitor_transcript(const SlidingMonitor& monitor) {
            fmt_double(to_seconds(alarm.window_begin), 1) + "s.." +
            fmt_double(to_seconds(alarm.window_end), 1) + "s ---\n";
     out += alarm.report.render();
+  }
+  return out;
+}
+
+std::string render_provenance_transcript(const SlidingMonitor& monitor) {
+  // Like render_monitor_transcript: wall-clock latency fields omitted, so
+  // identical runs — at any worker count or pipeline depth — produce
+  // identical text.
+  std::string out;
+  out += "=== provenance transcript ===\n";
+  out += "records=" + std::to_string(monitor.provenance().size()) +
+         " dropped=" + std::to_string(monitor.provenance_dropped()) + "\n";
+  for (const auto& rec : monitor.provenance()) {
+    out += "\n" + render_provenance_text(rec, /*with_latency=*/false);
   }
   return out;
 }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "flowdiff/flowdiff.h"
+#include "flowdiff/provenance.h"
 #include "ingest/sanitizer.h"
 #include "obs/watchdog.h"
 
@@ -54,6 +55,13 @@ struct MonitorConfig {
   bool sanitize = false;
   /// Sanitizer tuning (lateness horizon etc.); used when sanitize is set.
   ingest::SanitizerConfig ingest;
+  /// Provenance records retained (every window whose diff produced unknown
+  /// or suppressed changes gets one; oldest rotate out, counted by
+  /// provenance_dropped()). 0 keeps everything — short offline runs only.
+  std::size_t max_provenance = 256;
+  /// Contributing components listed per family in a provenance record,
+  /// ranked by their share of the family's divergence.
+  std::size_t provenance_top_k = 5;
   /// > 0 enables pipelined window processing: a closed window's model+diff
   /// runs on a dedicated pipeline thread while feed() keeps ingesting the
   /// next window. The value bounds the closed-windows-in-flight backlog;
@@ -69,6 +77,9 @@ struct MonitorAlarm {
   SimTime window_begin = 0;
   SimTime window_end = 0;
   DiffReport report;
+  /// Id of the ProvenanceRecord explaining this alarm (0 = none; the
+  /// record may have rotated out of the bounded ring).
+  std::uint64_t provenance_id = 0;
 };
 
 /// Per-window audit record: why the monitor alarmed (or stayed silent) on
@@ -105,6 +116,9 @@ struct MonitorSnapshot {
   std::vector<WindowAudit> audits;   ///< Retained trail, oldest first.
   std::size_t audits_dropped = 0;
   std::vector<MonitorAlarm> alarms;
+  /// Retained provenance ring, oldest first (see SlidingMonitor docs).
+  std::vector<ProvenanceRecord> provenance;
+  std::uint64_t provenance_dropped = 0;
   std::uint64_t pipeline_stalls = 0;
 };
 
@@ -177,6 +191,19 @@ class SlidingMonitor {
   }
   /// Audit records rotated out by the max_audits cap.
   [[nodiscard]] std::size_t audits_dropped() const;
+  /// Provenance records retained (newest max_provenance), oldest first:
+  /// one per window whose diff produced unknown or suppressed changes,
+  /// explaining what drove (or withheld) the alarm. Call after flush();
+  /// concurrent readers should use snapshot() or find_provenance().
+  [[nodiscard]] const std::deque<ProvenanceRecord>& provenance() const {
+    return provenance_;
+  }
+  /// Provenance records rotated out by the max_provenance cap.
+  [[nodiscard]] std::uint64_t provenance_dropped() const;
+  /// Copy of the record with the given id, taken under the commit lock
+  /// (safe from any thread); nullopt if unknown or rotated out.
+  [[nodiscard]] std::optional<ProvenanceRecord> find_provenance(
+      std::uint64_t id) const;
   [[nodiscard]] std::size_t windows_processed() const;
   [[nodiscard]] SimTime baseline_captured_at() const;
   /// feed() calls that hit a full pipeline backlog and had to wait.
@@ -200,21 +227,27 @@ class SlidingMonitor {
     SimTime begin = 0;
     SimTime end = 0;
     ingest::StreamQuality quality;
+    /// Detection-latency clock edges (steady_clock, the tracing-span
+    /// clock): when the window's newest event arrived at feed(), and when
+    /// the window closed. process_window adds the model/diff/decide edges.
+    std::chrono::steady_clock::time_point arrival_wall{};
+    std::chrono::steady_clock::time_point close_wall{};
   };
 
   /// feed() after the sanitizer (or directly, when sanitize is off).
   void ingest_event(const of::ControlEvent& event);
   void close_window(SimTime window_end);
   /// Models + diffs one closed window and commits the outcome; runs on the
-  /// caller in synchronous mode, on pipeline_thread_ otherwise. Takes the
-  /// log by rvalue reference but reads it in place, so a synchronous
-  /// caller gets the (cleared) storage back afterwards — close_window
-  /// recycles it as the next window's scratch buffer.
-  void process_window(of::ControlLog&& window_log, SimTime begin,
-                      SimTime window_end, ingest::StreamQuality quality);
-  /// Stamps the wall time onto the audit record and files it.
+  /// caller in synchronous mode, on pipeline_thread_ otherwise. Reads the
+  /// pending log in place, so a synchronous caller gets the (cleared)
+  /// storage back afterwards — close_window recycles it as the next
+  /// window's scratch buffer.
+  void process_window(PendingWindow&& pending);
+  /// Stamps the wall time onto the audit record and files it, together
+  /// with the window's provenance record (if the diff produced one).
   void finish_audit(WindowAudit audit,
-                    std::chrono::steady_clock::time_point wall_start);
+                    std::chrono::steady_clock::time_point wall_start,
+                    std::optional<ProvenanceRecord> record);
   void enqueue_window(PendingWindow pending);
   void pipeline_loop();
   [[nodiscard]] bool pipelined() const { return config_.pipeline_depth > 0; }
@@ -236,9 +269,18 @@ class SlidingMonitor {
   /// nothing per window.
   of::ControlLog scratch_;
   SimTime window_start_ = -1;
+  /// Wall time of the most recent feed()/push batch: the arrival stamp of
+  /// the newest event, the first detection-latency clock edge. Touched by
+  /// the feed thread only.
+  std::chrono::steady_clock::time_point feed_wall_;
   std::vector<MonitorAlarm> alarms_;
   std::deque<WindowAudit> audits_;
   std::size_t audits_dropped_ = 0;
+  /// Provenance ring (guarded by mu_ like audits_); the sequence counter
+  /// is touched only by the window-processing thread.
+  std::deque<ProvenanceRecord> provenance_;
+  std::uint64_t provenance_dropped_ = 0;
+  std::uint64_t provenance_seq_ = 0;
   std::size_t windows_ = 0;
   /// Health accumulators (guarded by mu_): sanitizer tallies summed over
   /// every closed window, and unknown changes withheld as low-confidence.
@@ -265,6 +307,14 @@ class SlidingMonitor {
 /// which is what the golden-trace corpus commits and diffs against. Call
 /// after flush().
 [[nodiscard]] std::string render_monitor_transcript(
+    const SlidingMonitor& monitor);
+
+/// Deterministic transcript of the monitor's provenance ring (wall-clock
+/// latency fields omitted, like render_monitor_transcript omits wall_ms):
+/// the golden corpus pins this byte for byte, and the parallel-identity
+/// harness requires it invariant across worker counts and pipeline depths.
+/// Call after flush().
+[[nodiscard]] std::string render_provenance_transcript(
     const SlidingMonitor& monitor);
 
 }  // namespace flowdiff::core

@@ -1,6 +1,8 @@
 #include "flowdiff/telemetry.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 #include <utility>
 
 #include "obs/export.h"
@@ -93,6 +95,39 @@ obs::HttpResponse no_monitor_response() {
   response.content_type = "application/json";
   response.body = "{\"error\":\"no monitor attached\"}\n";
   return response;
+}
+
+obs::HttpResponse json_error(int status, std::string_view message) {
+  obs::HttpResponse response;
+  response.status = status;
+  response.content_type = "application/json";
+  response.body = "{\"error\":\"" + json_escape(message) + "\"}\n";
+  return response;
+}
+
+/// Parses an optional ?from=/?to= time bound (seconds, decimal). Leaves
+/// *out untouched when the parameter is absent; returns false when it is
+/// present but not a number.
+bool parse_time_bound(const std::optional<std::string>& raw, double* out) {
+  if (!raw) return true;
+  if (raw->empty()) return false;
+  char* end = nullptr;
+  const double value = std::strtod(raw->c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+/// Same contract for unsigned integer parameters (?id=, ?limit=).
+bool parse_u64_param(const std::optional<std::string>& raw,
+                     std::uint64_t* out) {
+  if (!raw) return true;
+  if (raw->empty() || (*raw)[0] == '-') return false;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw->c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = value;
+  return true;
 }
 
 }  // namespace
@@ -196,13 +231,16 @@ void TelemetryPlane::register_routes() {
     return text_response(
         200,
         "flowdiff telemetry plane\n"
-        "  /metrics   Prometheus exposition (registry + span aggregates)\n"
-        "  /healthz   health verdict (JSON; 503 once degraded)\n"
-        "  /series    sampled time series (?format=csv|json)\n"
-        "  /recorder  flight-recorder excerpt (?min_severity=debug|info|"
+        "  /metrics     Prometheus exposition (registry + span aggregates)\n"
+        "  /healthz     health verdict (JSON; 503 once degraded)\n"
+        "  /series      sampled time series (?format=csv|json, ?from=/?to= "
+        "seconds)\n"
+        "  /recorder    flight-recorder excerpt (?min_severity=debug|info|"
         "warn|error)\n"
-        "  /audits    per-window audit trail (?format=csv|json)\n"
-        "  /report    run report (?format=md|html)\n");
+        "  /audits      per-window audit trail (?format=csv|json, "
+        "?from=/?to= seconds)\n"
+        "  /provenance  alarm provenance records (JSON; ?id=N or ?limit=N)\n"
+        "  /report      run report (?format=md|html)\n");
   });
 
   server_.handle("/metrics", [this](const obs::HttpRequest&) {
@@ -232,16 +270,46 @@ void TelemetryPlane::register_routes() {
 
   server_.handle("/series", [](const obs::HttpRequest& request) {
     const std::string format = request.param("format").value_or("csv");
+    double from = -std::numeric_limits<double>::infinity();
+    double to = std::numeric_limits<double>::infinity();
+    if (!parse_time_bound(request.param("from"), &from)) {
+      return json_error(400, "unparseable from bound: " +
+                                 request.param("from").value_or(""));
+    }
+    if (!parse_time_bound(request.param("to"), &to)) {
+      return json_error(400, "unparseable to bound: " +
+                                 request.param("to").value_or(""));
+    }
     obs::HttpResponse response;
-    if (format == "json") {
-      response.content_type = "application/json";
-      response.body = obs::render_series_json(obs::Sampler::global());
-    } else if (format == "csv") {
-      response.content_type = "text/csv; charset=utf-8";
-      response.body = obs::render_series_csv(obs::Sampler::global());
-    } else {
+    if (format != "json" && format != "csv") {
       return text_response(400, "unknown format: " + format + "\n");
     }
+    const bool range_query =
+        request.param("from").has_value() || request.param("to").has_value();
+    if (!range_query) {
+      // Full ring: render straight from the sampler (stride preserved).
+      response.content_type = format == "json"
+                                  ? "application/json"
+                                  : "text/csv; charset=utf-8";
+      response.body = format == "json"
+                          ? obs::render_series_json(obs::Sampler::global())
+                          : obs::render_series_csv(obs::Sampler::global());
+      return response;
+    }
+    // Delta scrape: keep only the points whose bucket overlaps [from, to];
+    // series left with nothing are dropped from the response.
+    std::vector<std::pair<std::string, std::vector<obs::SeriesPoint>>> kept;
+    for (const auto& [name, series] : obs::Sampler::global().series()) {
+      std::vector<obs::SeriesPoint> points;
+      for (const obs::SeriesPoint& p : series.points()) {
+        if (p.t_end >= from && p.t_begin <= to) points.push_back(p);
+      }
+      if (!points.empty()) kept.emplace_back(name, std::move(points));
+    }
+    response.content_type = format == "json" ? "application/json"
+                                             : "text/csv; charset=utf-8";
+    response.body = format == "json" ? obs::render_series_json(kept)
+                                     : obs::render_series_csv(kept);
     return response;
   });
 
@@ -264,7 +332,29 @@ void TelemetryPlane::register_routes() {
     const SlidingMonitor* m = monitor();
     if (m == nullptr) return no_monitor_response();
     const std::string format = request.param("format").value_or("csv");
-    const MonitorSnapshot snap = m->snapshot();
+    double from = -std::numeric_limits<double>::infinity();
+    double to = std::numeric_limits<double>::infinity();
+    if (!parse_time_bound(request.param("from"), &from)) {
+      return json_error(400, "unparseable from bound: " +
+                                 request.param("from").value_or(""));
+    }
+    if (!parse_time_bound(request.param("to"), &to)) {
+      return json_error(400, "unparseable to bound: " +
+                                 request.param("to").value_or(""));
+    }
+    MonitorSnapshot snap = m->snapshot();
+    if (request.param("from").has_value() ||
+        request.param("to").has_value()) {
+      // Keep audits whose window overlaps [from, to] seconds.
+      std::vector<WindowAudit> kept;
+      for (WindowAudit& audit : snap.audits) {
+        if (to_seconds(audit.window_end) >= from &&
+            to_seconds(audit.window_begin) <= to) {
+          kept.push_back(std::move(audit));
+        }
+      }
+      snap.audits = std::move(kept);
+    }
     obs::HttpResponse response;
     if (format == "json") {
       response.content_type = "application/json";
@@ -275,6 +365,43 @@ void TelemetryPlane::register_routes() {
     } else {
       return text_response(400, "unknown format: " + format + "\n");
     }
+    return response;
+  });
+
+  server_.handle("/provenance", [this](const obs::HttpRequest& request) {
+    const SlidingMonitor* m = monitor();
+    if (m == nullptr) return no_monitor_response();
+    obs::HttpResponse response;
+    response.content_type = "application/json";
+    if (request.param("id").has_value()) {
+      std::uint64_t id = 0;
+      if (!parse_u64_param(request.param("id"), &id)) {
+        return json_error(400, "unparseable id: " +
+                                   request.param("id").value_or(""));
+      }
+      const auto record = m->find_provenance(id);
+      if (!record) {
+        return json_error(404, "no provenance record with id " +
+                                   std::to_string(id) +
+                                   " (unknown or rotated out)");
+      }
+      response.body = render_provenance_json(*record) + "\n";
+      return response;
+    }
+    std::uint64_t limit = std::numeric_limits<std::uint64_t>::max();
+    if (!parse_u64_param(request.param("limit"), &limit)) {
+      return json_error(400, "unparseable limit: " +
+                                 request.param("limit").value_or(""));
+    }
+    MonitorSnapshot snap = m->snapshot();
+    if (limit < snap.provenance.size()) {
+      // Newest N: the ring is oldest-first.
+      snap.provenance.erase(snap.provenance.begin(),
+                            snap.provenance.end() -
+                                static_cast<std::ptrdiff_t>(limit));
+    }
+    response.body = render_provenance_collection_json(
+        snap.provenance, snap.provenance_dropped);
     return response;
   });
 

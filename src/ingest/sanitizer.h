@@ -85,6 +85,19 @@ class StreamSanitizer {
   [[nodiscard]] const StreamQuality& total() const { return total_; }
 
   [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
+
+  /// How far (in stream time, µs) the release watermark trails the newest
+  /// arrival — the reordering delay the sanitizer is currently imposing on
+  /// detection. At most the lateness horizon; 0 before any push and after
+  /// flush() has caught the watermark up.
+  [[nodiscard]] SimDuration watermark_lag() const {
+    if (max_ts_ == kNoTs || buffer_.empty()) return 0;
+    const SimTime released =
+        released_up_to_ == kNoTs ? max_ts_ - config_.lateness_horizon
+                                 : released_up_to_;
+    return max_ts_ > released ? max_ts_ - released : 0;
+  }
+
   [[nodiscard]] const SanitizerConfig& config() const { return config_; }
 
  private:

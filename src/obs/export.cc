@@ -49,12 +49,34 @@ std::string num(double v) {
 }
 
 std::string quote(std::string_view name) {
+  // Prometheus exposition label values: backslash, double-quote, and
+  // line-feed must be escaped (a raw newline would split the sample line).
   std::string out = "\"";
   for (const char c : name) {
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
     if (c == '"' || c == '\\') out += '\\';
     out += c;
   }
   out += '"';
+  return out;
+}
+
+std::string escape_help(std::string_view text) {
+  // # HELP text: the exposition format escapes backslash and line feed
+  // (quotes stay raw — help text is not quoted).
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    if (c == '\\') out += '\\';
+    out += c;
+  }
   return out;
 }
 
@@ -303,7 +325,7 @@ std::string render_prometheus(const Snapshot& snap, std::string_view prefix) {
   const auto help = [](const std::string& metric, std::string_view kind,
                        std::string_view source) {
     return "# HELP " + metric + " FlowDiff " + std::string(kind) + " '" +
-           std::string(source) + "'\n";
+           escape_help(source) + "'\n";
   };
   std::string out;
   for (const auto& [name, value] : snap.counters) {

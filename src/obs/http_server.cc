@@ -5,6 +5,7 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -409,6 +410,67 @@ void HttpServer::loop() {
     });
   }
   for (Connection& conn : conns) ::close(conn.fd);
+}
+
+std::optional<HttpGetResult> http_get(const std::string& address,
+                                      std::uint16_t port,
+                                      const std::string& target,
+                                      double timeout_s) {
+  std::string host = address;
+  if (host.empty() || host == "0.0.0.0") host = "127.0.0.1";
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  struct timeval tv {};
+  tv.tv_sec = static_cast<time_t>(timeout_s);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_s - static_cast<double>(
+                                            tv.tv_sec)) * 1e6);
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  const std::string request = "GET " + target +
+                              " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      ::close(fd);
+      return std::nullopt;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF, timeout, or error: parse what arrived.
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  // "HTTP/1.1 200 OK\r\n...\r\n\r\n<body>"
+  if (raw.rfind("HTTP/1.", 0) != 0) return std::nullopt;
+  const std::size_t status_at = raw.find(' ');
+  if (status_at == std::string::npos || status_at + 4 > raw.size()) {
+    return std::nullopt;
+  }
+  int status = 0;
+  const auto [ptr, ec] = std::from_chars(
+      raw.data() + status_at + 1, raw.data() + status_at + 4, status);
+  if (ec != std::errc() || status < 100 || status > 599) return std::nullopt;
+  const std::size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos) return std::nullopt;
+  return HttpGetResult{status, raw.substr(head_end + 4)};
 }
 
 }  // namespace flowdiff::obs

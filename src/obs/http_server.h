@@ -139,4 +139,19 @@ parse_listen_address(std::string_view spec);
 [[nodiscard]] std::string render_http_response(const HttpResponse& response,
                                                bool head_only = false);
 
+/// Result of a blocking http_get(): the parsed status line and body.
+struct HttpGetResult {
+  int status = 0;
+  std::string body;
+};
+
+/// Minimal blocking HTTP/1.1 GET client (the counterpart of this server,
+/// used by `flowdiff explain --from` to read a live plane). Connects to
+/// `address`:`port` (an empty or wildcard address means loopback), sends
+/// `GET target` with Connection: close, and reads until EOF. nullopt on
+/// connect/IO failure, an unparseable response, or timeout.
+[[nodiscard]] std::optional<HttpGetResult> http_get(
+    const std::string& address, std::uint16_t port, const std::string& target,
+    double timeout_s = 5.0);
+
 }  // namespace flowdiff::obs

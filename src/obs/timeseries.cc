@@ -202,6 +202,21 @@ std::string render_series_csv(const Sampler& sampler) {
   return render_series_csv(sampler.series());
 }
 
+std::string render_series_csv(
+    const std::vector<std::pair<std::string, std::vector<SeriesPoint>>>&
+        series) {
+  std::string out = "series,t_begin,t_end,mean,min,max,count\n";
+  for (const auto& [name, points] : series) {
+    for (const SeriesPoint& p : points) {
+      out += name;
+      out += ',' + num_compact(p.t_begin) + ',' + num_compact(p.t_end) + ',' +
+             num_compact(p.mean) + ',' + num_compact(p.min) + ',' +
+             num_compact(p.max) + ',' + std::to_string(p.count) + '\n';
+    }
+  }
+  return out;
+}
+
 std::string render_series_json(
     const std::vector<std::pair<std::string, Series>>& series) {
   std::string out = "{\n  \"series\": {";
@@ -228,6 +243,30 @@ std::string render_series_json(
 
 std::string render_series_json(const Sampler& sampler) {
   return render_series_json(sampler.series());
+}
+
+std::string render_series_json(
+    const std::vector<std::pair<std::string, std::vector<SeriesPoint>>>&
+        series) {
+  std::string out = "{\n  \"series\": {";
+  bool first = true;
+  for (const auto& [name, points] : series) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + quote(name) + ": {\"stride\": 0, \"points\": [";
+    bool first_point = true;
+    for (const SeriesPoint& p : points) {
+      if (!first_point) out += ", ";
+      first_point = false;
+      out += '[' + num_compact(p.t_begin) + ", " + num_compact(p.t_end) +
+             ", " + num_compact(p.mean) + ", " + num_compact(p.min) + ", " +
+             num_compact(p.max) + ", " + std::to_string(p.count) + ']';
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
 }
 
 namespace {

@@ -143,6 +143,17 @@ class Sampler {
     const std::vector<std::pair<std::string, Series>>& series);
 [[nodiscard]] std::string render_series_json(const Sampler& sampler);
 
+/// Point-vector forms of the two renderers, for pre-filtered views (e.g.
+/// the telemetry plane's ?from=/?to= time-range queries). Same formats;
+/// the JSON form emits "stride": 0, since a filtered slice no longer has
+/// a single compaction stride.
+[[nodiscard]] std::string render_series_csv(
+    const std::vector<std::pair<std::string, std::vector<SeriesPoint>>>&
+        series);
+[[nodiscard]] std::string render_series_json(
+    const std::vector<std::pair<std::string, std::vector<SeriesPoint>>>&
+        series);
+
 /// Inverse of render_series_json: name -> points. nullopt on malformed
 /// input.
 [[nodiscard]] std::optional<

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <optional>
@@ -271,6 +272,48 @@ TEST_F(TelemetryPlaneTest, EndpointsServeAttachedMonitorRun) {
   EXPECT_EQ(bad_format->status, 400);
 }
 
+TEST_F(TelemetryPlaneTest, SeriesAndAuditsAcceptTimeRangeFilters) {
+  obs::set_enabled(true);
+  core::MonitorConfig config = small_monitor_config();
+  config.sample_metrics = true;
+  core::SlidingMonitor monitor(config);
+  core::TelemetryPlane plane;
+  plane.attach(&monitor);
+  ASSERT_TRUE(plane.start()) << plane.last_error();
+  monitor.feed(capture());
+  monitor.flush();
+
+  // A range covering the whole run returns the usual payloads.
+  const auto series = http_get(plane.port(), "/series?from=0&to=1e9");
+  ASSERT_TRUE(series.has_value());
+  EXPECT_EQ(series->status, 200);
+  EXPECT_NE(series->body.find("series,t_begin,t_end"), std::string::npos);
+  const auto audits = http_get(plane.port(), "/audits?from=0&to=1e9");
+  ASSERT_TRUE(audits.has_value());
+  EXPECT_EQ(audits->status, 200);
+  EXPECT_NE(audits->body.find("index,window_begin_s"), std::string::npos);
+
+  // A range past the run keeps the shape but drops every row: the CSV
+  // comes back as its header line and nothing else.
+  const auto empty = http_get(plane.port(), "/audits?from=1e8&to=1e9");
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_EQ(empty->status, 200);
+  EXPECT_NE(empty->body.find("index,window_begin_s"), std::string::npos);
+  EXPECT_EQ(std::count(empty->body.begin(), empty->body.end(), '\n'), 1)
+      << empty->body;
+
+  // Unparseable bounds are a 400 with a JSON error body, not a silent
+  // full dump.
+  for (const char* target : {"/series?from=abc", "/series?to=12..5",
+                             "/audits?from=notanumber", "/audits?to="}) {
+    const auto bad = http_get(plane.port(), target);
+    ASSERT_TRUE(bad.has_value()) << target;
+    EXPECT_EQ(bad->status, 400) << target;
+    EXPECT_NE(bad->body.find("\"error\""), std::string::npos) << target;
+  }
+  plane.stop();
+}
+
 TEST_F(TelemetryPlaneTest, MonitorlessPlaneAnswers503OnMonitorEndpoints) {
   core::TelemetryPlane plane;
   ASSERT_TRUE(plane.start()) << plane.last_error();
@@ -435,8 +478,8 @@ TEST(HttpServerCli, ListenRunServesAndShutsDownGracefully) {
   ASSERT_TRUE(WIFEXITED(status));
   EXPECT_LE(WEXITSTATUS(status), 1);
 
-  for (const char* name :
-       {"report.md", "stats.txt", "series.csv", "trace.json"}) {
+  for (const char* name : {"report.md", "stats.txt", "series.csv",
+                           "trace.json", "provenance.json"}) {
     const fs::path artifact = artifacts / name;
     EXPECT_TRUE(fs::exists(artifact)) << artifact;
     EXPECT_GT(fs::file_size(artifact), 0u) << artifact;

@@ -312,6 +312,25 @@ TEST_F(ObsTest, PrometheusExportSanitizesAndExposes) {
   }
 }
 
+TEST_F(ObsTest, PrometheusEscapesLabelValuesAndHelpText) {
+  // A span name carrying every character the exposition format escapes: a
+  // raw newline in a label value or HELP line would split the sample line
+  // and corrupt the whole scrape.
+  { const Span span("evil\"name\\with\nnewline"); }
+  Registry::global().counter("prom.help\\evil\nname").inc(1);
+
+  const std::string text = render_prometheus(snapshot());
+  // Label values: backslash, double-quote, and newline all escape.
+  EXPECT_NE(text.find("span=\"evil\\\"name\\\\with\\nnewline\""),
+            std::string::npos)
+      << text;
+  // HELP text: backslash and newline escape (quotes stay raw there).
+  EXPECT_NE(text.find("prom.help\\\\evil\\nname"), std::string::npos)
+      << text;
+  // The raw span name (with its literal newline) must appear nowhere.
+  EXPECT_EQ(text.find("evil\"name\\with\nnewline"), std::string::npos);
+}
+
 TEST_F(ObsTest, SpanTreeRendersNesting) {
   {
     const Span outer("outer");

@@ -94,6 +94,11 @@ std::vector<std::string> monitor_transcript(std::size_t pipeline_depth,
     transcript.push_back("alarm@" + std::to_string(alarm.window_begin) +
                          "\n" + alarm.report.render());
   }
+  // Provenance records are part of the determinism contract too: same
+  // ids, contributors, scores, and verdicts at any worker count or
+  // pipeline depth (stage latencies are wall-clock, so the transcript
+  // renderer omits them).
+  transcript.push_back(render_provenance_transcript(*monitor));
   return transcript;
 }
 
@@ -149,11 +154,11 @@ TEST(ParallelModel, ScrapeUnderLoadKeepsTranscriptIdentical) {
       std::atomic<int> scrapes{0};
       std::thread scraper([&] {
         const char* targets[] = {"/metrics", "/healthz", "/audits",
-                                 "/report"};
+                                 "/report", "/provenance"};
         std::size_t i = 0;
         while (!stop.load(std::memory_order_relaxed)) {
           const auto result = flowdiff::testing::http_get(
-              plane.port(), targets[i++ % 4]);
+              plane.port(), targets[i++ % 5]);
           if (result) scrapes.fetch_add(1, std::memory_order_relaxed);
         }
       });
@@ -177,6 +182,7 @@ TEST(ParallelModel, ScrapeUnderLoadKeepsTranscriptIdentical) {
         transcript.push_back("alarm@" + std::to_string(alarm.window_begin) +
                              "\n" + alarm.report.render());
       }
+      transcript.push_back(render_provenance_transcript(*monitor));
       EXPECT_EQ(transcript, plain)
           << "pipeline_depth=" << depth << " workers=" << workers
           << " diverged under scrape load";

@@ -14,7 +14,9 @@
 #      rerun the concurrency-heavy suites (executor pool, parallel model
 #      build, monitor pipeline thread, obs layer), plus the http-labeled
 #      telemetry-plane suite — scraping a live monitor is the cross-thread
-#      read path most likely to hide a race;
+#      read path most likely to hide a race — and the provenance-labeled
+#      suites: provenance records are built on the window-processing
+#      thread and read from the serve thread and explain CLI;
 #   5. corruption sweep: run bench/corruption_sweep in the UBSan tree —
 #      diagnosis accuracy vs corruption rate, end to end under the
 #      sanitizer;
@@ -108,6 +110,11 @@ if [[ "$skip_tsan" -eq 0 ]]; then
   echo "== TSan: telemetry plane under scrape load (ctest -L http) =="
   ctest --test-dir "$repo/build-ci-tsan" --output-on-failure -j "$jobs" \
     --no-tests=error -L http
+  # Provenance rings commit on the window-processing thread and are read
+  # concurrently by /provenance scrapes and the explain CLI.
+  echo "== TSan: alarm provenance (ctest -L provenance) =="
+  ctest --test-dir "$repo/build-ci-tsan" --output-on-failure -j "$jobs" \
+    --no-tests=error -L provenance
 fi
 
 echo "CI passed."

@@ -10,6 +10,7 @@
 //        [--task AUTOMATON]... [--rolling] [--report FILE]
 //   flowdiff report <log> [--window SECONDS] [--services FILE]
 //        [--task AUTOMATON]... [--rolling] [--out FILE] [--html]
+//   flowdiff explain <alarm-id> (--artifacts DIR | --from ADDR:PORT)
 //
 // Control logs use the openflow/log_io.h text format; flow-sequence files
 // hold FLOW lines; automata use TaskAutomaton::serialize(). A services
@@ -21,9 +22,13 @@
 // stats.txt, trace.json, series.csv and (monitor/report) report.md. The
 // older per-artifact flags --stats[=FILE], --trace[=FILE] and
 // --series[=FILE] remain as aliases and override the corresponding
-// artifacts path; `flowdiff help` documents the mapping.
+// artifacts path; `flowdiff help` documents the mapping. monitor/report
+// runs with an artifacts directory also write DIR/provenance.json — the
+// alarm provenance records `flowdiff explain` reads back.
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <ctime>
 #include <filesystem>
@@ -34,6 +39,7 @@
 
 #include "flowdiff/flowdiff.h"
 #include "flowdiff/monitor.h"
+#include "flowdiff/provenance.h"
 #include "flowdiff/report.h"
 #include "flowdiff/telemetry.h"
 #include "obs/http_server.h"
@@ -66,6 +72,8 @@ void print_help(std::FILE* out) {
       "  flowdiff report <log> [--window SECONDS] [--services FILE] "
       "[--task FILE]... [--rolling] [--pipeline DEPTH] [--sanitize] "
       "[--lateness SEC] [--listen ADDR:PORT] [--out FILE] [--html]\n"
+      "  flowdiff explain <alarm-id> (--artifacts DIR | --from "
+      "ADDR:PORT)\n"
       "  flowdiff help\n"
       "global flags (any subcommand):\n"
       "  --workers=N      worker threads for model building (default 0 = "
@@ -83,6 +91,11 @@ void print_help(std::FILE* out) {
       "only\n"
       "                                     (--report/--out "
       "DIR/report.md)\n"
+      "                     DIR/provenance.json  alarm provenance "
+      "records,\n"
+      "                                     monitor/report only (read "
+      "back by\n"
+      "                                     `flowdiff explain`)\n"
       "                   the per-artifact aliases below override the\n"
       "                   corresponding DIR path when both are given\n"
       "  --stats[=FILE]   dump metrics after the run (.json/.prom/table "
@@ -120,6 +133,15 @@ void print_help(std::FILE* out) {
       "                   serving until SIGINT/SIGTERM, then flushes the "
       "final\n"
       "                   window and writes its artifacts.\n"
+      "explain flags:\n"
+      "  --artifacts DIR  read DIR/provenance.json written by an earlier\n"
+      "                   monitor/report run and print the record whose id\n"
+      "                   matches <alarm-id> (the provenance id shown in "
+      "the\n"
+      "                   run report and on /provenance)\n"
+      "  --from ADDR:PORT fetch the record from a live telemetry plane "
+      "via\n"
+      "                   GET /provenance?id=<alarm-id> instead\n"
       "exit status: 0 ok/clean, 1 unknown changes or alarms (diff, "
       "monitor, report), 2 usage or I/O error\n",
       out);
@@ -626,6 +648,20 @@ int write_run_report(const core::SlidingMonitor& monitor,
   return 0;
 }
 
+/// Writes the monitor's provenance ring to DIR/provenance.json when an
+/// artifacts directory was requested; `flowdiff explain --artifacts DIR`
+/// reads it back. A run with no records still writes the (empty)
+/// collection so explain can distinguish "no alarms" from "no artifact".
+int write_provenance_artifact(const core::SlidingMonitor& monitor) {
+  if (g_opts.artifacts_dir.empty()) return 0;
+  const core::MonitorSnapshot snap = monitor.snapshot();
+  const std::string path = g_opts.artifacts_dir + "/provenance.json";
+  const std::string text = core::render_provenance_collection_json(
+      snap.provenance, snap.provenance_dropped);
+  if (!of::write_file(path, text)) return fail("cannot write " + path);
+  return 0;
+}
+
 int cmd_monitor(std::vector<std::string> args) {
   const auto parsed = parse_monitor_args(args, /*report_mode=*/false);
   if (!parsed) return usage();
@@ -711,6 +747,7 @@ int cmd_monitor(std::vector<std::string> args) {
         write_run_report(monitor, parsed->report_path, parsed->html);
     if (rc != 0) return rc;
   }
+  if (const int rc = write_provenance_artifact(monitor); rc != 0) return rc;
   return monitor.alarms().empty() ? 0 : 1;
 }
 
@@ -744,7 +781,88 @@ int cmd_report(std::vector<std::string> args) {
 
   const int rc = write_run_report(monitor, parsed->out_path, parsed->html);
   if (rc != 0) return rc;
+  if (const int prc = write_provenance_artifact(monitor); prc != 0) {
+    return prc;
+  }
   return monitor.alarms().empty() ? 0 : 1;
+}
+
+// --- explain: print one provenance record from artifacts or a live plane ---
+
+/// `flowdiff explain <id> (--artifacts DIR | --from ADDR:PORT)`. Parses its
+/// own flags (deliberately not extract_global_options(): an explain run must
+/// never overwrite the stats/trace/series files the monitor run left in the
+/// artifacts directory it is reading).
+int cmd_explain(const std::vector<std::string>& args) {
+  std::string artifacts_dir;
+  std::string from;
+  std::vector<std::string> positional;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--artifacts" && i + 1 < args.size()) {
+      artifacts_dir = args[++i];
+    } else if (args[i].rfind("--artifacts=", 0) == 0) {
+      artifacts_dir = args[i].substr(std::strlen("--artifacts="));
+    } else if (args[i] == "--from" && i + 1 < args.size()) {
+      from = args[++i];
+    } else if (args[i].rfind("--from=", 0) == 0) {
+      from = args[i].substr(std::strlen("--from="));
+    } else {
+      positional.push_back(args[i]);
+    }
+  }
+  if (positional.size() != 1 || artifacts_dir.empty() == from.empty()) {
+    return usage();
+  }
+  std::uint64_t id = 0;
+  {
+    const std::string& text = positional[0];
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+    if (text.empty() || *end != '\0' || errno != 0 || text[0] == '-') {
+      return fail("malformed alarm id '" + text + "' (expected an integer)");
+    }
+    id = parsed;
+  }
+
+  std::string source;  // For the not-found message.
+  std::string payload;
+  if (!artifacts_dir.empty()) {
+    source = artifacts_dir + "/provenance.json";
+    const auto text = of::read_file(source);
+    if (!text) return fail("cannot read " + source);
+    payload = *text;
+  } else {
+    const auto addr = obs::parse_listen_address(from);
+    if (!addr) return fail("malformed --from address: " + from);
+    source = "http://" + from + "/provenance";
+    const auto response = obs::http_get(addr->first, addr->second,
+                                        "/provenance?id=" +
+                                            std::to_string(id));
+    if (!response) return fail("cannot fetch " + source);
+    if (response->status == 404) {
+      return fail("no provenance record with id " + std::to_string(id) +
+                  " at " + source + " (unknown or rotated out)");
+    }
+    if (response->status != 200) {
+      return fail(source + " answered HTTP " +
+                  std::to_string(response->status));
+    }
+    payload = response->body;
+  }
+
+  const auto records = core::parse_provenance_json(payload);
+  if (!records) return fail("malformed provenance JSON from " + source);
+  for (const core::ProvenanceRecord& record : *records) {
+    if (record.id == id) {
+      std::fputs(
+          core::render_provenance_text(record, /*with_latency=*/true).c_str(),
+          stdout);
+      return 0;
+    }
+  }
+  return fail("no provenance record with id " + std::to_string(id) + " in " +
+              source + " (unknown or rotated out)");
 }
 
 }  // namespace
@@ -757,6 +875,9 @@ int main(int argc, char** argv) {
     return 0;
   }
   std::vector<std::string> args(argv + 2, argv + argc);
+  // explain parses --artifacts itself (it reads that directory; the global
+  // flag would make dump_observability() overwrite its contents).
+  if (command == "explain") return cmd_explain(args);
   const GlobalOptions obs_opts = extract_global_options(args);
   g_opts = obs_opts;
   if (!obs_opts.artifacts_dir.empty()) {

@@ -2,7 +2,8 @@
 //
 // Each case is a deterministic lab simulation (fixed seeds throughout)
 // captured as a corpus .log file plus the monitor transcript its replay
-// must reproduce byte for byte (.golden). Run after an *intentional*
+// must reproduce byte for byte (.golden) and the alarm-provenance
+// transcript (.provenance). Run after an *intentional*
 // behavior change, commit the diff, and the corpus_regression_test pins
 // the new behavior:
 //
@@ -129,11 +130,15 @@ int run(const std::string& out_dir) {
       return 1;
     }
     const std::string golden = exp::replay_corpus_case(*parsed);
+    const std::string provenance = exp::replay_corpus_provenance(*parsed);
 
     const std::string log_path = out_dir + "/" + spec.name + ".log";
     const std::string golden_path = out_dir + "/" + spec.name + ".golden";
+    const std::string provenance_path =
+        out_dir + "/" + spec.name + ".provenance";
     if (!of::write_file(log_path, text) ||
-        !of::write_file(golden_path, golden)) {
+        !of::write_file(golden_path, golden) ||
+        !of::write_file(provenance_path, provenance)) {
       std::fprintf(stderr, "%s: write failed (does %s exist?)\n", spec.name,
                    out_dir.c_str());
       return 1;
@@ -145,8 +150,11 @@ int run(const std::string& out_dir) {
          ++p) {
       ++alarms;
     }
-    std::printf("%-20s events=%-6zu transcript=%zu bytes alarms=%zu\n",
-                spec.name, parsed->events.size(), golden.size(), alarms);
+    std::printf(
+        "%-20s events=%-6zu transcript=%zu bytes alarms=%zu "
+        "provenance=%zu bytes\n",
+        spec.name, parsed->events.size(), golden.size(), alarms,
+        provenance.size());
   }
   return 0;
 }
