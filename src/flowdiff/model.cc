@@ -283,16 +283,6 @@ BehaviorModel Modeler::build(const of::ControlLog& log) const {
   return model;
 }
 
-BehaviorModel build_model(const of::ControlLog& log,
-                          const ModelConfig& config) {
-  // Routed through the facade so legacy callers get exactly the facade's
-  // modeling path (span accounting, executor observer wiring) rather than
-  // a second, drifting construction site.
-  FlowDiffConfig fc;
-  fc.model = config;
-  return FlowDiff(std::move(fc)).model(log);
-}
-
 int match_group(const BehaviorModel& model, const std::set<Ipv4>& members) {
   int best = -1;
   std::size_t best_overlap = 0;

@@ -80,12 +80,6 @@ class Modeler {
   std::shared_ptr<Executor> executor_;
 };
 
-/// Builds the full behavior model from a control log.
-/// \deprecated Thin serial shim over Modeler{config, /*workers=*/0} —
-/// construct a Modeler (or a FlowDiff facade) instead, which can reuse a
-/// worker pool across builds.
-BehaviorModel build_model(const of::ControlLog& log, const ModelConfig& config);
-
 /// Index of the group in `model` best matching `members` (by overlap);
 /// -1 when nothing overlaps.
 int match_group(const BehaviorModel& model, const std::set<Ipv4>& members);

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <map>
 
+#include "flowdiff/monitor_options.h"
+
 #include "obs/flight_recorder.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
@@ -86,6 +88,9 @@ SlidingMonitor::SlidingMonitor(MonitorConfig config)
     pipeline_thread_ = std::thread([this] { pipeline_loop(); });
   }
 }
+
+SlidingMonitor::SlidingMonitor(const MonitorOptions& options)
+    : SlidingMonitor(options.monitor_config()) {}
 
 SlidingMonitor::~SlidingMonitor() {
   if (!pipeline_thread_.joinable()) return;
@@ -535,16 +540,15 @@ void SlidingMonitor::finish_audit(
   }
 }
 
-std::string render_monitor_transcript(const SlidingMonitor& monitor) {
+std::string render_monitor_transcript(const MonitorSnapshot& snap) {
   // Deliberately omits WindowAudit::wall_ms (the only nondeterministic
   // audit field): the golden corpus diffs this text byte for byte.
   std::string out;
   out += "=== monitor transcript ===\n";
-  out += "windows=" + std::to_string(monitor.windows_processed()) +
-         " alarms=" + std::to_string(monitor.alarms().size()) +
-         " audits_dropped=" + std::to_string(monitor.audits_dropped()) +
-         "\n";
-  for (const auto& audit : monitor.audits()) {
+  out += "windows=" + std::to_string(snap.windows) +
+         " alarms=" + std::to_string(snap.alarms.size()) +
+         " audits_dropped=" + std::to_string(snap.audits_dropped) + "\n";
+  for (const auto& audit : snap.audits) {
     out += "[" + std::to_string(audit.index) + "] " +
            fmt_double(to_seconds(audit.window_begin), 1) + "s.." +
            fmt_double(to_seconds(audit.window_end), 1) +
@@ -552,13 +556,17 @@ std::string render_monitor_transcript(const SlidingMonitor& monitor) {
            audit.decision + "\n";
   }
   std::size_t alarm_no = 0;
-  for (const auto& alarm : monitor.alarms()) {
+  for (const auto& alarm : snap.alarms) {
     out += "\n--- alarm " + std::to_string(++alarm_no) + ": window " +
            fmt_double(to_seconds(alarm.window_begin), 1) + "s.." +
            fmt_double(to_seconds(alarm.window_end), 1) + "s ---\n";
     out += alarm.report.render();
   }
   return out;
+}
+
+std::string render_monitor_transcript(const SlidingMonitor& monitor) {
+  return render_monitor_transcript(monitor.snapshot());
 }
 
 std::string render_provenance_transcript(const SlidingMonitor& monitor) {

@@ -25,6 +25,8 @@
 
 namespace flowdiff::core {
 
+struct MonitorOptions;  // flowdiff/monitor_options.h
+
 struct MonitorConfig {
   FlowDiffConfig flowdiff;
   SimDuration window = 30 * kSecond;
@@ -151,6 +153,11 @@ struct MonitorHealth {
 class SlidingMonitor {
  public:
   explicit SlidingMonitor(MonitorConfig config);
+  /// Constructs from the validated public option bundle (the API the CLI
+  /// and the per-tenant serve shards share). The caller is expected to
+  /// have run MonitorOptions::validate() first; the options' `listen`
+  /// field is outside the monitor's scope and ignored here.
+  explicit SlidingMonitor(const MonitorOptions& options);
   ~SlidingMonitor();
 
   SlidingMonitor(const SlidingMonitor&) = delete;
@@ -308,6 +315,14 @@ class SlidingMonitor {
 /// after flush().
 [[nodiscard]] std::string render_monitor_transcript(
     const SlidingMonitor& monitor);
+
+/// Same transcript rendered from a coherent snapshot — the form the serve
+/// daemon uses per tenant shard (and the /tenants/<id>/transcript route
+/// serves live). After flush() it is byte-identical to the monitor
+/// overload, which is what pins single-tenant serve output to the corpus
+/// goldens.
+[[nodiscard]] std::string render_monitor_transcript(
+    const MonitorSnapshot& snap);
 
 /// Deterministic transcript of the monitor's provenance ring (wall-clock
 /// latency fields omitted, like render_monitor_transcript omits wall_ms):

@@ -1,0 +1,70 @@
+// MonitorOptions: the one validated bundle of monitoring knobs.
+//
+// Before this existed every entry point (CLI monitor/report, tests, the
+// serve daemon's per-tenant shards) assembled its own MonitorConfig from
+// loose flags — sanitize here, lateness there, pipeline depth somewhere
+// else — and inconsistent combinations were silently clamped or ignored.
+// MonitorOptions is the API boundary instead: callers fill in the public
+// knobs, validate() rejects combinations that make no sense (with a
+// message naming the offending pair), and monitor_config() lowers the
+// validated bundle onto the internal MonitorConfig that SlidingMonitor —
+// and every per-tenant shard a MonitorManager creates — actually runs.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "flowdiff/monitor.h"
+#include "flowdiff/task_automaton.h"
+
+namespace flowdiff::core {
+
+struct MonitorOptions {
+  /// Window length (event time). Must be positive.
+  SimDuration window = 30 * kSecond;
+  /// Roll the baseline forward on clean windows.
+  bool rolling_baseline = false;
+  /// Route ingest through the StreamSanitizer (raw arrival order in,
+  /// restored order out, per-window StreamQuality, degraded-mode diffs).
+  bool sanitize = false;
+  /// Sanitizer reorder horizon. Setting it without `sanitize` is an error
+  /// (validate() rejects it rather than silently ignoring the horizon);
+  /// unset with `sanitize` uses the SanitizerConfig default (1s).
+  std::optional<SimDuration> lateness;
+  /// Closed-windows-in-flight backlog for pipelined window processing
+  /// (0 = synchronous). Backlogs past kMaxPipelineDepth are rejected —
+  /// each slot pins a whole window's events in memory.
+  std::size_t pipeline_depth = 0;
+  /// Worker threads for model building (0 = serial inline; results are
+  /// bit-identical at any count). Negative is rejected.
+  int workers = 0;
+  /// Audit / provenance records retained per monitor. 0 = unbounded,
+  /// which validate() rejects when `listen` is set: a long-running daemon
+  /// with unbounded retention grows without limit.
+  std::size_t max_audits = 4096;
+  std::size_t max_provenance = 256;
+  /// Contributors listed per family in a provenance record (>= 1).
+  std::size_t provenance_top_k = 5;
+  /// Telemetry-plane endpoint ("ADDR:PORT", ":PORT", or "PORT"); empty
+  /// serves nothing. Must parse via obs::parse_listen_address.
+  std::string listen;
+  /// Domain knowledge: special-purpose service IPs.
+  std::set<Ipv4> services;
+  /// Learned task automata changes are validated against.
+  std::vector<TaskAutomaton> tasks;
+
+  static constexpr std::size_t kMaxPipelineDepth = 4096;
+
+  /// Nullopt when the combination is coherent; otherwise a one-line
+  /// message naming the offending knob(s). Nothing is clamped or fixed
+  /// up — the caller decides how to surface the rejection.
+  [[nodiscard]] std::optional<std::string> validate() const;
+
+  /// Lowers the validated bundle onto the internal config SlidingMonitor
+  /// consumes. Call only after validate() returned nullopt.
+  [[nodiscard]] MonitorConfig monitor_config() const;
+};
+
+}  // namespace flowdiff::core

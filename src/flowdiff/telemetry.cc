@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "flowdiff/monitor_manager.h"
 #include "obs/export.h"
 #include "obs/flight_recorder.h"
 #include "obs/timeseries.h"
@@ -206,6 +207,63 @@ std::string render_audits_json(const MonitorSnapshot& snap) {
   return out;
 }
 
+std::string render_tenants_json(const std::vector<ShardStatus>& statuses) {
+  std::string out = "{\"tenants\":[";
+  for (std::size_t i = 0; i < statuses.size(); ++i) {
+    const ShardStatus& s = statuses[i];
+    if (i > 0) out += ',';
+    out += "{\"tenant\":\"" + json_escape(s.tenant) + "\"";
+    out += std::string(",\"state\":\"") + to_string(s.state) + "\"";
+    out += ",\"events\":" + std::to_string(s.events);
+    out += ",\"dropped\":" + std::to_string(s.dropped);
+    out += ",\"windows\":" + std::to_string(s.windows);
+    out += ",\"alarms\":" + std::to_string(s.alarms);
+    out += std::string(",\"healthy\":") + (s.healthy ? "true" : "false");
+    if (!s.fault.empty()) {
+      out += ",\"fault\":\"" + json_escape(s.fault) + "\"";
+    }
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string render_tenant_series_csv(const MonitorSnapshot& snap) {
+  std::string out =
+      "index,window_begin_s,window_end_s,events,changes,known,unknown,"
+      "suppressed\n";
+  for (const WindowAudit& audit : snap.audits) {
+    out += std::to_string(audit.index);
+    out += ',' + fmt_double(to_seconds(audit.window_begin), 3);
+    out += ',' + fmt_double(to_seconds(audit.window_end), 3);
+    out += ',' + std::to_string(audit.events);
+    out += ',' + std::to_string(audit.changes);
+    out += ',' + std::to_string(audit.known);
+    out += ',' + std::to_string(audit.unknown);
+    out += ',' + std::to_string(audit.suppressed);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string render_tenant_series_json(const MonitorSnapshot& snap) {
+  std::string out = "{\"series\":[";
+  for (std::size_t i = 0; i < snap.audits.size(); ++i) {
+    const WindowAudit& audit = snap.audits[i];
+    if (i > 0) out += ',';
+    out += "{\"index\":" + std::to_string(audit.index);
+    out += ",\"window_begin_s\":" + fmt_double(to_seconds(audit.window_begin), 3);
+    out += ",\"window_end_s\":" + fmt_double(to_seconds(audit.window_end), 3);
+    out += ",\"events\":" + std::to_string(audit.events);
+    out += ",\"changes\":" + std::to_string(audit.changes);
+    out += ",\"known\":" + std::to_string(audit.known);
+    out += ",\"unknown\":" + std::to_string(audit.unknown);
+    out += ",\"suppressed\":" + std::to_string(audit.suppressed) + "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
 TelemetryPlane::TelemetryPlane(TelemetryConfig config)
     : config_(std::move(config)), server_(config_.http) {
   register_routes();
@@ -217,13 +275,18 @@ void TelemetryPlane::attach(const SlidingMonitor* monitor) {
   monitor_.store(monitor, std::memory_order_release);
 }
 
+void TelemetryPlane::attach_manager(const MonitorManager* manager) {
+  manager_.store(manager, std::memory_order_release);
+}
+
 bool TelemetryPlane::start() { return server_.start(); }
 
 void TelemetryPlane::stop() {
   server_.stop();
-  // The server thread is joined: no handler can observe the monitor
-  // anymore, so the caller may destroy it after stop() returns.
+  // The server thread is joined: no handler can observe the monitor or
+  // manager anymore, so the caller may destroy them after stop() returns.
   monitor_.store(nullptr, std::memory_order_release);
+  manager_.store(nullptr, std::memory_order_release);
 }
 
 void TelemetryPlane::register_routes() {
@@ -240,7 +303,10 @@ void TelemetryPlane::register_routes() {
         "  /audits      per-window audit trail (?format=csv|json, "
         "?from=/?to= seconds)\n"
         "  /provenance  alarm provenance records (JSON; ?id=N or ?limit=N)\n"
-        "  /report      run report (?format=md|html)\n");
+        "  /report      run report (?format=md|html)\n"
+        "  /tenants     multi-tenant shard registry (serve mode); per-tenant\n"
+        "               /tenants/<id>/{healthz,series,audits,provenance,"
+        "report,transcript}\n");
   });
 
   server_.handle("/metrics", [this](const obs::HttpRequest&) {
@@ -256,15 +322,24 @@ void TelemetryPlane::register_routes() {
     obs::HttpResponse response;
     response.content_type = "application/json";
     const SlidingMonitor* m = monitor();
-    if (m == nullptr) {
-      // A plane with nothing attached is alive but idle; report healthy so
-      // a scraper between replay stages sees liveness, not an outage.
-      response.body = "{\"healthy\":true,\"monitor_attached\":false}\n";
+    if (m != nullptr) {
+      const MonitorHealth health = m->health();
+      response.status = health.healthy ? 200 : 503;
+      response.body = render_health_json(health);
       return response;
     }
-    const MonitorHealth health = m->health();
-    response.status = health.healthy ? 200 : 503;
-    response.body = render_health_json(health);
+    if (const MonitorManager* mgr = manager()) {
+      // Aggregate verdict: any shard degrading or faulting flips the
+      // whole daemon's health check — a load balancer should stop
+      // trusting a diagnoser that cannot vouch for every tenant.
+      const MonitorHealth health = mgr->aggregate_health();
+      response.status = health.healthy ? 200 : 503;
+      response.body = render_health_json(health);
+      return response;
+    }
+    // A plane with nothing attached is alive but idle; report healthy so
+    // a scraper between replay stages sees liveness, not an outage.
+    response.body = "{\"healthy\":true,\"monitor_attached\":false}\n";
     return response;
   });
 
@@ -405,6 +480,19 @@ void TelemetryPlane::register_routes() {
     return response;
   });
 
+  server_.handle("/tenants", [this](const obs::HttpRequest&) {
+    const MonitorManager* mgr = manager();
+    if (mgr == nullptr) return json_error(503, "no manager attached");
+    obs::HttpResponse response;
+    response.content_type = "application/json";
+    response.body = render_tenants_json(mgr->statuses());
+    return response;
+  });
+
+  server_.handle_prefix("/tenants/", [this](const obs::HttpRequest& request) {
+    return handle_tenants(request);
+  });
+
   server_.handle("/report", [this](const obs::HttpRequest& request) {
     const SlidingMonitor* m = monitor();
     if (m == nullptr) return no_monitor_response();
@@ -422,6 +510,111 @@ void TelemetryPlane::register_routes() {
                           obs::FlightRecorder::global(), options);
     return response;
   });
+}
+
+obs::HttpResponse TelemetryPlane::handle_tenants(
+    const obs::HttpRequest& request) const {
+  const MonitorManager* mgr = manager();
+  if (mgr == nullptr) return json_error(503, "no manager attached");
+
+  // Path shape: /tenants/<id>[/<endpoint>]. The prefix route guarantees
+  // the "/tenants/" head.
+  constexpr std::string_view kPrefix = "/tenants/";
+  std::string_view tail(request.path);
+  tail.remove_prefix(kPrefix.size());
+  const auto slash = tail.find('/');
+  const std::string tenant(tail.substr(0, slash));
+  const std::string endpoint(
+      slash == std::string_view::npos ? "" : tail.substr(slash + 1));
+  if (tenant.empty()) return json_error(404, "missing tenant id");
+
+  const auto status = mgr->status(tenant);
+  if (!status) return json_error(404, "unknown tenant: " + tenant);
+
+  obs::HttpResponse response;
+  response.content_type = "application/json";
+
+  if (endpoint.empty()) {
+    response.body = render_tenants_json({*status});
+    return response;
+  }
+  if (endpoint == "healthz") {
+    const auto health = mgr->health(tenant);
+    if (!health) return json_error(404, "unknown tenant: " + tenant);
+    response.status = health->healthy ? 200 : 503;
+    response.body = render_health_json(*health);
+    return response;
+  }
+
+  const auto snap = mgr->snapshot(tenant);
+  if (!snap) return json_error(404, "unknown tenant: " + tenant);
+
+  if (endpoint == "series") {
+    const std::string format = request.param("format").value_or("csv");
+    if (format == "json") {
+      response.body = render_tenant_series_json(*snap);
+    } else if (format == "csv") {
+      response.content_type = "text/csv; charset=utf-8";
+      response.body = render_tenant_series_csv(*snap);
+    } else {
+      return text_response(400, "unknown format: " + format + "\n");
+    }
+    return response;
+  }
+  if (endpoint == "audits") {
+    const std::string format = request.param("format").value_or("csv");
+    if (format == "json") {
+      response.body = render_audits_json(*snap);
+    } else if (format == "csv") {
+      response.content_type = "text/csv; charset=utf-8";
+      response.body = render_audits_csv(*snap);
+    } else {
+      return text_response(400, "unknown format: " + format + "\n");
+    }
+    return response;
+  }
+  if (endpoint == "provenance") {
+    if (request.param("id").has_value()) {
+      std::uint64_t id = 0;
+      if (!parse_u64_param(request.param("id"), &id)) {
+        return json_error(400, "unparseable id: " +
+                                   request.param("id").value_or(""));
+      }
+      for (const ProvenanceRecord& record : snap->provenance) {
+        if (record.id == id) {
+          response.body = render_provenance_json(record) + "\n";
+          return response;
+        }
+      }
+      return json_error(404, "no provenance record with id " +
+                                 std::to_string(id) +
+                                 " (unknown or rotated out)");
+    }
+    response.body = render_provenance_collection_json(snap->provenance,
+                                                      snap->provenance_dropped);
+    return response;
+  }
+  if (endpoint == "report") {
+    const std::string format = request.param("format").value_or("md");
+    if (format != "md" && format != "html") {
+      return text_response(400, "unknown format: " + format + "\n");
+    }
+    RunReportOptions options = config_.report;
+    options.html = format == "html";
+    response.content_type = options.html ? "text/html; charset=utf-8"
+                                         : "text/markdown; charset=utf-8";
+    response.body = render_run_report(*snap, obs::Sampler::global(),
+                                      obs::FlightRecorder::global(), options);
+    return response;
+  }
+  if (endpoint == "transcript") {
+    // The deterministic monitor transcript for this shard — what the demux
+    // goldens pin against the single-tenant corpus transcripts.
+    response.content_type = "text/plain; charset=utf-8";
+    response.body = render_monitor_transcript(*snap);
+    return response;
+  }
+  return json_error(404, "no such tenant endpoint: " + endpoint);
 }
 
 }  // namespace flowdiff::core

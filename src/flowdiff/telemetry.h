@@ -27,6 +27,9 @@
 
 namespace flowdiff::core {
 
+class MonitorManager;  // flowdiff/monitor_manager.h
+struct ShardStatus;
+
 struct TelemetryConfig {
   obs::HttpServerConfig http;
   /// Options for the /report endpoint's document.
@@ -51,6 +54,15 @@ class TelemetryPlane {
   /// monitor is destroyed.
   void attach(const SlidingMonitor* monitor);
 
+  /// Points the multi-tenant routes (/tenants, /tenants/<id>/...) at a
+  /// MonitorManager — the serve daemon's shape. Also reroutes the
+  /// aggregate /healthz through MonitorManager::aggregate_health(), which
+  /// degrades (503) as soon as ANY shard degrades or faults. Same
+  /// ownership contract as attach(): detach (nullptr) or stop() before
+  /// destroying the manager. A single-monitor attach() takes precedence on
+  /// /healthz when both are set (they never are in practice).
+  void attach_manager(const MonitorManager* manager);
+
   /// Binds and starts serving. False (with last_error()) on socket errors.
   [[nodiscard]] bool start();
   void stop();
@@ -70,9 +82,15 @@ class TelemetryPlane {
   [[nodiscard]] const SlidingMonitor* monitor() const {
     return monitor_.load(std::memory_order_acquire);
   }
+  [[nodiscard]] const MonitorManager* manager() const {
+    return manager_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] obs::HttpResponse handle_tenants(
+      const obs::HttpRequest& request) const;
 
   TelemetryConfig config_;
   std::atomic<const SlidingMonitor*> monitor_{nullptr};
+  std::atomic<const MonitorManager*> manager_{nullptr};
   obs::HttpServer server_;
 };
 
@@ -89,5 +107,19 @@ class TelemetryPlane {
 
 /// The /audits trail as a JSON array of audit objects (same fields).
 [[nodiscard]] std::string render_audits_json(const MonitorSnapshot& snap);
+
+/// The /tenants registry body: one object per shard with state, event and
+/// window counts, health, and (for faulted shards) the diagnostic.
+[[nodiscard]] std::string render_tenants_json(
+    const std::vector<ShardStatus>& statuses);
+
+/// A tenant's /series body, derived from its shard's audit trail (the
+/// global Sampler is process-wide, so per-tenant series come from the
+/// per-window audit counters instead). Columns/keys: index,
+/// window_begin_s, window_end_s, events, changes, known, unknown,
+/// suppressed.
+[[nodiscard]] std::string render_tenant_series_csv(const MonitorSnapshot& snap);
+[[nodiscard]] std::string render_tenant_series_json(
+    const MonitorSnapshot& snap);
 
 }  // namespace flowdiff::core

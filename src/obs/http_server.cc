@@ -182,6 +182,11 @@ void HttpServer::handle(std::string path, Handler handler) {
   routes_[std::move(path)] = std::move(handler);
 }
 
+void HttpServer::handle_prefix(std::string prefix, Handler handler) {
+  if (running()) return;
+  prefix_routes_[std::move(prefix)] = std::move(handler);
+}
+
 void HttpServer::fail_start(const std::string& what) {
   error_ = what + ": " + std::strerror(errno);
   if (listen_fd_ >= 0) {
@@ -270,8 +275,22 @@ std::string HttpServer::dispatch(const std::string& head) {
                      "only GET and HEAD are supported\n"},
         head_only);
   }
+  const Handler* handler = nullptr;
   const auto route = routes_.find(request.path);
-  if (route == routes_.end()) {
+  if (route != routes_.end()) {
+    handler = &route->second;
+  } else {
+    // Longest matching subtree route; exact paths always win above.
+    std::size_t best = 0;
+    for (const auto& [prefix, prefix_handler] : prefix_routes_) {
+      if (prefix.size() >= best && request.path.size() >= prefix.size() &&
+          request.path.compare(0, prefix.size(), prefix) == 0) {
+        best = prefix.size();
+        handler = &prefix_handler;
+      }
+    }
+  }
+  if (!handler) {
     return render_http_response(
         HttpResponse{404, "text/plain; charset=utf-8",
                      "no such endpoint: " + request.path + "\n"},
@@ -280,7 +299,7 @@ std::string HttpServer::dispatch(const std::string& head) {
   served_.fetch_add(1, std::memory_order_relaxed);
   http_metrics().requests.inc();
   try {
-    return render_http_response(route->second(request), head_only);
+    return render_http_response((*handler)(request), head_only);
   } catch (...) {
     return render_http_response(
         HttpResponse{500, "text/plain; charset=utf-8",

@@ -79,6 +79,13 @@ class HttpServer {
   /// methods 405, malformed requests 400.
   void handle(std::string path, Handler handler);
 
+  /// Registers a subtree route: any path starting with `prefix` that has
+  /// no exact-path match dispatches here (the longest matching prefix
+  /// wins). The handler sees the full request path and parses the tail
+  /// itself — how the telemetry plane serves /tenants/<id>/... without
+  /// registering every tenant up front.
+  void handle_prefix(std::string prefix, Handler handler);
+
   /// Binds, listens, and starts the serve thread. Returns false (with
   /// last_error() set) on socket errors; safe to call once.
   [[nodiscard]] bool start();
@@ -118,6 +125,7 @@ class HttpServer {
 
   HttpServerConfig config_;
   std::map<std::string, Handler> routes_;
+  std::map<std::string, Handler> prefix_routes_;
   int listen_fd_ = -1;
   int wake_fds_[2] = {-1, -1};  ///< Self-pipe: stop() wakes the poll loop.
   std::uint16_t bound_port_ = 0;

@@ -93,19 +93,19 @@ TEST(DiffReport, RenderListsTasksKnownAndUnknown) {
   EXPECT_FALSE(report.clean());
 }
 
-TEST(FlowDiffFacade, BuildModelShimMatchesFacade) {
-  // The deprecated build_model() shim routes through the facade; both
-  // construction paths must yield the same model (a diff between them is
-  // change-free in both directions).
+TEST(FlowDiffFacade, ModelerMatchesFacade) {
+  // A bare Modeler and the FlowDiff facade are two construction sites for
+  // the same engine; both paths must yield the same model (a diff between
+  // them is change-free in both directions).
   exp::LabExperiment lab{exp::LabExperimentConfig{}};
   const auto log = lab.run_window();
   const FlowDiffConfig config = lab.flowdiff_config();
-  const BehaviorModel via_shim = build_model(log, config.model);
+  const BehaviorModel via_modeler = Modeler(config.model).build(log);
   const FlowDiff flowdiff(config);
   const BehaviorModel via_facade = flowdiff.model(log);
-  ASSERT_EQ(via_shim.groups.size(), via_facade.groups.size());
-  EXPECT_TRUE(flowdiff.diff(via_shim, via_facade).changes.empty());
-  EXPECT_TRUE(flowdiff.diff(via_facade, via_shim).changes.empty());
+  ASSERT_EQ(via_modeler.groups.size(), via_facade.groups.size());
+  EXPECT_TRUE(flowdiff.diff(via_modeler, via_facade).changes.empty());
+  EXPECT_TRUE(flowdiff.diff(via_facade, via_modeler).changes.empty());
 }
 
 TEST(FlowDiffFacade, ModelRespectsSignatureConfig) {

@@ -1,6 +1,6 @@
 // BehaviorModel construction on simulated lab runs: group discovery,
 // signature presence, and stability analysis. Built through the Modeler
-// engine (the build_model shim keeps one test for the deprecated path).
+// engine.
 #include "flowdiff/model.h"
 
 #include <gtest/gtest.h>
@@ -155,8 +155,8 @@ TEST(MatchGroup, PicksLargestOverlap) {
   EXPECT_EQ(match_group(model, {Ipv4(9, 9, 9, 9)}), -1);
 }
 
-TEST(BuildModel, EmptyLogYieldsEmptyModel) {
-  const BehaviorModel model = build_model(of::ControlLog{}, ModelConfig{});
+TEST(Modeler, EmptyLogYieldsEmptyModel) {
+  const BehaviorModel model = Modeler(ModelConfig{}).build(of::ControlLog{});
   EXPECT_TRUE(model.groups.empty());
   EXPECT_EQ(model.infra.pt.graph.edge_count(), 0u);
 }

@@ -1,0 +1,229 @@
+// MonitorManager: per-tenant shard lifecycle, demux determinism (pinned
+// against the single-tenant golden corpus), fault isolation, idle
+// eviction tombstones, and aggregate health.
+#include "flowdiff/monitor_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "experiment/corpus.h"
+#include "flowdiff/monitor.h"
+#include "openflow/log_io.h"
+
+namespace flowdiff::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Loads one committed corpus case (its events and the monitor
+/// configuration its header encodes) plus the golden transcript it pins.
+struct CorpusFixture {
+  explicit CorpusFixture(const std::string& stem) {
+    const fs::path log = fs::path(FLOWDIFF_CORPUS_DIR) / (stem + ".log");
+    const auto text = of::read_file(log.string());
+    if (!text) ADD_FAILURE() << "unreadable: " << log;
+    const auto parsed = exp::parse_corpus_case(*text);
+    if (!parsed) ADD_FAILURE() << "unparseable: " << log;
+    corpus_case = *parsed;
+    fs::path golden_path = log;
+    golden_path.replace_extension(".golden");
+    const auto golden_text = of::read_file(golden_path.string());
+    if (!golden_text) ADD_FAILURE() << "unreadable: " << golden_path;
+    golden = *golden_text;
+  }
+
+  /// The corpus header lowered onto the MonitorOptions API surface.
+  [[nodiscard]] MonitorOptions options() const {
+    MonitorOptions opts;
+    opts.window = corpus_case.config.window;
+    opts.rolling_baseline = corpus_case.config.rolling_baseline;
+    opts.sanitize = corpus_case.config.sanitize;
+    if (corpus_case.config.sanitize) {
+      opts.lateness = corpus_case.config.ingest.lateness_horizon;
+    }
+    opts.services = corpus_case.config.flowdiff.model.special_nodes;
+    return opts;
+  }
+
+  exp::CorpusCase corpus_case;
+  std::string golden;
+};
+
+std::string tenant_transcript(const MonitorManager& manager,
+                              const std::string& tenant) {
+  const auto snap = manager.snapshot(tenant);
+  if (!snap) {
+    ADD_FAILURE() << "no snapshot for tenant " << tenant;
+    return {};
+  }
+  return render_monitor_transcript(*snap);
+}
+
+TEST(MonitorManager, SingleTenantMatchesGoldenTranscript) {
+  const CorpusFixture corpus("steady");
+  ManagerConfig config;
+  config.options = corpus.options();
+  MonitorManager manager(config);
+
+  EXPECT_TRUE(manager.register_tenant("a"));
+  EXPECT_FALSE(manager.register_tenant("a"));  // Already present.
+  ASSERT_TRUE(manager.feed("a", corpus.corpus_case.events));
+  manager.stop("a");
+
+  EXPECT_EQ(tenant_transcript(manager, "a"), corpus.golden);
+  const auto status = manager.status("a");
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, ShardState::kStopped);
+  EXPECT_EQ(status->events, corpus.corpus_case.events.size());
+  EXPECT_EQ(status->dropped, 0u);
+}
+
+TEST(MonitorManager, TwoTenantInterleavedDemuxMatchesSingleTenant) {
+  // The acceptance bar for demux: two tenants' streams interleaved
+  // event-by-event through one manager must each produce the transcript a
+  // dedicated single-tenant monitor (the committed golden) produces.
+  const CorpusFixture corpus("steady");
+  ManagerConfig config;
+  config.options = corpus.options();
+  MonitorManager manager(config);
+
+  for (const auto& event : corpus.corpus_case.events) {
+    ASSERT_TRUE(manager.feed("a", event));
+    ASSERT_TRUE(manager.feed("b", event));
+  }
+  manager.stop_all();
+
+  EXPECT_EQ(tenant_transcript(manager, "a"), corpus.golden);
+  EXPECT_EQ(tenant_transcript(manager, "b"), corpus.golden);
+  EXPECT_EQ(manager.shard_count(), 2u);
+}
+
+TEST(MonitorManager, ParallelWorkersMatchSerialTranscripts) {
+  // Shards scheduled on a real pool must not change any tenant's output:
+  // per-tenant order is preserved by the single-in-flight-task rule.
+  const CorpusFixture corpus("slowdown");
+  ManagerConfig config;
+  config.options = corpus.options();
+  config.workers = 4;
+  MonitorManager manager(config);
+
+  const std::vector<std::string> tenants{"t0", "t1", "t2"};
+  for (const auto& tenant : tenants) {
+    ASSERT_TRUE(manager.feed(tenant, corpus.corpus_case.events));
+  }
+  manager.stop_all();
+  for (const auto& tenant : tenants) {
+    EXPECT_EQ(tenant_transcript(manager, tenant), corpus.golden)
+        << tenant;
+  }
+}
+
+TEST(MonitorManager, FaultIsOneTenantsProblem) {
+  const CorpusFixture corpus("steady");
+  ManagerConfig config;
+  config.options = corpus.options();
+  std::atomic<int> bad_events{0};
+  config.feed_hook = [&](const std::string& tenant,
+                         const of::ControlEvent&) {
+    if (tenant == "bad" && ++bad_events > 3) {
+      throw std::runtime_error("injected shard failure");
+    }
+  };
+  MonitorManager manager(config);
+
+  ASSERT_TRUE(manager.feed("good", corpus.corpus_case.events));
+  manager.feed("bad", corpus.corpus_case.events);  // Faults mid-feed.
+  manager.drain("bad");
+
+  const auto bad = manager.status("bad");
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_EQ(bad->state, ShardState::kFaulted);
+  EXPECT_FALSE(bad->healthy);
+  EXPECT_NE(bad->fault.find("injected shard failure"), std::string::npos);
+  // Later feeds into the faulted shard are dropped, not retried.
+  EXPECT_FALSE(manager.feed("bad", corpus.corpus_case.events.front()));
+  EXPECT_GT(manager.status("bad")->dropped, 0u);
+
+  // The healthy tenant is untouched and still replays to its golden.
+  manager.stop("good");
+  EXPECT_EQ(tenant_transcript(manager, "good"), corpus.golden);
+
+  const MonitorHealth aggregate = manager.aggregate_health();
+  EXPECT_FALSE(aggregate.healthy);
+  bool names_bad = false;
+  for (const auto& reason : aggregate.reasons) {
+    names_bad = names_bad || reason.find("bad") != std::string::npos;
+  }
+  EXPECT_TRUE(names_bad) << "aggregate health must name the faulted tenant";
+}
+
+TEST(MonitorManager, IdleEvictionLeavesAReadableTombstone) {
+  const CorpusFixture corpus("steady");
+  ManagerConfig config;
+  config.options = corpus.options();
+  MonitorManager manager(config);
+
+  ASSERT_TRUE(manager.feed("quiet", corpus.corpus_case.events));
+  ASSERT_TRUE(
+      manager.feed("chatty", corpus.corpus_case.events.front()));
+  manager.tick();
+  manager.tick();
+  // "chatty" spoke this tick; "quiet" has been silent for 2 >= 2 ticks.
+  ASSERT_TRUE(manager.feed("chatty", corpus.corpus_case.events.front()));
+  const auto evicted = manager.evict_idle(2);
+  ASSERT_EQ(evicted, std::vector<std::string>{"quiet"});
+
+  const auto status = manager.status("quiet");
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, ShardState::kEvicted);
+  // Eviction flushed the final window first: the tombstone transcript is
+  // the full golden, answerable after the monitor itself is gone.
+  EXPECT_EQ(tenant_transcript(manager, "quiet"), corpus.golden);
+  EXPECT_TRUE(manager.health("quiet").has_value());
+  EXPECT_FALSE(manager.feed("quiet", corpus.corpus_case.events.front()));
+
+  // The surviving tenant keeps running.
+  EXPECT_EQ(manager.status("chatty")->state, ShardState::kRunning);
+  manager.stop_all();
+}
+
+TEST(MonitorManager, StopAllIsIdempotentAndKeepsResults) {
+  const CorpusFixture corpus("steady");
+  ManagerConfig config;
+  config.options = corpus.options();
+  MonitorManager manager(config);
+  ASSERT_TRUE(manager.feed("a", corpus.corpus_case.events));
+  manager.stop_all();
+  manager.stop_all();  // Second SIGTERM must not wedge or clear results.
+  EXPECT_EQ(tenant_transcript(manager, "a"), corpus.golden);
+  EXPECT_EQ(manager.tenants(), std::vector<std::string>{"a"});
+}
+
+TEST(MonitorManager, AggregateHealthSumsShards) {
+  const CorpusFixture steady("steady");
+  const CorpusFixture slowdown("slowdown");
+  ManagerConfig config;
+  config.options = steady.options();
+  MonitorManager manager(config);
+  ASSERT_TRUE(manager.feed("clean", steady.corpus_case.events));
+  ASSERT_TRUE(manager.feed("slow", slowdown.corpus_case.events));
+  manager.stop_all();
+
+  const auto clean = manager.status("clean");
+  const auto slow = manager.status("slow");
+  ASSERT_TRUE(clean && slow);
+  EXPECT_EQ(clean->alarms, 0u);
+  EXPECT_GT(slow->alarms, 0u) << "slowdown corpus must alarm";
+
+  const MonitorHealth aggregate = manager.aggregate_health();
+  EXPECT_EQ(aggregate.windows, clean->windows + slow->windows);
+  EXPECT_EQ(aggregate.alarms, clean->alarms + slow->alarms);
+}
+
+}  // namespace
+}  // namespace flowdiff::core

@@ -14,9 +14,11 @@
 #      rerun the concurrency-heavy suites (executor pool, parallel model
 #      build, monitor pipeline thread, obs layer), plus the http-labeled
 #      telemetry-plane suite — scraping a live monitor is the cross-thread
-#      read path most likely to hide a race — and the provenance-labeled
-#      suites: provenance records are built on the window-processing
-#      thread and read from the serve thread and explain CLI;
+#      read path most likely to hide a race — the provenance-labeled
+#      suites (provenance records are built on the window-processing
+#      thread and read from the serve thread and explain CLI), and the
+#      serve-labeled daemon suites: MonitorManager schedules per-tenant
+#      shards across a worker pool while the telemetry plane reads them;
 #   5. corruption sweep: run bench/corruption_sweep in the UBSan tree —
 #      diagnosis accuracy vs corruption rate, end to end under the
 #      sanitizer;
@@ -85,6 +87,9 @@ if [[ "$skip_asan" -eq 0 ]]; then
   echo "== ASan: telemetry plane (ctest -L http) =="
   ctest --test-dir "$repo/build-ci-asan" --output-on-failure -j "$jobs" \
     --no-tests=error -L http
+  echo "== ASan: serve daemon (ctest -L serve) =="
+  ctest --test-dir "$repo/build-ci-asan" --output-on-failure -j "$jobs" \
+    --no-tests=error -L serve
 fi
 
 if [[ "$skip_ubsan" -eq 0 ]]; then
@@ -115,6 +120,12 @@ if [[ "$skip_tsan" -eq 0 ]]; then
   echo "== TSan: alarm provenance (ctest -L provenance) =="
   ctest --test-dir "$repo/build-ci-tsan" --output-on-failure -j "$jobs" \
     --no-tests=error -L provenance
+  # The serve daemon is the most concurrent thing in the tree: per-tenant
+  # shard tasks on the manager pool, live sources on the serve loop, and
+  # the telemetry plane reading shard state from its own thread.
+  echo "== TSan: serve daemon (ctest -L serve) =="
+  ctest --test-dir "$repo/build-ci-tsan" --output-on-failure -j "$jobs" \
+    --no-tests=error -L serve
 fi
 
 echo "CI passed."

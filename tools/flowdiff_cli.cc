@@ -10,6 +10,8 @@
 //        [--task AUTOMATON]... [--rolling] [--report FILE]
 //   flowdiff report <log> [--window SECONDS] [--services FILE]
 //        [--task AUTOMATON]... [--rolling] [--out FILE] [--html]
+//   flowdiff serve (--follow FILE[@TENANT] | --socket ADDR:PORT[@TENANT]
+//        | --unix PATH[@TENANT])... [monitor knobs] [--listen ADDR:PORT]
 //   flowdiff explain <alarm-id> (--artifacts DIR | --from ADDR:PORT)
 //
 // Control logs use the openflow/log_io.h text format; flow-sequence files
@@ -25,23 +27,30 @@
 // artifacts path; `flowdiff help` documents the mapping. monitor/report
 // runs with an artifacts directory also write DIR/provenance.json — the
 // alarm provenance records `flowdiff explain` reads back.
+//
+// Flag parsing for the global set and the shared monitor knob set lives in
+// cli_args.h — one parser, one validation pass (MonitorOptions::validate),
+// identical behavior across monitor/report/serve.
 #include <cerrno>
-#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
 #include <filesystem>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "cli_args.h"
 #include "flowdiff/flowdiff.h"
 #include "flowdiff/monitor.h"
+#include "flowdiff/monitor_manager.h"
 #include "flowdiff/provenance.h"
 #include "flowdiff/report.h"
 #include "flowdiff/telemetry.h"
+#include "ingest/event_source.h"
 #include "obs/http_server.h"
 #include "obs/obs.h"
 #include "openflow/log_io.h"
@@ -50,11 +59,7 @@
 namespace {
 
 using namespace flowdiff;
-
-int fail(const std::string& message) {
-  std::fprintf(stderr, "flowdiff: %s\n", message.c_str());
-  return 2;
-}
+using cli::fail;
 
 void print_help(std::FILE* out) {
   std::fputs(
@@ -72,9 +77,12 @@ void print_help(std::FILE* out) {
       "  flowdiff report <log> [--window SECONDS] [--services FILE] "
       "[--task FILE]... [--rolling] [--pipeline DEPTH] [--sanitize] "
       "[--lateness SEC] [--listen ADDR:PORT] [--out FILE] [--html]\n"
+      "  flowdiff serve (--follow FILE[@TENANT] | --socket "
+      "ADDR:PORT[@TENANT] | --unix PATH[@TENANT])... [monitor knobs] "
+      "[--by-controller] [--listen ADDR:PORT] [--transcripts DIR]\n"
       "  flowdiff explain <alarm-id> (--artifacts DIR | --from "
       "ADDR:PORT)\n"
-      "  flowdiff help\n"
+      "  flowdiff help [serve]\n"
       "global flags (any subcommand):\n"
       "  --workers=N      worker threads for model building (default 0 = "
       "serial\n"
@@ -104,35 +112,32 @@ void print_help(std::FILE* out) {
       "readable; default stderr)\n"
       "  --series[=FILE]  dump sampled metric time series (.json else "
       "CSV; default stderr)\n"
-      "monitor/report flags:\n"
+      "monitor/report/serve knobs (parsed identically everywhere):\n"
+      "  --window SECONDS window length (default 30)\n"
+      "  --rolling        roll the baseline forward on clean windows\n"
       "  --pipeline DEPTH overlap window modeling with ingest on a "
       "pipeline\n"
       "                   thread; DEPTH bounds the backlog (0 = "
       "synchronous).\n"
       "                   Alarms and audits are identical either way.\n"
-      "  --sanitize       run the log through the ingest sanitizer: the "
-      "file is\n"
-      "                   read in raw arrival order, duplicates and "
-      "truncated\n"
-      "                   records are dropped, bounded reordering is "
-      "repaired,\n"
-      "                   each window gets a stream-quality record, and "
-      "alarms\n"
-      "                   from over-corrupted signature families are "
-      "suppressed\n"
-      "                   (degraded mode). Clean logs are unaffected.\n"
+      "  --sanitize       run ingest through the stream sanitizer: raw "
+      "arrival\n"
+      "                   order in, duplicates and truncated records "
+      "dropped,\n"
+      "                   bounded reordering repaired, per-window stream-"
+      "quality\n"
+      "                   records, degraded-mode alarm suppression. Clean\n"
+      "                   streams are unaffected.\n"
       "  --lateness SEC   sanitizer reorder horizon in seconds (default 1; "
       "implies\n"
-      "                   --sanitize)\n"
-      "  --listen ADDR:PORT  serve the live telemetry plane over HTTP while "
-      "the\n"
-      "                   run is live (/metrics /healthz /series /recorder\n"
-      "                   /audits /report; \":PORT\" binds all interfaces, "
-      "port 0\n"
-      "                   picks one). After the log is fed the process keeps\n"
-      "                   serving until SIGINT/SIGTERM, then flushes the "
-      "final\n"
-      "                   window and writes its artifacts.\n"
+      "                   --sanitize; rejected without it or >= --window)\n"
+      "  --listen ADDR:PORT  serve the live telemetry plane over HTTP "
+      "(/metrics\n"
+      "                   /healthz /series /recorder /audits /provenance "
+      "/report;\n"
+      "                   serve adds /tenants and /tenants/<id>/...; "
+      "\":PORT\"\n"
+      "                   binds all interfaces, port 0 picks one)\n"
       "explain flags:\n"
       "  --artifacts DIR  read DIR/provenance.json written by an earlier\n"
       "                   monitor/report run and print the record whose id\n"
@@ -143,7 +148,84 @@ void print_help(std::FILE* out) {
       "via\n"
       "                   GET /provenance?id=<alarm-id> instead\n"
       "exit status: 0 ok/clean, 1 unknown changes or alarms (diff, "
-      "monitor, report), 2 usage or I/O error\n",
+      "monitor, report, serve), 2 usage or I/O error\n",
+      out);
+}
+
+void print_serve_help(std::FILE* out) {
+  std::fputs(
+      "flowdiff serve — long-running multi-tenant monitoring daemon\n"
+      "\n"
+      "Tails one or more live control-log sources, demultiplexes events\n"
+      "into per-tenant monitor shards (each with its own baseline, windows,\n"
+      "alarms, and provenance), and serves per-tenant telemetry over HTTP.\n"
+      "Runs until SIGINT/SIGTERM, then flushes every shard's final window\n"
+      "and reports per-tenant results.\n"
+      "\n"
+      "sources (repeatable; at least one required):\n"
+      "  --follow FILE[@TENANT]     tail a control-log file, surviving\n"
+      "                             rename rotation and in-place "
+      "truncation;\n"
+      "                             a missing file is waited for. Default\n"
+      "                             tenant: the file name.\n"
+      "  --socket ADDR:PORT[@TENANT] accept line-oriented control-log "
+      "text\n"
+      "                             over TCP (port 0 picks one; the bound\n"
+      "                             port is announced on stdout).\n"
+      "  --unix PATH[@TENANT]       same over a unix-domain socket.\n"
+      "routing:\n"
+      "  --by-controller            ignore tenant labels and route every\n"
+      "                             event by its controller id to tenant\n"
+      "                             \"ctrl<N>\" — one shard per "
+      "controller\n"
+      "                             in an interleaved multi-controller "
+      "feed.\n"
+      "daemon knobs:\n"
+      "  --from-end                 start tailing files at EOF (attach to "
+      "a\n"
+      "                             growing log) instead of replaying "
+      "their\n"
+      "                             current contents from the start.\n"
+      "  --poll-ms MS               source poll interval when idle "
+      "(default 50)\n"
+      "  --evict-idle SECONDS       evict shards idle for SECONDS: flush "
+      "the\n"
+      "                             final window, keep results as a "
+      "tombstone,\n"
+      "                             free the monitor (0 = never, the "
+      "default)\n"
+      "  --exit-after-idle SECONDS  exit once every source has been idle "
+      "for\n"
+      "                             SECONDS (replay/test mode; 0 = run "
+      "until\n"
+      "                             signalled, the default)\n"
+      "  --transcripts DIR          on shutdown write each tenant's\n"
+      "                             deterministic monitor transcript to\n"
+      "                             DIR/<tenant>.transcript (single-"
+      "tenant\n"
+      "                             serve over a corpus log is byte-"
+      "identical\n"
+      "                             to `flowdiff monitor` on the same "
+      "log)\n"
+      "monitor knobs: --window --rolling --pipeline --sanitize --lateness\n"
+      "  --services --task (see `flowdiff help`); each shard gets the "
+      "same\n"
+      "  configuration. --workers sizes the cross-tenant pool.\n"
+      "telemetry (--listen ADDR:PORT):\n"
+      "  /healthz                   aggregate verdict — 503 as soon as "
+      "ANY\n"
+      "                             shard degrades or faults\n"
+      "  /tenants                   shard registry (state, events, "
+      "windows,\n"
+      "                             alarms, health per tenant)\n"
+      "  /tenants/<id>/healthz      per-tenant health verdict\n"
+      "  /tenants/<id>/series       per-window counters from the audit "
+      "trail\n"
+      "  /tenants/<id>/audits       per-window audit trail (csv|json)\n"
+      "  /tenants/<id>/provenance   alarm provenance records (?id=N)\n"
+      "  /tenants/<id>/report       run report (md|html)\n"
+      "  /tenants/<id>/transcript   deterministic monitor transcript\n"
+      "exit status: 0 clean, 1 any shard alarmed, 2 usage or I/O error\n",
       out);
 }
 
@@ -152,146 +234,9 @@ int usage() {
   return 2;
 }
 
-// --- global flags (--workers / --artifacts / --stats / --trace) -----------
-
-struct GlobalOptions {
-  bool stats = false;
-  bool trace = false;
-  bool series = false;
-  std::string stats_path;     // empty => stderr
-  std::string trace_path;     // empty => stderr
-  std::string series_path;    // empty => stderr
-  std::string artifacts_dir;  // empty => no artifact directory
-  int workers = 0;            // FlowDiffConfig::parallelism
-};
-
 /// Set by main() before the subcommand runs; subcommands read the worker
 /// count and the artifacts directory (for the default report path) here.
-GlobalOptions g_opts;
-
-/// Strips the global flags wherever they appear and enables the obs layer
-/// if any artifact was requested. --artifacts=DIR is sugar for
-/// --stats=DIR/stats.txt --trace=DIR/trace.json --series=DIR/series.csv
-/// (+ a default report path in monitor/report); explicit per-artifact
-/// flags win over the DIR-derived paths regardless of order.
-GlobalOptions extract_global_options(std::vector<std::string>& args) {
-  GlobalOptions opts;
-  bool explicit_stats = false;
-  bool explicit_trace = false;
-  bool explicit_series = false;
-  std::vector<std::string> kept;
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    const std::string& arg = args[i];
-    if (arg == "--stats") {
-      opts.stats = true;
-    } else if (arg.rfind("--stats=", 0) == 0) {
-      opts.stats = true;
-      explicit_stats = true;
-      opts.stats_path = arg.substr(std::strlen("--stats="));
-    } else if (arg == "--trace") {
-      opts.trace = true;
-    } else if (arg.rfind("--trace=", 0) == 0) {
-      opts.trace = true;
-      explicit_trace = true;
-      opts.trace_path = arg.substr(std::strlen("--trace="));
-    } else if (arg == "--series") {
-      opts.series = true;
-    } else if (arg.rfind("--series=", 0) == 0) {
-      opts.series = true;
-      explicit_series = true;
-      opts.series_path = arg.substr(std::strlen("--series="));
-    } else if (arg.rfind("--artifacts=", 0) == 0) {
-      opts.artifacts_dir = arg.substr(std::strlen("--artifacts="));
-    } else if (arg == "--artifacts" && i + 1 < args.size()) {
-      opts.artifacts_dir = args[++i];
-    } else if (arg.rfind("--workers=", 0) == 0) {
-      opts.workers = std::stoi(arg.substr(std::strlen("--workers=")));
-    } else if (arg == "--workers" && i + 1 < args.size()) {
-      opts.workers = std::stoi(args[++i]);
-    } else {
-      kept.push_back(arg);
-    }
-  }
-  args = std::move(kept);
-  if (!opts.artifacts_dir.empty()) {
-    opts.stats = opts.trace = opts.series = true;
-    const std::string dir = opts.artifacts_dir;
-    if (!explicit_stats) opts.stats_path = dir + "/stats.txt";
-    if (!explicit_trace) opts.trace_path = dir + "/trace.json";
-    if (!explicit_series) opts.series_path = dir + "/series.csv";
-  }
-  if (opts.stats || opts.trace || opts.series) obs::set_enabled(true);
-  return opts;
-}
-
-bool has_suffix(const std::string& str, const char* suffix) {
-  const std::size_t n = std::strlen(suffix);
-  return str.size() >= n && str.compare(str.size() - n, n, suffix) == 0;
-}
-
-int emit(const std::string& path, const std::string& text) {
-  if (path.empty()) {
-    std::fputs(text.c_str(), stderr);
-    return 0;
-  }
-  if (!of::write_file(path, text)) return fail("cannot write " + path);
-  return 0;
-}
-
-/// Dumps the metrics registry and/or span tree after the subcommand ran.
-/// Failures here degrade the exit code only if the run itself was clean.
-int dump_observability(const GlobalOptions& opts) {
-  int rc = 0;
-  if (opts.stats) {
-    const obs::Snapshot snap = obs::snapshot();
-    std::string text;
-    if (has_suffix(opts.stats_path, ".json")) {
-      text = obs::render_json(snap);
-    } else if (has_suffix(opts.stats_path, ".prom")) {
-      text = obs::render_prometheus(snap);
-    } else {
-      text = obs::render_table(snap);
-    }
-    rc = emit(opts.stats_path, text);
-  }
-  if (opts.trace && rc == 0) {
-    const auto records = obs::Trace::global().records();
-    rc = emit(opts.trace_path, has_suffix(opts.trace_path, ".json")
-                                   ? obs::render_span_json(records)
-                                   : obs::render_span_tree(records));
-  }
-  if (opts.series && rc == 0) {
-    const std::string text = has_suffix(opts.series_path, ".json")
-                                 ? obs::render_series_json(
-                                       obs::Sampler::global())
-                                 : obs::render_series_csv(
-                                       obs::Sampler::global());
-    rc = emit(opts.series_path, text);
-  }
-  return rc;
-}
-
-std::optional<std::set<Ipv4>> load_services(const std::string& path) {
-  const auto text = of::read_file(path);
-  if (!text) return std::nullopt;
-  std::set<Ipv4> services;
-  std::size_t pos = 0;
-  while (pos <= text->size()) {
-    const auto end = text->find('\n', pos);
-    const std::string line = text->substr(
-        pos, end == std::string::npos ? std::string::npos : end - pos);
-    if (const auto ip = Ipv4::parse(line)) services.insert(*ip);
-    if (end == std::string::npos) break;
-    pos = end + 1;
-  }
-  return services;
-}
-
-std::optional<of::ControlLog> load_log(const std::string& path) {
-  const auto text = of::read_file(path);
-  if (!text) return std::nullopt;
-  return of::parse_control_log(*text);
-}
+cli::GlobalOptions g_opts;
 
 int cmd_summary(const std::vector<std::string>& args) {
   std::string services_path;
@@ -304,12 +249,12 @@ int cmd_summary(const std::vector<std::string>& args) {
     }
   }
   if (positional.size() != 1) return usage();
-  const auto log = load_log(positional[0]);
+  const auto log = cli::load_log(positional[0]);
   if (!log) return fail("cannot load control log " + positional[0]);
   core::FlowDiffConfig config;
   config.parallelism = g_opts.workers;
   if (!services_path.empty()) {
-    auto services = load_services(services_path);
+    auto services = cli::load_services(services_path);
     if (!services) return fail("cannot load services " + services_path);
     config.set_special_nodes(std::move(*services));
   }
@@ -359,7 +304,7 @@ int cmd_diff(std::vector<std::string> args) {
   core::FlowDiffConfig config;
   config.parallelism = g_opts.workers;
   if (!services_path.empty()) {
-    auto services = load_services(services_path);
+    auto services = cli::load_services(services_path);
     if (!services) return fail("cannot load services " + services_path);
     config.set_special_nodes(std::move(*services));
   }
@@ -372,8 +317,8 @@ int cmd_diff(std::vector<std::string> args) {
     tasks.push_back(std::move(*automaton));
   }
 
-  const auto baseline = load_log(positional[0]);
-  const auto current = load_log(positional[1]);
+  const auto baseline = cli::load_log(positional[0]);
+  const auto current = cli::load_log(positional[1]);
   if (!baseline || !current) return fail("cannot load control logs");
 
   const core::FlowDiff flowdiff(config);
@@ -407,7 +352,7 @@ int cmd_mine(std::vector<std::string> args) {
   core::MiningConfig mining;
   mining.mask_subjects = mask;
   if (!services_path.empty()) {
-    auto services = load_services(services_path);
+    auto services = cli::load_services(services_path);
     if (!services) return fail("cannot load services " + services_path);
     mining.service_ips = std::move(*services);
   }
@@ -452,7 +397,7 @@ int cmd_detect(std::vector<std::string> args) {
 
   core::DetectorConfig config;
   if (!services_path.empty()) {
-    auto services = load_services(services_path);
+    auto services = cli::load_services(services_path);
     if (!services) return fail("cannot load services " + services_path);
     config.service_ips = std::move(*services);
   }
@@ -483,60 +428,42 @@ int cmd_detect(std::vector<std::string> args) {
   return 0;
 }
 
-// Shared argument parsing for `monitor` and `report` (same pipeline, a
-// different artifact at the end).
+// --- monitor / report ------------------------------------------------------
+
+// Mode-specific leftovers after the shared knob set was parsed.
 struct MonitorCliArgs {
-  core::MonitorConfig config;
+  core::MonitorOptions options;
   std::string log_path;
   std::string report_path;  ///< monitor --report FILE (empty = none)
   std::string out_path;     ///< report --out FILE (empty = stdout)
   bool html = false;        ///< report --html (or --report *.html)
-  std::string listen;       ///< --listen ADDR:PORT (empty = no plane)
 };
 
 std::optional<MonitorCliArgs> parse_monitor_args(
     const std::vector<std::string>& args, bool report_mode) {
+  std::string error;
+  const auto shared = cli::parse_monitor_flags(args, g_opts, &error);
+  if (!shared) {
+    fail(error);
+    return std::nullopt;
+  }
   MonitorCliArgs parsed;
-  std::string services_path;
-  std::vector<std::string> task_paths;
+  parsed.options = shared->options;
   std::vector<std::string> positional;
-  double window_sec = 30.0;
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    if (args[i] == "--services" && i + 1 < args.size()) {
-      services_path = args[++i];
-    } else if (args[i] == "--task" && i + 1 < args.size()) {
-      task_paths.push_back(args[++i]);
-    } else if (args[i] == "--window" && i + 1 < args.size()) {
-      window_sec = std::stod(args[++i]);
-    } else if (args[i] == "--rolling") {
-      parsed.config.rolling_baseline = true;
-    } else if (args[i] == "--pipeline" && i + 1 < args.size()) {
-      parsed.config.pipeline_depth =
-          static_cast<std::size_t>(std::stoul(args[++i]));
-    } else if (args[i] == "--sanitize") {
-      parsed.config.sanitize = true;
-    } else if (args[i] == "--lateness" && i + 1 < args.size()) {
-      parsed.config.sanitize = true;
-      parsed.config.ingest.lateness_horizon =
-          from_seconds(std::stod(args[++i]));
-    } else if (args[i] == "--listen" && i + 1 < args.size()) {
-      parsed.listen = args[++i];
-    } else if (args[i].rfind("--listen=", 0) == 0) {
-      parsed.listen = args[i].substr(std::strlen("--listen="));
-    } else if (!report_mode && args[i] == "--report" && i + 1 < args.size()) {
-      parsed.report_path = args[++i];
-    } else if (report_mode && args[i] == "--out" && i + 1 < args.size()) {
-      parsed.out_path = args[++i];
-    } else if (report_mode && args[i] == "--html") {
+  const auto& rest = shared->rest;
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    if (!report_mode && rest[i] == "--report" && i + 1 < rest.size()) {
+      parsed.report_path = rest[++i];
+    } else if (report_mode && rest[i] == "--out" && i + 1 < rest.size()) {
+      parsed.out_path = rest[++i];
+    } else if (report_mode && rest[i] == "--html") {
       parsed.html = true;
     } else {
-      positional.push_back(args[i]);
+      positional.push_back(rest[i]);
     }
   }
   if (positional.size() != 1) return std::nullopt;
   parsed.log_path = positional[0];
-  parsed.config.window = from_seconds(window_sec);
-  parsed.config.flowdiff.parallelism = g_opts.workers;
   // --artifacts=DIR supplies the default report destination; an explicit
   // --report/--out still wins.
   if (!g_opts.artifacts_dir.empty()) {
@@ -546,19 +473,12 @@ std::optional<MonitorCliArgs> parse_monitor_args(
       parsed.report_path = fallback;
     }
   }
-  if (!services_path.empty()) {
-    auto services = load_services(services_path);
-    if (!services) return std::nullopt;
-    parsed.config.flowdiff.set_special_nodes(std::move(*services));
-  }
-  for (const auto& path : task_paths) {
-    const auto text = of::read_file(path);
-    if (!text) return std::nullopt;
-    auto automaton = core::TaskAutomaton::parse(*text);
-    if (!automaton) return std::nullopt;
-    parsed.config.tasks.push_back(std::move(*automaton));
-  }
   return parsed;
+}
+
+bool has_suffix(const std::string& str, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return str.size() >= n && str.compare(str.size() - n, n, suffix) == 0;
 }
 
 /// Feeds the log file into the monitor and (by default) flushes it. With
@@ -570,7 +490,7 @@ int feed_monitor_from_file(core::SlidingMonitor& monitor,
                            const MonitorCliArgs& parsed, bool flush = true) {
   const auto text = of::read_file(parsed.log_path);
   if (!text) return fail("cannot load control log " + parsed.log_path);
-  if (parsed.config.sanitize) {
+  if (parsed.options.sanitize) {
     const auto events = of::parse_control_events(*text);
     if (!events) return fail("malformed control log " + parsed.log_path);
     monitor.feed(*events);
@@ -580,53 +500,6 @@ int feed_monitor_from_file(core::SlidingMonitor& monitor,
     monitor.feed(*log);
   }
   if (flush) monitor.flush();
-  return 0;
-}
-
-// --- telemetry plane + graceful shutdown (--listen) ------------------------
-
-volatile std::sig_atomic_t g_shutdown = 0;
-
-void on_shutdown_signal(int) { g_shutdown = 1; }
-
-/// SIGINT/SIGTERM request a graceful shutdown: the main thread notices the
-/// flag, flushes the final window, stops the plane, and writes artifacts —
-/// none of which is legal in the handler itself.
-void install_shutdown_signals() {
-  struct sigaction action = {};
-  action.sa_handler = on_shutdown_signal;
-  sigemptyset(&action.sa_mask);
-  sigaction(SIGINT, &action, nullptr);
-  sigaction(SIGTERM, &action, nullptr);
-}
-
-void wait_for_shutdown() {
-  while (g_shutdown == 0) {
-    struct timespec delay = {0, 50 * 1000 * 1000};  // 50ms
-    nanosleep(&delay, nullptr);
-  }
-}
-
-/// Parses --listen, starts the plane, and announces the bound endpoint on
-/// stdout (tests and scripts parse that line to find an ephemeral port).
-int start_telemetry_plane(std::optional<core::TelemetryPlane>& plane,
-                          const std::string& listen) {
-  const auto addr = obs::parse_listen_address(listen);
-  if (!addr) return fail("malformed --listen address: " + listen);
-  core::TelemetryConfig config;
-  config.http.address = addr->first;
-  config.http.port = addr->second;
-  plane.emplace(std::move(config));
-  if (!plane->start()) {
-    return fail("cannot start telemetry plane on " + listen + ": " +
-                plane->last_error());
-  }
-  // Handlers first, announcement second: a supervisor that signals the
-  // moment it sees the line must never catch the default disposition.
-  install_shutdown_signals();
-  std::printf("flowdiff: telemetry plane listening on http://%s:%u\n",
-              addr->first.c_str(), static_cast<unsigned>(plane->port()));
-  std::fflush(stdout);
   return 0;
 }
 
@@ -668,17 +541,19 @@ int cmd_monitor(std::vector<std::string> args) {
   // The report joins sampled series and flight-recorder events; without
   // the obs layer there would be nothing to join. The telemetry plane
   // serves the same stack, so --listen implies it too.
-  if (!parsed->report_path.empty() || !parsed->listen.empty()) {
+  if (!parsed->report_path.empty() || !parsed->options.listen.empty()) {
     obs::set_enabled(true);
   }
 
-  core::SlidingMonitor monitor(parsed->config);
+  core::SlidingMonitor monitor(parsed->options);
   // Declared after the monitor: the plane destructs (joining its server
   // thread) first on every exit path, so no handler can observe a dead
   // monitor.
   std::optional<core::TelemetryPlane> plane;
-  if (!parsed->listen.empty()) {
-    if (const int rc = start_telemetry_plane(plane, parsed->listen); rc != 0) {
+  if (!parsed->options.listen.empty()) {
+    if (const int rc = cli::start_telemetry_plane(plane,
+                                                  parsed->options.listen);
+        rc != 0) {
       return rc;
     }
     plane->attach(&monitor);
@@ -692,7 +567,7 @@ int cmd_monitor(std::vector<std::string> args) {
     // Keep serving the finished-but-unflushed run until the operator (or a
     // supervisor) signals; then flush the final window and fall through to
     // the normal summary/report/artifact path.
-    wait_for_shutdown();
+    cli::wait_for_shutdown();
     monitor.flush();
     plane->stop();
   }
@@ -760,10 +635,12 @@ int cmd_report(std::vector<std::string> args) {
   obs::set_enabled(true);
   obs::FlightRecorder::install_abnormal_exit_dump();
 
-  core::SlidingMonitor monitor(parsed->config);
+  core::SlidingMonitor monitor(parsed->options);
   std::optional<core::TelemetryPlane> plane;  // Destructs before monitor.
-  if (!parsed->listen.empty()) {
-    if (const int rc = start_telemetry_plane(plane, parsed->listen); rc != 0) {
+  if (!parsed->options.listen.empty()) {
+    if (const int rc = cli::start_telemetry_plane(plane,
+                                                  parsed->options.listen);
+        rc != 0) {
       return rc;
     }
     plane->attach(&monitor);
@@ -774,7 +651,7 @@ int cmd_report(std::vector<std::string> args) {
     return rc;
   }
   if (plane) {
-    wait_for_shutdown();
+    cli::wait_for_shutdown();
     monitor.flush();
     plane->stop();
   }
@@ -785,6 +662,287 @@ int cmd_report(std::vector<std::string> args) {
     return prc;
   }
   return monitor.alarms().empty() ? 0 : 1;
+}
+
+// --- serve: the multi-tenant live-source daemon ----------------------------
+
+struct ServeSourceSpec {
+  enum class Kind { kFile, kTcp, kUnix } kind = Kind::kFile;
+  std::string target;  ///< file path, ADDR:PORT, or unix path
+  std::string tenant;  ///< empty = derived default
+};
+
+struct ServeCliArgs {
+  core::MonitorOptions options;
+  std::vector<ServeSourceSpec> sources;
+  bool by_controller = false;
+  bool from_end = false;
+  long poll_ms = 50;
+  double evict_idle_s = 0;       ///< 0 = never evict
+  double exit_after_idle_s = 0;  ///< 0 = run until signalled
+  std::string transcripts_dir;
+};
+
+/// Splits "TARGET@TENANT" at the last '@' (targets may contain none).
+ServeSourceSpec split_source(ServeSourceSpec::Kind kind,
+                             const std::string& value) {
+  ServeSourceSpec spec;
+  spec.kind = kind;
+  const auto at = value.rfind('@');
+  if (at == std::string::npos || at == 0) {
+    spec.target = value;
+  } else {
+    spec.target = value.substr(0, at);
+    spec.tenant = value.substr(at + 1);
+  }
+  return spec;
+}
+
+std::optional<ServeCliArgs> parse_serve_args(
+    const std::vector<std::string>& args) {
+  std::string error;
+  const auto shared = cli::parse_monitor_flags(args, g_opts, &error);
+  if (!shared) {
+    fail(error);
+    return std::nullopt;
+  }
+  ServeCliArgs parsed;
+  parsed.options = shared->options;
+  const auto& rest = shared->rest;
+  std::size_t sockets = 0;
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    if (rest[i] == "--follow" && i + 1 < rest.size()) {
+      auto spec = split_source(ServeSourceSpec::Kind::kFile, rest[++i]);
+      if (spec.tenant.empty()) {
+        spec.tenant =
+            std::filesystem::path(spec.target).filename().string();
+      }
+      parsed.sources.push_back(std::move(spec));
+    } else if (rest[i] == "--socket" && i + 1 < rest.size()) {
+      auto spec = split_source(ServeSourceSpec::Kind::kTcp, rest[++i]);
+      if (spec.tenant.empty()) {
+        spec.tenant = "socket" + std::to_string(sockets);
+      }
+      ++sockets;
+      parsed.sources.push_back(std::move(spec));
+    } else if (rest[i] == "--unix" && i + 1 < rest.size()) {
+      auto spec = split_source(ServeSourceSpec::Kind::kUnix, rest[++i]);
+      if (spec.tenant.empty()) {
+        spec.tenant = "socket" + std::to_string(sockets);
+      }
+      ++sockets;
+      parsed.sources.push_back(std::move(spec));
+    } else if (rest[i] == "--by-controller") {
+      parsed.by_controller = true;
+    } else if (rest[i] == "--from-end") {
+      parsed.from_end = true;
+    } else if (rest[i] == "--poll-ms" && i + 1 < rest.size()) {
+      parsed.poll_ms = std::strtol(rest[++i].c_str(), nullptr, 10);
+      if (parsed.poll_ms <= 0) {
+        fail("--poll-ms must be a positive integer");
+        return std::nullopt;
+      }
+    } else if (rest[i] == "--evict-idle" && i + 1 < rest.size()) {
+      parsed.evict_idle_s = std::strtod(rest[++i].c_str(), nullptr);
+    } else if (rest[i] == "--exit-after-idle" && i + 1 < rest.size()) {
+      parsed.exit_after_idle_s = std::strtod(rest[++i].c_str(), nullptr);
+    } else if (rest[i] == "--transcripts" && i + 1 < rest.size()) {
+      parsed.transcripts_dir = rest[++i];
+    } else {
+      fail("unknown serve argument: " + rest[i]);
+      return std::nullopt;
+    }
+  }
+  if (parsed.sources.empty()) {
+    fail("serve needs at least one --follow / --socket / --unix source");
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+double monotonic_seconds() {
+  struct timespec ts = {};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+int cmd_serve(std::vector<std::string> args) {
+  const auto parsed = parse_serve_args(args);
+  if (!parsed) return 2;
+  if (!parsed->options.listen.empty()) obs::set_enabled(true);
+
+  // Build the sources. Sockets bind before the manager starts so their
+  // announced ports are live by the time anything connects.
+  std::vector<std::unique_ptr<ingest::EventSource>> sources;
+  for (const ServeSourceSpec& spec : parsed->sources) {
+    switch (spec.kind) {
+      case ServeSourceSpec::Kind::kFile: {
+        ingest::FileTailConfig config;
+        config.path = spec.target;
+        config.from_start = !parsed->from_end;
+        sources.push_back(std::make_unique<ingest::FileTailSource>(
+            spec.tenant, std::move(config)));
+        break;
+      }
+      case ServeSourceSpec::Kind::kTcp: {
+        const auto addr = obs::parse_listen_address(spec.target);
+        if (!addr) {
+          return fail("malformed --socket address: " + spec.target);
+        }
+        ingest::SocketSourceConfig config;
+        config.address = addr->first;
+        config.port = addr->second;
+        auto source = std::make_unique<ingest::SocketSource>(
+            spec.tenant, std::move(config));
+        if (!source->start()) {
+          return fail("cannot listen on " + spec.target + ": " +
+                      source->last_error());
+        }
+        sources.push_back(std::move(source));
+        break;
+      }
+      case ServeSourceSpec::Kind::kUnix: {
+        ingest::SocketSourceConfig config;
+        config.unix_path = spec.target;
+        auto source = std::make_unique<ingest::SocketSource>(
+            spec.tenant, std::move(config));
+        if (!source->start()) {
+          return fail("cannot listen on " + spec.target + ": " +
+                      source->last_error());
+        }
+        sources.push_back(std::move(source));
+        break;
+      }
+    }
+  }
+
+  core::ManagerConfig manager_config;
+  manager_config.options = parsed->options;
+  manager_config.workers = g_opts.workers;
+  core::MonitorManager manager(manager_config);
+  for (const auto& source : sources) {
+    if (!parsed->by_controller) manager.register_tenant(source->tenant());
+  }
+
+  std::optional<core::TelemetryPlane> plane;  // Destructs before manager.
+  if (!parsed->options.listen.empty()) {
+    if (const int rc = cli::start_telemetry_plane(plane,
+                                                  parsed->options.listen);
+        rc != 0) {
+      return rc;
+    }
+    plane->attach_manager(&manager);
+  } else {
+    cli::install_shutdown_signals();
+  }
+  for (const auto& source : sources) {
+    // Announced one per line; tests parse the socket lines for ephemeral
+    // ports. Printed after the plane line so supervisors see both.
+    std::printf("flowdiff: serve source %s -> tenant %s\n",
+                source->describe().c_str(), source->tenant().c_str());
+  }
+  std::fflush(stdout);
+
+  const std::uint64_t evict_ticks =
+      parsed->evict_idle_s > 0
+          ? static_cast<std::uint64_t>(
+                parsed->evict_idle_s * 1000.0 /
+                static_cast<double>(parsed->poll_ms)) +
+                1
+          : 0;
+  double last_event_at = monotonic_seconds();
+  std::vector<of::ControlEvent> batch;
+
+  while (!cli::shutdown_requested()) {
+    std::size_t produced = 0;
+    for (const auto& source : sources) {
+      batch.clear();
+      source->poll(batch);
+      if (batch.empty()) continue;
+      produced += batch.size();
+      if (parsed->by_controller) {
+        // Demux by controller id: each event lands in its controller's
+        // shard regardless of which source carried it.
+        for (const of::ControlEvent& event : batch) {
+          manager.feed("ctrl" + std::to_string(event.controller.value),
+                       event);
+        }
+      } else {
+        manager.feed(source->tenant(), batch);
+      }
+    }
+    manager.tick();
+    if (evict_ticks > 0) {
+      for (const std::string& tenant : manager.evict_idle(evict_ticks)) {
+        std::printf("flowdiff: evicted idle tenant %s\n", tenant.c_str());
+        std::fflush(stdout);
+      }
+    }
+    const double now = monotonic_seconds();
+    if (produced > 0) {
+      last_event_at = now;
+      continue;  // Drain hot sources without sleeping.
+    }
+    if (parsed->exit_after_idle_s > 0 &&
+        now - last_event_at >= parsed->exit_after_idle_s) {
+      break;
+    }
+    struct timespec delay = {parsed->poll_ms / 1000,
+                             (parsed->poll_ms % 1000) * 1000000L};
+    nanosleep(&delay, nullptr);
+  }
+
+  // Graceful shutdown: stop accepting (sources die with this scope),
+  // drain and flush every shard's final window, then report.
+  manager.stop_all();
+
+  if (!parsed->transcripts_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parsed->transcripts_dir, ec);
+    if (ec) {
+      return fail("cannot create transcripts directory " +
+                  parsed->transcripts_dir + ": " + ec.message());
+    }
+    for (const std::string& tenant : manager.tenants()) {
+      const auto snap = manager.snapshot(tenant);
+      if (!snap) continue;
+      const std::string path =
+          parsed->transcripts_dir + "/" + tenant + ".transcript";
+      if (!of::write_file(path, core::render_monitor_transcript(*snap))) {
+        return fail("cannot write " + path);
+      }
+    }
+  }
+
+  if (plane) plane->stop();
+
+  std::size_t total_alarms = 0;
+  for (const core::ShardStatus& status : manager.statuses()) {
+    total_alarms += status.alarms;
+    std::printf("flowdiff: tenant %s [%s]: events %llu, windows %zu, "
+                "alarms %zu%s%s\n",
+                status.tenant.c_str(), core::to_string(status.state),
+                static_cast<unsigned long long>(status.events),
+                status.windows, status.alarms,
+                status.fault.empty() ? "" : ", fault: ",
+                status.fault.c_str());
+  }
+  for (const auto& source : sources) {
+    const ingest::SourceStats& stats = source->stats();
+    std::printf("flowdiff: source %s: events %llu, rejected %llu, "
+                "rotations %llu, truncations %llu, accepts %llu, "
+                "disconnects %llu\n",
+                source->describe().c_str(),
+                static_cast<unsigned long long>(stats.events),
+                static_cast<unsigned long long>(stats.lines_rejected),
+                static_cast<unsigned long long>(stats.rotations),
+                static_cast<unsigned long long>(stats.truncations),
+                static_cast<unsigned long long>(stats.accepts),
+                static_cast<unsigned long long>(stats.disconnects));
+  }
+  std::fflush(stdout);
+  return total_alarms == 0 ? 0 : 1;
 }
 
 // --- explain: print one provenance record from artifacts or a live plane ---
@@ -868,17 +1026,23 @@ int cmd_explain(const std::vector<std::string>& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  using flowdiff::cli::fail;
   if (argc < 2) return usage();
   const std::string command = argv[1];
   if (command == "help" || command == "--help" || command == "-h") {
-    print_help(stdout);
+    if (argc > 2 && std::string(argv[2]) == "serve") {
+      print_serve_help(stdout);
+    } else {
+      print_help(stdout);
+    }
     return 0;
   }
   std::vector<std::string> args(argv + 2, argv + argc);
   // explain parses --artifacts itself (it reads that directory; the global
   // flag would make dump_observability() overwrite its contents).
   if (command == "explain") return cmd_explain(args);
-  const GlobalOptions obs_opts = extract_global_options(args);
+  const flowdiff::cli::GlobalOptions obs_opts =
+      flowdiff::cli::extract_global_options(args);
   g_opts = obs_opts;
   if (!obs_opts.artifacts_dir.empty()) {
     std::error_code ec;
@@ -902,10 +1066,12 @@ int main(int argc, char** argv) {
     rc = cmd_monitor(std::move(args));
   } else if (command == "report") {
     rc = cmd_report(std::move(args));
+  } else if (command == "serve") {
+    rc = cmd_serve(std::move(args));
   } else {
     return usage();
   }
 
-  const int obs_rc = dump_observability(obs_opts);
+  const int obs_rc = flowdiff::cli::dump_observability(obs_opts);
   return rc != 0 ? rc : obs_rc;
 }
