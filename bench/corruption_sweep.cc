@@ -15,6 +15,7 @@
 //                (corruption fabricating a fault);
 //   suppressed   mean low-confidence changes withheld by degraded mode.
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "experiment/lab_experiment.h"
@@ -57,12 +58,13 @@ Verdict judge(const core::FlowDiff& flowdiff,
   return verdict;
 }
 
-int run() {
+int run(bool quick) {
   std::printf("=== corruption sweep: diagnosis accuracy vs capture "
               "corruption ===\n");
   std::printf("Server-slowdown fault (S4 +60 ms, Table I) behind a capture "
               "point corrupted at\nincreasing rates; sanitizer on, "
-              "degraded-mode diff vs the clean baseline model.\n\n");
+              "degraded-mode diff vs the clean baseline model.%s\n\n",
+              quick ? " (quick mode)" : "");
 
   exp::LabExperiment lab{exp::LabExperimentConfig{}};
   const core::FlowDiff flowdiff(lab.flowdiff_config());
@@ -72,8 +74,15 @@ int run() {
                                     60 * kMillisecond, "logging");
   const of::ControlLog faulty = lab.run_window(&fault);
 
-  const std::vector<double> rates = {0.0, 0.01, 0.02, 0.05, 0.10, 0.20};
-  const std::vector<std::uint64_t> seeds = {11, 23, 47};
+  // Quick mode keeps one clean and one corrupted point with a single
+  // seed — enough to drive the whole sweep code path once under the
+  // sanitizer CI legs without the full grid's cost.
+  const std::vector<double> rates =
+      quick ? std::vector<double>{0.0, 0.05}
+            : std::vector<double>{0.0, 0.01, 0.02, 0.05, 0.10, 0.20};
+  const std::vector<std::uint64_t> seeds =
+      quick ? std::vector<std::uint64_t>{11}
+            : std::vector<std::uint64_t>{11, 23, 47};
 
   TextTable table({"corruption", "fault recall", "false alarms",
                    "suppressed/window"});
@@ -117,4 +126,15 @@ int run() {
 }  // namespace
 }  // namespace flowdiff
 
-int main() { return flowdiff::run(); }
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "usage: corruption_sweep [--quick]\n");
+      return 2;
+    }
+  }
+  return flowdiff::run(quick);
+}

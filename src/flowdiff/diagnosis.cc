@@ -31,6 +31,12 @@ const char* to_string(ProblemClass cls) {
       return "controller failure";
     case ProblemClass::kUnauthorizedAccess:
       return "unauthorized access";
+    case ProblemClass::kFingerprinting:
+      return "controller fingerprinting (timing probes)";
+    case ProblemClass::kVolumetricFlood:
+      return "volumetric packet-in flood";
+    case ProblemClass::kIncast:
+      return "incast (many-to-one burst)";
   }
   return "?";
 }
@@ -43,7 +49,8 @@ const std::vector<ProblemClass>& all_problem_classes() {
       ProblemClass::kNetworkBottleneck,  ProblemClass::kSwitchMisconfig,
       ProblemClass::kSwitchOverhead,     ProblemClass::kControllerOverhead,
       ProblemClass::kSwitchFailure,      ProblemClass::kControllerFailure,
-      ProblemClass::kUnauthorizedAccess,
+      ProblemClass::kUnauthorizedAccess, ProblemClass::kFingerprinting,
+      ProblemClass::kVolumetricFlood,    ProblemClass::kIncast,
   };
   return kAll;
 }
@@ -67,6 +74,15 @@ const std::map<ProblemClass, std::set<SignatureKind>>& problem_profiles() {
       {ProblemClass::kControllerFailure,
        {K::kCg, K::kPc, K::kCi, K::kFs, K::kDd, K::kCrt}},
       {ProblemClass::kUnauthorizedAccess, {K::kCg, K::kCi, K::kFs}},
+      // Adversarial families. Fingerprinting probes target service hosts
+      // the app-group extractor excludes, so only infrastructure
+      // signatures move; floods add CRT pressure on top of the
+      // unauthorized-access shape; incast congests the aggregator's access
+      // path, dragging DD (and ISL when workers cross the fabric) along
+      // with the fan-in.
+      {ProblemClass::kFingerprinting, {K::kCrt, K::kIsl}},
+      {ProblemClass::kVolumetricFlood, {K::kCg, K::kCi, K::kFs, K::kCrt}},
+      {ProblemClass::kIncast, {K::kCg, K::kCi, K::kFs, K::kDd, K::kIsl}},
   };
   return kProfiles;
 }
@@ -167,20 +183,40 @@ std::vector<ProblemScore> classify(const DependencyMatrix& matrix,
   bool anything_removed = false;
   bool switch_disappeared = false;
   bool crt_changed = false;
+  bool dd_changed = false;
+  // Fan-in of newly appeared connectivity: how many added CG edges share
+  // their most popular endpoint. A lone intruder adds one edge; a botnet
+  // flood or an incast worker pool converges many new edges on one victim.
+  std::map<Ipv4, int> added_endpoints;
   for (const auto& change : unknown) {
     anything_added |= change.direction == ChangeDirection::kAdded;
     anything_removed |= change.direction == ChangeDirection::kRemoved;
     crt_changed |= change.kind == SignatureKind::kCrt;
+    dd_changed |= change.kind == SignatureKind::kDd;
     if (change.kind == SignatureKind::kPt &&
         change.direction == ChangeDirection::kRemoved &&
         change.description.find("disappeared") != std::string::npos) {
       switch_disappeared = true;
     }
+    if (change.kind == SignatureKind::kCg &&
+        change.direction == ChangeDirection::kAdded) {
+      for (const auto& component : change.components) {
+        if (component.ips.size() != 2) continue;  // per-edge changes only
+        for (const Ipv4 ip : component.ips) ++added_endpoints[ip];
+      }
+    }
   }
+  int max_fan_in = 0;
+  for (const auto& [ip, count] : added_endpoints) {
+    max_fan_in = std::max(max_fan_in, count);
+  }
+  const bool fan_in = max_fan_in >= 4;
   auto ranked = classify(matrix);
   for (auto& score : ranked) {
     const bool implies_new_connectivity =
-        score.cls == ProblemClass::kUnauthorizedAccess;
+        score.cls == ProblemClass::kUnauthorizedAccess ||
+        score.cls == ProblemClass::kVolumetricFlood ||
+        score.cls == ProblemClass::kIncast;
     const bool implies_lost_connectivity =
         score.cls == ProblemClass::kHostFailure ||
         score.cls == ProblemClass::kAppFailure ||
@@ -199,6 +235,29 @@ std::vector<ProblemScore> classify(const DependencyMatrix& matrix,
     if (crt_changed && (score.cls == ProblemClass::kControllerOverhead ||
                         score.cls == ProblemClass::kControllerFailure)) {
       score.score *= 1.2;
+    }
+    // Adversarial tells. Timing probes leave the application layer
+    // untouched: infrastructure signatures move with nothing appearing or
+    // disappearing. Fan-in separates the distributed attacks from a lone
+    // unauthorized intruder, and CRT vs DD separates a control-plane flood
+    // from a data-plane incast.
+    if (score.cls == ProblemClass::kFingerprinting) {
+      score.score *=
+          crt_changed && !anything_added && !anything_removed ? 1.3 : 0.3;
+    }
+    if (score.cls == ProblemClass::kVolumetricFlood) {
+      if (fan_in && crt_changed) {
+        score.score *= 1.3;
+      } else if (!fan_in) {
+        score.score *= 0.5;
+      }
+    }
+    if (score.cls == ProblemClass::kIncast) {
+      if (fan_in && dd_changed) {
+        score.score *= 1.3;
+      } else if (!fan_in) {
+        score.score *= 0.5;
+      }
     }
   }
   std::stable_sort(ranked.begin(), ranked.end(),

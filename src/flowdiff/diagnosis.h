@@ -28,11 +28,18 @@ enum class ProblemClass : std::uint8_t {
   kSwitchFailure,
   kControllerFailure,
   kUnauthorizedAccess,
+  // Adversarial workload families beyond Fig. 2(b) (see EXPERIMENTS.md):
+  // controller fingerprinting probes, volumetric PacketIn floods, and
+  // many-to-one incast bursts.
+  kFingerprinting,
+  kVolumetricFlood,
+  kIncast,
 };
 
 [[nodiscard]] const char* to_string(ProblemClass cls);
 
-/// All twelve classes, in Fig. 2(b) order.
+/// All fifteen classes: the twelve of Fig. 2(b) in paper order, then the
+/// adversarial families.
 [[nodiscard]] const std::vector<ProblemClass>& all_problem_classes();
 
 /// Signature kinds that change under each problem class (Fig. 2(b)).
@@ -60,9 +67,11 @@ struct ProblemScore {
 std::vector<ProblemScore> classify(const DependencyMatrix& matrix);
 
 /// Classification refined with the changes themselves: classes implying
-/// *new* connectivity (unauthorized access) are discounted when nothing
-/// appeared, and failure/disconnection classes are discounted when nothing
-/// disappeared.
+/// *new* connectivity (unauthorized access, flood, incast) are discounted
+/// when nothing appeared, failure/disconnection classes are discounted when
+/// nothing disappeared, and the adversarial families are boosted or
+/// discounted on their structural tells (fan-in of added edges, CRT shift
+/// with or without application change).
 std::vector<ProblemScore> classify(const DependencyMatrix& matrix,
                                    const std::vector<Change>& unknown);
 

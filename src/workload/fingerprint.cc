@@ -1,0 +1,45 @@
+#include "workload/fingerprint.h"
+
+#include <cmath>
+#include <utility>
+
+namespace flowdiff::wl {
+
+FingerprintProber::FingerprintProber(sim::Network& net, HostId attacker,
+                                     Ipv4 target, FingerprintSpec spec,
+                                     Rng rng)
+    : net_(net),
+      attacker_(attacker),
+      target_(target),
+      spec_(spec),
+      rng_(rng) {}
+
+void FingerprintProber::start(SimTime begin, SimTime end) {
+  const int per_train =
+      static_cast<int>(std::llround(spec_.probes_per_train * spec_.intensity));
+  if (per_train <= 0 || end <= begin || spec_.train_interval <= 0) return;
+  const Ipv4 src = net_.topology().host(attacker_).ip;
+  for (SimTime t = begin; t < end; t += spec_.train_interval) {
+    // A small dither keeps trains from beating against other periodic
+    // workloads; the pacing inside a train stays exact so the attacker can
+    // read the controller's queueing ramp probe by probe.
+    const SimTime train_at = t + rng_.uniform_int(0, 20 * kMillisecond);
+    for (int i = 0; i < per_train; ++i) {
+      const std::uint16_t src_port = next_src_port_;
+      next_src_port_ = next_src_port_ >= 64999
+                           ? std::uint16_t{2000}
+                           : static_cast<std::uint16_t>(next_src_port_ + 1);
+      const SimTime at = train_at + i * spec_.probe_gap;
+      net_.events().schedule(at, [this, src, src_port] {
+        sim::FlowSpec flow;
+        flow.key =
+            of::FlowKey{src, target_, src_port, spec_.dst_port, spec_.proto};
+        flow.bytes = spec_.probe_bytes;
+        flow.duration = spec_.probe_duration;
+        if (net_.start_flow(std::move(flow)) != 0) ++probes_sent_;
+      });
+    }
+  }
+}
+
+}  // namespace flowdiff::wl

@@ -1,0 +1,56 @@
+// Controller fingerprinting / timing-probe attacker (Azzouni et al.): a
+// compromised host emits trains of tiny single-packet flows whose 5-tuples
+// never repeat, so every probe misses the flow table and round-trips
+// through the controller. The trains are low-rate at the data plane (a few
+// kb/s aimed at a service host, which the app-group extractor excludes), but
+// they pile up in the controller's serial service loop — the attacker reads
+// the response-time ramp to fingerprint the controller, and FlowDiff sees
+// the same ramp as a controller response time (CRT) shift with no
+// application-layer change at all.
+#pragma once
+
+#include <cstdint>
+
+#include "simnet/network.h"
+#include "util/rng.h"
+
+namespace flowdiff::wl {
+
+struct FingerprintSpec {
+  /// Scales probes per train; 0 disables the attacker entirely.
+  double intensity = 1.0;
+  SimDuration train_interval = 500 * kMillisecond;
+  int probes_per_train = 32;  ///< At intensity 1.0.
+  /// Pacing between probes inside a train: back-to-back enough to queue in
+  /// the controller, spaced enough to resolve the per-probe response ramp.
+  SimDuration probe_gap = 40 * kMicrosecond;
+  std::uint64_t probe_bytes = 90;
+  SimDuration probe_duration = kMillisecond;
+  std::uint16_t dst_port = 123;  ///< Service port probed (NTP by default).
+  of::Proto proto = of::Proto::kUdp;
+};
+
+/// Schedules probe trains from one attacker host toward a target IP.
+class FingerprintProber {
+ public:
+  FingerprintProber(sim::Network& net, HostId attacker, Ipv4 target,
+                    FingerprintSpec spec, Rng rng);
+
+  /// Schedules every train in [begin, end). Deterministic for a fixed seed.
+  void start(SimTime begin, SimTime end);
+
+  [[nodiscard]] std::uint64_t probes_sent() const { return probes_sent_; }
+
+ private:
+  sim::Network& net_;
+  HostId attacker_;
+  Ipv4 target_;
+  FingerprintSpec spec_;
+  Rng rng_;
+  /// Rotating ephemeral port keeps every probe's 5-tuple fresh so it can
+  /// never match an installed rule.
+  std::uint16_t next_src_port_ = 2000;
+  std::uint64_t probes_sent_ = 0;
+};
+
+}  // namespace flowdiff::wl

@@ -1,0 +1,47 @@
+#include "workload/flood.h"
+
+#include <cmath>
+#include <utility>
+
+namespace flowdiff::wl {
+
+VolumetricFlood::VolumetricFlood(sim::Network& net,
+                                 std::vector<HostId> attackers, Ipv4 victim,
+                                 FloodSpec spec, Rng rng)
+    : net_(net),
+      attackers_(std::move(attackers)),
+      victim_(victim),
+      spec_(spec),
+      rng_(rng) {}
+
+void VolumetricFlood::start(SimTime begin, SimTime end) {
+  const int per_salvo =
+      static_cast<int>(std::llround(spec_.flows_per_salvo * spec_.intensity));
+  if (per_salvo <= 0 || attackers_.empty() || end <= begin ||
+      spec_.salvo_interval <= 0) {
+    return;
+  }
+  for (SimTime t = begin; t < end; t += spec_.salvo_interval) {
+    for (int i = 0; i < per_salvo; ++i) {
+      const HostId attacker = attackers_[static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(attackers_.size()) -
+                                  1))];
+      const Ipv4 src = net_.topology().host(attacker).ip;
+      // Spoofed ephemeral source port: never reuses a rule, so every flow
+      // costs the controller a round trip.
+      const auto src_port =
+          static_cast<std::uint16_t>(rng_.uniform_int(1024, 65000));
+      const SimTime at = t + rng_.uniform_int(0, spec_.spread);
+      net_.events().schedule(at, [this, src, src_port] {
+        sim::FlowSpec flow;
+        flow.key =
+            of::FlowKey{src, victim_, src_port, spec_.dst_port, spec_.proto};
+        flow.bytes = spec_.flow_bytes;
+        flow.duration = spec_.flow_duration;
+        if (net_.start_flow(std::move(flow)) != 0) ++flows_sent_;
+      });
+    }
+  }
+}
+
+}  // namespace flowdiff::wl

@@ -1,0 +1,52 @@
+// L3 volumetric PacketIn flood (Rutishauser & Sadikov): a botnet of
+// compromised hosts hammers one victim with salvos of short flows on
+// spoofed ephemeral ports. Every flow's 5-tuple is fresh, so each salvo
+// detonates as a PacketIn storm: the controller's serial queue backs up
+// (CRT), a sudden fan-in of new edges lands on the victim (CG), and the
+// victim's interaction mix and group flow rate jump (CI/FS) — while the
+// data-plane byte volume stays too small for link-level counters to notice.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simnet/network.h"
+#include "util/rng.h"
+
+namespace flowdiff::wl {
+
+struct FloodSpec {
+  /// Scales flows per salvo; 0 disables the flood entirely.
+  double intensity = 1.0;
+  SimDuration salvo_interval = 250 * kMillisecond;
+  int flows_per_salvo = 30;  ///< At intensity 1.0, across the whole botnet.
+  /// Arrival spread inside a salvo — tight enough that the PacketIns of one
+  /// salvo overlap in the controller's service queue.
+  SimDuration spread = 2 * kMillisecond;
+  std::uint64_t flow_bytes = 120;
+  SimDuration flow_duration = kMillisecond;
+  std::uint16_t dst_port = 80;
+  of::Proto proto = of::Proto::kTcp;
+};
+
+/// Schedules flood salvos from a botnet of hosts toward one victim IP.
+class VolumetricFlood {
+ public:
+  VolumetricFlood(sim::Network& net, std::vector<HostId> attackers,
+                  Ipv4 victim, FloodSpec spec, Rng rng);
+
+  /// Schedules every salvo in [begin, end). Deterministic for a fixed seed.
+  void start(SimTime begin, SimTime end);
+
+  [[nodiscard]] std::uint64_t flows_sent() const { return flows_sent_; }
+
+ private:
+  sim::Network& net_;
+  std::vector<HostId> attackers_;
+  Ipv4 victim_;
+  FloodSpec spec_;
+  Rng rng_;
+  std::uint64_t flows_sent_ = 0;
+};
+
+}  // namespace flowdiff::wl

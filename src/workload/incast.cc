@@ -1,0 +1,47 @@
+#include "workload/incast.h"
+
+#include <cmath>
+#include <utility>
+
+namespace flowdiff::wl {
+
+IncastTraffic::IncastTraffic(sim::Network& net, std::vector<HostId> workers,
+                             HostId aggregator, IncastSpec spec, Rng rng)
+    : net_(net),
+      workers_(std::move(workers)),
+      aggregator_(aggregator),
+      spec_(spec),
+      rng_(rng),
+      next_src_port_(workers_.size(), 30000) {}
+
+void IncastTraffic::start(SimTime begin, SimTime end) {
+  const auto bytes = static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(spec_.response_bytes) *
+                   spec_.intensity));
+  if (bytes == 0 || workers_.empty() || end <= begin ||
+      spec_.burst_interval <= 0) {
+    return;
+  }
+  const Ipv4 dst = net_.topology().host(aggregator_).ip;
+  for (SimTime t = begin; t < end; t += spec_.burst_interval) {
+    ++bursts_sent_;
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      const Ipv4 src = net_.topology().host(workers_[w]).ip;
+      const std::uint16_t src_port = next_src_port_[w];
+      next_src_port_[w] = next_src_port_[w] >= 64999
+                              ? std::uint16_t{30000}
+                              : static_cast<std::uint16_t>(src_port + 1);
+      const SimTime at = t + rng_.uniform_int(0, spec_.sync_jitter);
+      net_.events().schedule(at, [this, src, dst, src_port, bytes] {
+        sim::FlowSpec flow;
+        flow.key =
+            of::FlowKey{src, dst, src_port, spec_.dst_port, spec_.proto};
+        flow.bytes = bytes;
+        flow.duration = spec_.response_duration;
+        if (net_.start_flow(std::move(flow)) != 0) ++flows_sent_;
+      });
+    }
+  }
+}
+
+}  // namespace flowdiff::wl

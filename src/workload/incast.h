@@ -1,0 +1,56 @@
+// Many-to-one incast (Zheng et al.): a fan-in of workers answers a barrier
+// request by streaming responses to one aggregator in the same instant.
+// Each synchronized burst opens fresh connections (correlated PacketIn /
+// FlowMod timing at the controller), and the summed response rate saturates
+// the aggregator's access link — flows that share it stretch out, shifting
+// the delay distribution (DD) while new worker edges (CG), the aggregator's
+// interaction mix (CI), and group flow statistics (FS) move together.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simnet/network.h"
+#include "util/rng.h"
+
+namespace flowdiff::wl {
+
+struct IncastSpec {
+  /// Scales per-worker response bytes; 0 disables the workload entirely.
+  double intensity = 1.0;
+  SimDuration burst_interval = 200 * kMillisecond;
+  std::uint64_t response_bytes = 600000;  ///< Per worker per burst, at 1.0.
+  SimDuration response_duration = 60 * kMillisecond;
+  /// Worker start skew within a burst — the "synchronized" in synchronized
+  /// reads; all responses land inside this window.
+  SimDuration sync_jitter = 200 * kMicrosecond;
+  std::uint16_t dst_port = 9009;
+  of::Proto proto = of::Proto::kTcp;
+};
+
+/// Schedules synchronized response bursts from workers to one aggregator.
+class IncastTraffic {
+ public:
+  IncastTraffic(sim::Network& net, std::vector<HostId> workers,
+                HostId aggregator, IncastSpec spec, Rng rng);
+
+  /// Schedules every burst in [begin, end). Deterministic for a fixed seed.
+  void start(SimTime begin, SimTime end);
+
+  [[nodiscard]] std::uint64_t bursts_sent() const { return bursts_sent_; }
+  [[nodiscard]] std::uint64_t flows_sent() const { return flows_sent_; }
+
+ private:
+  sim::Network& net_;
+  std::vector<HostId> workers_;
+  HostId aggregator_;
+  IncastSpec spec_;
+  Rng rng_;
+  /// Per-worker rotating ephemeral port: every burst opens new connections,
+  /// so each one re-detonates the correlated PacketIn pattern.
+  std::vector<std::uint16_t> next_src_port_;
+  std::uint64_t bursts_sent_ = 0;
+  std::uint64_t flows_sent_ = 0;
+};
+
+}  // namespace flowdiff::wl

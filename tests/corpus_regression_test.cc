@@ -11,7 +11,11 @@
 #include <vector>
 
 #include "experiment/corpus.h"
+#include "experiment/lab_experiment.h"
 #include "openflow/log_io.h"
+#include "workload/fingerprint.h"
+#include "workload/flood.h"
+#include "workload/incast.h"
 
 namespace flowdiff::exp {
 namespace {
@@ -28,18 +32,22 @@ std::vector<fs::path> corpus_logs() {
 }
 
 TEST(CorpusRegression, CorpusIsPresent) {
-  // The committed corpus must cover at least the four canonical cases
-  // (steady / slowdown / unauthorized / corrupted_slowdown); an empty or
-  // partially deleted corpus would make every other test here pass
-  // vacuously.
+  // The committed corpus must cover at least the seven canonical cases
+  // (steady / slowdown / unauthorized / corrupted_slowdown plus the
+  // fingerprint / flood / incast attack scenarios); an empty or partially
+  // deleted corpus would make every other test here pass vacuously.
   const auto logs = corpus_logs();
-  ASSERT_GE(logs.size(), 4u)
-      << "expected >= 4 corpus cases in " << FLOWDIFF_CORPUS_DIR
+  ASSERT_GE(logs.size(), 7u)
+      << "expected >= 7 corpus cases in " << FLOWDIFF_CORPUS_DIR
       << "; regenerate with tools/gen_corpus";
   for (const auto& log : logs) {
     fs::path golden = log;
     golden.replace_extension(".golden");
     EXPECT_TRUE(fs::exists(golden)) << golden << " missing for " << log;
+    fs::path provenance = log;
+    provenance.replace_extension(".provenance");
+    EXPECT_TRUE(fs::exists(provenance)) << provenance << " missing for "
+                                        << log;
   }
 }
 
@@ -109,6 +117,95 @@ TEST(CorpusRegression, CorruptedCaseMarksDegradedWindows) {
         << "corrupted corpus case never entered degraded mode";
   }
   EXPECT_TRUE(found) << "corrupted_slowdown.log missing from corpus";
+}
+
+TEST(CorpusRegression, AttackCasesDiagnoseTheirOwnFamily) {
+  // Each committed attack scenario must alarm, and the diagnosis must rank
+  // the matching adversarial class first — not just report generic
+  // divergence. The full transcript bytes are pinned by
+  // EveryCaseReplaysToItsGolden; this spells out the behavioral claim so a
+  // regeneration that demotes a class fails with a readable message.
+  const struct {
+    const char* name;
+    const char* top_class;
+  } kAttacks[] = {
+      {"fingerprint", "controller fingerprinting (timing probes)"},
+      {"flood", "volumetric packet-in flood"},
+      {"incast", "incast (many-to-one burst)"},
+  };
+  for (const auto& attack : kAttacks) {
+    SCOPED_TRACE(attack.name);
+    const auto golden = of::read_file(std::string(FLOWDIFF_CORPUS_DIR) +
+                                      "/" + attack.name + ".golden");
+    ASSERT_TRUE(golden.has_value())
+        << attack.name << ".golden missing (run tools/gen_corpus)";
+    EXPECT_NE(golden->find("ALARM"), std::string::npos)
+        << attack.name << " corpus case never alarmed";
+    const std::string expected_top =
+        std::string("likely problem types:\n  ") + attack.top_class;
+    EXPECT_NE(golden->find(expected_top), std::string::npos)
+        << attack.name << " did not rank '" << attack.top_class
+        << "' as the most likely problem class";
+  }
+}
+
+TEST(CorpusRegression, ZeroIntensityAttacksAreInvisible) {
+  // Negative control: every attack generator at intensity 0, interleaved
+  // with the steady scenario, must schedule nothing — the resulting
+  // capture, transcript, and provenance are byte-identical to the steady
+  // case (zero alarms, zero suppressed changes, zero perturbation of the
+  // shared event stream).
+  const std::string dir = FLOWDIFF_CORPUS_DIR;
+  const auto steady_text = of::read_file(dir + "/steady.log");
+  ASSERT_TRUE(steady_text.has_value());
+  const auto steady_case = parse_corpus_case(*steady_text);
+  ASSERT_TRUE(steady_case.has_value());
+
+  LabExperiment lab{LabExperimentConfig{}};
+  const auto& scenario = lab.lab();
+  std::vector<of::ControlEvent> stream;
+  for (int window = 0; window < 3; ++window) {
+    const SimTime begin = lab.now();
+    wl::FingerprintSpec probe_spec;
+    probe_spec.intensity = 0.0;
+    wl::FingerprintProber prober(lab.net(), scenario.host("S16"),
+                                 scenario.services.ntp, probe_spec, Rng(901));
+    prober.start(begin + 3 * kSecond, begin + 27 * kSecond);
+
+    wl::FloodSpec flood_spec;
+    flood_spec.intensity = 0.0;
+    wl::VolumetricFlood flood(lab.net(),
+                              {scenario.host("S1"), scenario.host("S5")},
+                              scenario.ip("S7"), flood_spec, Rng(902));
+    flood.start(begin + 3 * kSecond, begin + 27 * kSecond);
+
+    wl::IncastSpec incast_spec;
+    incast_spec.intensity = 0.0;
+    wl::IncastTraffic incast(lab.net(),
+                             {scenario.host("S1"), scenario.host("S2")},
+                             scenario.host("S10"), incast_spec, Rng(903));
+    incast.start(begin + 3 * kSecond, begin + 27 * kSecond);
+
+    const auto capture = lab.run_window();
+    stream.insert(stream.end(), capture.events().begin(),
+                  capture.events().end());
+    EXPECT_EQ(prober.probes_sent(), 0u);
+    EXPECT_EQ(flood.flows_sent(), 0u);
+    EXPECT_EQ(incast.flows_sent(), 0u);
+  }
+
+  EXPECT_EQ(serialize_corpus_case(steady_case->config, stream),
+            *steady_text)
+      << "zero-intensity generators perturbed the steady capture";
+  const CorpusCase control{steady_case->config, std::move(stream)};
+  const std::string transcript = replay_corpus_case(control);
+  EXPECT_NE(transcript.find("alarms=0"), std::string::npos);
+  const auto steady_golden = of::read_file(dir + "/steady.golden");
+  ASSERT_TRUE(steady_golden.has_value());
+  EXPECT_EQ(transcript, *steady_golden);
+  const auto steady_provenance = of::read_file(dir + "/steady.provenance");
+  ASSERT_TRUE(steady_provenance.has_value());
+  EXPECT_EQ(replay_corpus_provenance(control), *steady_provenance);
 }
 
 }  // namespace

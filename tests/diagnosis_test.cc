@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+#include <vector>
+
 namespace flowdiff::core {
 namespace {
 
@@ -128,7 +132,86 @@ TEST(ProblemProfiles, EveryClassHasAProfileAndName) {
     EXPECT_FALSE(problem_profiles().at(cls).empty());
     EXPECT_STRNE(to_string(cls), "?");
   }
-  EXPECT_EQ(all_problem_classes().size(), 12u);  // Fig. 2(b).
+  // Fig. 2(b)'s twelve plus the three adversarial families.
+  EXPECT_EQ(all_problem_classes().size(), 15u);
+}
+
+TEST(ProblemProfiles, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const ProblemClass cls : all_problem_classes()) {
+    EXPECT_TRUE(names.insert(to_string(cls)).second)
+        << "duplicate class name: " << to_string(cls);
+  }
+}
+
+/// An added CG edge between two concrete endpoints, as the differ emits
+/// for new connectivity (the refinement rules key fan-in off these).
+Change added_edge(std::uint8_t src_last, std::uint8_t dst_last) {
+  Change c = change_of(SignatureKind::kCg);
+  c.direction = ChangeDirection::kAdded;
+  c.components[0].ips = {Ipv4(10, 0, 0, src_last), Ipv4(10, 0, 9, dst_last)};
+  return c;
+}
+
+TEST(Classify, FingerprintingFromPureCrtShift) {
+  // A timing-probe attack leaves the application rows untouched: CRT moves
+  // alone, and fingerprinting must outrank the controller classes.
+  const std::vector<Change> unknown = {change_of(SignatureKind::kCrt)};
+  const auto ranked = classify(build_dependency_matrix(unknown), unknown);
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_EQ(ranked[0].cls, ProblemClass::kFingerprinting);
+}
+
+TEST(Classify, FloodNeedsFanInAndCrt) {
+  // Many sources converging on one victim plus a controller queueing shift
+  // is the flood fingerprint; the same signature kinds from a single added
+  // edge stay unauthorized access.
+  std::vector<Change> flood = {added_edge(1, 7), added_edge(2, 7),
+                               added_edge(3, 7), added_edge(4, 7),
+                               added_edge(5, 7), change_of(SignatureKind::kCi),
+                               change_of(SignatureKind::kFs),
+                               change_of(SignatureKind::kCrt)};
+  auto ranked = classify(build_dependency_matrix(flood), flood);
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_EQ(ranked[0].cls, ProblemClass::kVolumetricFlood);
+
+  std::vector<Change> lone = {added_edge(1, 7), change_of(SignatureKind::kCi),
+                              change_of(SignatureKind::kFs)};
+  ranked = classify(build_dependency_matrix(lone), lone);
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_EQ(ranked[0].cls, ProblemClass::kUnauthorizedAccess);
+}
+
+TEST(Classify, IncastNeedsFanInAndDelayShift) {
+  std::vector<Change> incast = {
+      added_edge(1, 7),  added_edge(2, 7),
+      added_edge(3, 7),  added_edge(4, 7),
+      added_edge(5, 7),  change_of(SignatureKind::kCi),
+      change_of(SignatureKind::kFs), change_of(SignatureKind::kDd),
+      change_of(SignatureKind::kIsl)};
+  const auto ranked = classify(build_dependency_matrix(incast), incast);
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_EQ(ranked[0].cls, ProblemClass::kIncast);
+}
+
+TEST(Classify, SlowdownWithoutFanInStaysNonAdversarial) {
+  // A plain server slowdown (DD/PC/FS, nothing added) must not surface any
+  // adversarial class near the top of the ranking.
+  const std::vector<Change> unknown = {change_of(SignatureKind::kDd),
+                                       change_of(SignatureKind::kPc),
+                                       change_of(SignatureKind::kFs)};
+  const auto ranked = classify(build_dependency_matrix(unknown), unknown);
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_TRUE(ranked[0].cls == ProblemClass::kHostPerformance ||
+              ranked[0].cls == ProblemClass::kAppPerformance);
+  for (const auto& score : ranked) {
+    if (score.cls == ProblemClass::kFingerprinting ||
+        score.cls == ProblemClass::kVolumetricFlood ||
+        score.cls == ProblemClass::kIncast) {
+      EXPECT_LT(score.score, ranked[0].score / 2.0)
+          << "adversarial class scored too close to the benign diagnosis";
+    }
+  }
 }
 
 }  // namespace

@@ -9,7 +9,10 @@
 #      sampler/recorder/watchdog code paths PRs keep touching), plus the
 #      ingest legs: the golden-trace corpus (ctest -L corpus) and the
 #      seeded-corruption fuzz suites (ctest -L fuzz) — corrupted captures
-#      are exactly where out-of-range arithmetic would hide;
+#      are exactly where out-of-range arithmetic would hide — the
+#      adversarial-scenario suites (ctest -L attack: attack generators,
+#      diagnosis refinement, determinism pins), and the serve/provenance
+#      suites, which previously only reran under ASan/TSan;
 #   4. ThreadSanitizer pass: rebuild with FLOWDIFF_SANITIZE=thread and
 #      rerun the concurrency-heavy suites (executor pool, parallel model
 #      build, monitor pipeline thread, obs layer), plus the http-labeled
@@ -76,6 +79,11 @@ echo "== bench: corpus ingest throughput (BENCH_throughput.json) =="
 # committed .golden transcript byte for byte before reporting numbers.
 "$repo/build-ci/bench/throughput_replay" --out="$repo/BENCH_throughput.json"
 
+echo "== bench: adversarial recall/false-alarm sweep (BENCH_attack.json) =="
+# Gated: nominal-intensity recall >= 0.9 with zero steady false alarms, or
+# the sweep exits nonzero and CI fails here.
+"$repo/build-ci/bench/attack_sweep" --out="$repo/BENCH_attack.json"
+
 if [[ "$skip_asan" -eq 0 ]]; then
   echo "== ASan: build + ctest (FLOWDIFF_SANITIZE=address) =="
   run_suite "$repo/build-ci-asan" -DFLOWDIFF_SANITIZE=address
@@ -100,8 +108,19 @@ if [[ "$skip_ubsan" -eq 0 ]]; then
   echo "== UBSan: golden corpus + corruption fuzz (ctest -L corpus/fuzz) =="
   ctest --test-dir "$repo/build-ci-ubsan" --output-on-failure -j "$jobs" \
     --no-tests=error -L 'corpus|fuzz'
-  echo "== UBSan: corruption sweep bench =="
-  "$repo/build-ci-ubsan/bench/corruption_sweep"
+  echo "== UBSan: adversarial scenario suites (ctest -L attack) =="
+  ctest --test-dir "$repo/build-ci-ubsan" --output-on-failure -j "$jobs" \
+    --no-tests=error -L attack
+  # serve/provenance previously reran only under ASan/TSan; integer-heavy
+  # demux and stage-latency math deserve the UBSan pass too.
+  echo "== UBSan: serve daemon + alarm provenance (ctest -L serve/provenance) =="
+  ctest --test-dir "$repo/build-ci-ubsan" --output-on-failure -j "$jobs" \
+    --no-tests=error -L 'serve|provenance'
+  echo "== UBSan: corruption sweep bench (quick) =="
+  "$repo/build-ci-ubsan/bench/corruption_sweep" --quick
+  echo "== UBSan: attack sweep bench (quick) =="
+  "$repo/build-ci-ubsan/bench/attack_sweep" --quick \
+    --out="$repo/build-ci-ubsan/bench_attack_quick.json"
 fi
 
 if [[ "$skip_tsan" -eq 0 ]]; then

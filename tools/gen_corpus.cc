@@ -19,6 +19,13 @@
 //   corrupted_slowdown  the slowdown capture corrupted at 5% (drop/dup/
 //                       reorder/truncate, seed 1005) and replayed with the
 //                       ingest sanitizer on — pins degraded-mode output.
+//   fingerprint         a controller-fingerprinting probe train against the
+//                       NTP service — a pure CRT shift with no
+//                       application-layer change;
+//   flood               a botnet PacketIn flood on a web server — fan-in of
+//                       new edges plus a controller queueing shift;
+//   incast              synchronized many-to-one bursts saturating an app
+//                       server's access path — fan-in plus DD/ISL shifts.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -30,6 +37,9 @@
 #include "faults/faults.h"
 #include "flowdiff/monitor.h"
 #include "openflow/log_io.h"
+#include "workload/fingerprint.h"
+#include "workload/flood.h"
+#include "workload/incast.h"
 
 namespace flowdiff {
 namespace {
@@ -99,6 +109,65 @@ std::vector<of::ControlEvent> corrupted_slowdown_stream() {
   return corruptor.corrupt(merged);
 }
 
+/// Baseline, then probe trains from an idle host against the NTP service.
+/// The probes are data-plane noise (a few kb/s at a service node the group
+/// extractor excludes) but every 5-tuple is fresh, so the controller's
+/// serial queue rings: CRT shifts with no application change.
+std::vector<of::ControlEvent> fingerprint_stream() {
+  exp::LabExperiment lab{exp::LabExperimentConfig{}};
+  std::vector<of::ControlEvent> stream;
+  append_capture(stream, lab.run_window());
+  wl::FingerprintProber prober(lab.net(), lab.lab().host("S16"),
+                               lab.lab().services.ntp, wl::FingerprintSpec{},
+                               Rng(901));
+  const SimTime begin = lab.now();
+  prober.start(begin + 3 * kSecond, begin + 27 * kSecond);
+  append_capture(stream, lab.run_window());
+  return stream;
+}
+
+/// Baseline, then a six-host botnet salvos short spoofed flows at the
+/// oscommerce web server: fan-in of new CG edges plus a CRT shift from the
+/// PacketIn storm.
+std::vector<of::ControlEvent> flood_stream() {
+  exp::LabExperiment lab{exp::LabExperimentConfig{}};
+  std::vector<of::ControlEvent> stream;
+  append_capture(stream, lab.run_window());
+  const auto& lab_scenario = lab.lab();
+  std::vector<HostId> botnet = {
+      lab_scenario.host("S1"),  lab_scenario.host("S5"),
+      lab_scenario.host("S9"),  lab_scenario.host("S13"),
+      lab_scenario.host("S18"), lab_scenario.host("S22")};
+  wl::VolumetricFlood flood(lab.net(), std::move(botnet),
+                            lab_scenario.ip("S7"), wl::FloodSpec{}, Rng(902));
+  const SimTime begin = lab.now();
+  flood.start(begin + 3 * kSecond, begin + 27 * kSecond);
+  append_capture(stream, lab.run_window());
+  return stream;
+}
+
+/// Baseline, then twelve workers answer a barrier with synchronized bursts
+/// to the oscommerce application server: correlated PacketIn/FlowMod fan-in
+/// and a congested access path that stretches everyone's delays.
+std::vector<of::ControlEvent> incast_stream() {
+  exp::LabExperiment lab{exp::LabExperimentConfig{}};
+  std::vector<of::ControlEvent> stream;
+  append_capture(stream, lab.run_window());
+  const auto& lab_scenario = lab.lab();
+  std::vector<HostId> workers;
+  for (const char* name : {"S1", "S2", "S5", "S6", "S8", "S9", "S11", "S13",
+                           "S16", "S17", "S21", "S22"}) {
+    workers.push_back(lab_scenario.host(name));
+  }
+  wl::IncastTraffic incast(lab.net(), std::move(workers),
+                           lab_scenario.host("S10"), wl::IncastSpec{},
+                           Rng(903));
+  const SimTime begin = lab.now();
+  incast.start(begin + 3 * kSecond, begin + 27 * kSecond);
+  append_capture(stream, lab.run_window());
+  return stream;
+}
+
 struct CaseSpec {
   const char* name;
   bool sanitize;
@@ -110,6 +179,9 @@ constexpr CaseSpec kCases[] = {
     {"slowdown", false, slowdown_stream},
     {"unauthorized", false, unauthorized_stream},
     {"corrupted_slowdown", true, corrupted_slowdown_stream},
+    {"fingerprint", false, fingerprint_stream},
+    {"flood", false, flood_stream},
+    {"incast", false, incast_stream},
 };
 
 int run(const std::string& out_dir) {
