@@ -18,6 +18,13 @@
 // transcript, the replayed transcript must match byte for byte or the
 // bench exits nonzero — a fast wrong parser scores zero.
 //
+// Schema 3 adds the incremental window-modeling legs: monitor.window_ms
+// over the corpus with delta maintenance on vs off (two instrumented
+// passes), and a steady-state replay (steady.log repeated through one
+// rolling monitor) timed in both modes. The two modes must render
+// byte-identical transcripts or the bench exits nonzero — the same
+// fast-but-wrong-scores-zero rule, applied to the incremental modeler.
+//
 // Usage: throughput_replay [--quick] [--iters=N] [--corpus=DIR]
 //                          [--out=FILE] [--listen=ADDR:PORT]
 //   --quick    single iteration (the ctest -L bench coverage run)
@@ -295,6 +302,17 @@ struct CaseResult {
   StageRate end_to_end;
 };
 
+/// Steady-state leg (schema 3): the same long-lived rolling replay timed
+/// with the delta-maintained incremental modeler on and off, plus the
+/// byte-identity verdict that gates the comparison.
+struct SteadyResult {
+  std::size_t repeats = 0;
+  std::size_t events = 0;
+  StageRate incremental;
+  StageRate from_scratch;
+  double speedup = 0.0;
+};
+
 std::string num(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.6g", v);
@@ -479,21 +497,89 @@ int run(int argc, char** argv) {
     results.push_back(std::move(r));
   }
 
-  // One instrumented end-to-end pass: the obs registry supplies the
-  // per-stage counter breakdown (ingest.* / monitor.*) for the JSON.
-  obs::Registry::global().reset();
-  obs::set_enabled(true);
-  for (const auto& path : logs) {
-    const auto text = of::read_file(path.string());
-    const auto replayed = exp::parse_corpus_case(*text);
-    core::SlidingMonitor monitor(replayed->config);
-    if (plane) plane->attach(&monitor);
-    monitor.feed(replayed->events);
-    monitor.flush();
-    if (plane) plane->attach(nullptr);
+  // --- Steady-state leg: incremental vs from-scratch window modeling ------
+  // Replays steady.log several times, each repeat shifted past the last
+  // window boundary, through ONE rolling monitor per mode — the
+  // steady-state shape where per-window model cost is the whole story.
+  // Golden-drift gate: the two modes must render byte-identical
+  // transcripts, or a fast-but-wrong incremental path scores zero.
+  SteadyResult steady;
+  {
+    const auto steady_it =
+        std::find_if(logs.begin(), logs.end(), [](const auto& p) {
+          return p.stem().string() == "steady";
+        });
+    if (steady_it == logs.end()) return fail("corpus has no steady case");
+    const auto text = of::read_file(steady_it->string());
+    if (!text) return fail("cannot read " + steady_it->string());
+    const auto parsed_case = exp::parse_corpus_case(*text);
+    if (!parsed_case) return fail("corpus header/parse failed: steady");
+    if (parsed_case->events.empty()) return fail("steady case is empty");
+    steady.repeats = quick ? 2 : 5;
+    const SimDuration window = parsed_case->config.window;
+    const SimTime span =
+        parsed_case->events.back().ts - parsed_case->events.front().ts;
+    const SimTime step = (span / window + 2) * window;
+    std::vector<of::ControlEvent> stream;
+    stream.reserve(parsed_case->events.size() * steady.repeats);
+    for (std::size_t rep = 0; rep < steady.repeats; ++rep) {
+      for (of::ControlEvent event : parsed_case->events) {
+        event.ts += static_cast<SimTime>(rep) * step;
+        stream.push_back(std::move(event));
+      }
+    }
+    steady.events = stream.size();
+    const int steady_iters = quick ? 1 : std::min(iters, 3);
+    std::string transcripts[2];
+    const auto run_mode = [&](bool incremental, std::string* transcript) {
+      auto config = parsed_case->config;
+      config.incremental = incremental;
+      config.rolling_baseline = true;  // Clean windows roll the baseline.
+      core::SlidingMonitor monitor(config);
+      monitor.feed(stream);
+      monitor.flush();
+      *transcript = core::render_monitor_transcript(monitor);
+    };
+    steady.incremental =
+        rate(time_best(steady_iters, [&] { run_mode(true, &transcripts[0]); }),
+             steady.events, 0);
+    steady.from_scratch =
+        rate(time_best(steady_iters,
+                       [&] { run_mode(false, &transcripts[1]); }),
+             steady.events, 0);
+    if (transcripts[0] != transcripts[1]) {
+      return fail(
+          "steady_state transcripts diverged between incremental and "
+          "from-scratch modes (oracle-identity gate)");
+    }
+    steady.speedup = steady.incremental.secs > 0.0
+                         ? steady.from_scratch.secs / steady.incremental.secs
+                         : 0.0;
   }
-  obs::set_enabled(false);
-  const obs::Snapshot snap = obs::Registry::global().snapshot();
+
+  // Two instrumented end-to-end passes: the obs registry supplies the
+  // per-stage counter breakdown (ingest.* / monitor.*) for the JSON, and
+  // monitor.window_ms from the oracle pass vs the incremental pass is the
+  // recorded window-close cost drop.
+  const auto instrumented_pass = [&](bool incremental) {
+    obs::Registry::global().reset();
+    obs::set_enabled(true);
+    for (const auto& path : logs) {
+      const auto text = of::read_file(path.string());
+      const auto replayed = exp::parse_corpus_case(*text);
+      auto config = replayed->config;
+      config.incremental = incremental;
+      core::SlidingMonitor monitor(config);
+      if (plane) plane->attach(&monitor);
+      monitor.feed(replayed->events);
+      monitor.flush();
+      if (plane) plane->attach(nullptr);
+    }
+    obs::set_enabled(false);
+    return obs::Registry::global().snapshot();
+  };
+  const obs::Snapshot snap_oracle = instrumented_pass(false);
+  const obs::Snapshot snap = instrumented_pass(true);
 
   const double parse_eps =
       total_parse_s > 0.0 ? static_cast<double>(total_events) / total_parse_s
@@ -509,7 +595,7 @@ int run(int argc, char** argv) {
 
   std::string json = "{\n";
   json += "  \"bench\": \"throughput_replay\",\n";
-  json += "  \"schema\": 2,\n";
+  json += "  \"schema\": 3,\n";
   json += std::string("  \"quick\": ") + (quick ? "true" : "false") + ",\n";
   json += "  \"iterations\": " + std::to_string(iters) + ",\n";
   json += "  \"cases\": [\n";
@@ -547,6 +633,35 @@ int run(int argc, char** argv) {
                   ? static_cast<double>(total_bytes) / total_e2e_s / 1.0e6
                   : 0.0) +
           "},\n";
+  // Incremental window modeling (schema 3): per-window close cost over the
+  // corpus with delta maintenance on vs off, and the steady-state replay
+  // rates. The steady transcripts passed the byte-identity gate above, so
+  // these are timings of the *same* outputs.
+  const auto hist_mean = [](const obs::Snapshot& s,
+                            const std::string& name) -> double {
+    for (const auto& [n, h] : s.histograms) {
+      if (n == name) return h.mean();
+    }
+    return 0.0;
+  };
+  const double window_ms_inc = hist_mean(snap, "monitor.window_ms");
+  const double window_ms_oracle = hist_mean(snap_oracle, "monitor.window_ms");
+  json += "  \"window_ms\": {\"incremental_mean\": " + num(window_ms_inc) +
+          ", \"from_scratch_mean\": " + num(window_ms_oracle) +
+          ", \"speedup\": " +
+          num(window_ms_inc > 0.0 ? window_ms_oracle / window_ms_inc : 0.0) +
+          "},\n";
+  json += "  \"steady_state\": {\"repeats\": " +
+          std::to_string(steady.repeats) +
+          ", \"events\": " + std::to_string(steady.events) + ",\n";
+  json += "    \"incremental\": {\"secs\": " + num(steady.incremental.secs) +
+          ", \"events_per_sec\": " + num(steady.incremental.events_per_sec) +
+          "},\n";
+  json += "    \"from_scratch\": {\"secs\": " + num(steady.from_scratch.secs) +
+          ", \"events_per_sec\": " + num(steady.from_scratch.events_per_sec) +
+          "},\n";
+  json += "    \"speedup\": " + num(steady.speedup) +
+          ", \"transcripts_identical\": true},\n";
   // Detection latency (schema 2): the monitor.latency.* stage histograms
   // from the instrumented pass, summarized as event->alarm percentiles
   // plus a per-stage breakdown. Wall-clock, so values vary run to run;
@@ -627,6 +742,16 @@ int run(int argc, char** argv) {
       "  TOTAL parse %.0f ev/s vs legacy %.0f ev/s (x%.2f), end-to-end "
       "%.0f ev/s, peak RSS %.1f MB\n",
       parse_eps, legacy_eps, speedup, e2e_eps, peak_rss_mb());
+  std::printf(
+      "  window close: %.3f ms incremental vs %.3f ms from scratch "
+      "(x%.2f)\n",
+      window_ms_inc, window_ms_oracle,
+      window_ms_inc > 0.0 ? window_ms_oracle / window_ms_inc : 0.0);
+  std::printf(
+      "  steady state (%zu repeats, %zu events): %.0f ev/s incremental vs "
+      "%.0f ev/s from scratch (x%.2f)  [transcripts identical]\n",
+      steady.repeats, steady.events, steady.incremental.events_per_sec,
+      steady.from_scratch.events_per_sec, steady.speedup);
   if (!out_path.empty()) {
     std::printf("  wrote %s\n", out_path.c_str());
   }

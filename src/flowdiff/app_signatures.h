@@ -98,7 +98,11 @@ struct DelayDistributionSig {
   struct PairDd {
     Histogram hist{20.0};
     double peak_ms = 0.0;
-    double mean_ms = 0.0;  ///< Raw bin-weighted mean (noisy; informational).
+    /// Histogram mean from bin *midpoints* (origin + (b + 0.5) * width —
+    /// bin-origin weighting would bias it low by half a bin). Informational
+    /// only: diffing compares peak_ms and the normalized shape, never this
+    /// (diagnosis_test pins that independence).
+    double mean_ms = 0.0;
     std::uint64_t samples = 0;
     /// Number of in-edge flow starts paired against. Normalizing bin
     /// counts by this (instead of by total pairs) makes the histogram

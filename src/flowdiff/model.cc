@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <future>
+#include <string>
 #include <utility>
 
 #include "flowdiff/flowdiff.h"
@@ -42,12 +44,13 @@ GroupSignatures extract_segment_signatures(const ParsedLog& parsed,
                                   config.app);
 }
 
-/// Judges each signature component against the per-segment sub-models.
+}  // namespace
+
 /// Pure reduction: reads the full-window signatures in `group.sig` and the
 /// position-indexed `per_segment` slots, writes only the unstable sets
 /// (std::set — insertion order is irrelevant to the result).
-void analyze_stability(const std::vector<GroupSignatures>& per_segment,
-                       const ModelConfig& config, GroupModel& group) {
+void analyze_group_stability(const std::vector<GroupSignatures>& per_segment,
+                             const ModelConfig& config, GroupModel& group) {
   const int segments = static_cast<int>(per_segment.size());
 
   // CI: any segment pair with a large chi-squared marks the node unstable.
@@ -126,8 +129,6 @@ void analyze_stability(const std::vector<GroupSignatures>& per_segment,
     }
   }
 }
-
-}  // namespace
 
 Modeler::Modeler(ModelConfig config, int workers)
     : config_(std::move(config)),
@@ -275,7 +276,7 @@ BehaviorModel Modeler::build(const of::ControlLog& log) const {
         });
     const obs::Span stability_span("model/stability");
     executor_->parallel_for(group_count, [&](std::size_t g) {
-      analyze_stability(per_segment[g], config, model.groups[g]);
+      analyze_group_stability(per_segment[g], config, model.groups[g]);
     });
   }
 
@@ -297,6 +298,206 @@ int match_group(const BehaviorModel& model, const std::set<Ipv4>& members) {
     }
   }
   return best;
+}
+
+std::string describe_model(const BehaviorModel& model) {
+  std::string out;
+  out.reserve(1 << 14);
+  const auto num = [&out](double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    out += buf;
+  };
+  const auto u64 = [&out](std::uint64_t v) { out += std::to_string(v); };
+  const auto ts = [&out](SimTime t) { out += std::to_string(t); };
+  const auto ip = [&out](Ipv4 a) { out += a.to_string(); };
+  const auto key = [&](const of::FlowKey& k) {
+    ip(k.src_ip);
+    out += '>';
+    ip(k.dst_ip);
+    out += ':';
+    out += std::to_string(k.src_port);
+    out += '-';
+    out += std::to_string(k.dst_port);
+    out += '/';
+    out += std::to_string(static_cast<int>(k.proto));
+  };
+  const auto edge = [&](const HostEdge& e) {
+    ip(e.first);
+    out += '>';
+    ip(e.second);
+  };
+  const auto triple = [&](const EdgePair& t) {
+    ip(std::get<0>(t));
+    out += '>';
+    ip(std::get<1>(t));
+    out += '>';
+    ip(std::get<2>(t));
+  };
+  const auto stats = [&](const RunningStats& s) {
+    out += "n=";
+    u64(s.count());
+    out += " mean=";
+    num(s.mean());
+    out += " var=";
+    num(s.variance());
+    out += " sum=";
+    num(s.sum());
+    out += " min=";
+    num(s.min());
+    out += " max=";
+    num(s.max());
+  };
+  const auto hist = [&](const Histogram& h) {
+    out += "bw=";
+    num(h.bin_width());
+    out += " o=";
+    num(h.origin());
+    out += " total=";
+    u64(h.total());
+    out += " [";
+    for (const std::uint64_t c : h.counts()) {
+      u64(c);
+      out += ',';
+    }
+    out += ']';
+  };
+
+  out += "begin=";
+  ts(model.begin);
+  out += " end=";
+  ts(model.end);
+  out += "\nflow_starts ";
+  u64(model.flow_starts.size());
+  out += '\n';
+  for (const auto& tf : model.flow_starts) {
+    ts(tf.ts);
+    out += ' ';
+    key(tf.key);
+    out += '\n';
+  }
+  for (std::size_t g = 0; g < model.groups.size(); ++g) {
+    const GroupModel& gm = model.groups[g];
+    out += "group ";
+    u64(g);
+    out += " members";
+    for (const Ipv4 m : gm.sig.members) {
+      out += ' ';
+      ip(m);
+    }
+    out += "\ncg";
+    for (const auto& [from, to] : gm.sig.cg.graph.edges()) {
+      out += ' ';
+      edge(HostEdge{from, to});
+    }
+    out += "\nfs fps ";
+    stats(gm.sig.fs.flows_per_sec);
+    out += '\n';
+    for (const auto& [e, fs] : gm.sig.fs.per_edge) {
+      out += "fs ";
+      edge(e);
+      out += " flows=";
+      u64(fs.flow_count);
+      out += " first=";
+      ts(fs.first_ts);
+      out += " bytes{";
+      stats(fs.bytes);
+      out += "} dur{";
+      stats(fs.duration_ms);
+      out += "}\n";
+    }
+    for (const auto& [node, ci] : gm.sig.ci.per_node) {
+      out += "ci ";
+      ip(node);
+      out += " total=";
+      u64(ci.total);
+      for (const auto& [e, n] : ci.edge_counts) {
+        out += ' ';
+        edge(e);
+        out += '=';
+        u64(n);
+      }
+      out += '\n';
+    }
+    for (const auto& [t, dd] : gm.sig.dd.per_pair) {
+      out += "dd ";
+      triple(t);
+      out += " peak=";
+      num(dd.peak_ms);
+      out += " mean=";
+      num(dd.mean_ms);
+      out += " samples=";
+      u64(dd.samples);
+      out += " in=";
+      u64(dd.in_flows);
+      out += " out=";
+      u64(dd.out_flows);
+      out += " hist{";
+      hist(dd.hist);
+      out += "}\n";
+    }
+    for (const auto& [t, rho] : gm.sig.pc.rho) {
+      out += "pc ";
+      triple(t);
+      out += " rho=";
+      num(rho);
+      out += '\n';
+    }
+    out += "unstable_ci";
+    for (const Ipv4 n : gm.unstable_ci_nodes) {
+      out += ' ';
+      ip(n);
+    }
+    out += "\nunstable_dd";
+    for (const auto& t : gm.unstable_dd_pairs) {
+      out += ' ';
+      triple(t);
+    }
+    out += "\nshape_unstable_dd";
+    for (const auto& t : gm.shape_unstable_dd_pairs) {
+      out += ' ';
+      triple(t);
+    }
+    out += "\nunstable_pc";
+    for (const auto& t : gm.unstable_pc_pairs) {
+      out += ' ';
+      triple(t);
+    }
+    out += '\n';
+  }
+  out += "infra pt";
+  for (const auto& [from, to] : model.infra.pt.graph.edges()) {
+    out += ' ';
+    out += from;
+    out += '>';
+    out += to;
+  }
+  out += "\npt nodes";
+  for (const auto& n : model.infra.pt.graph.nodes()) {
+    out += ' ';
+    out += n;
+  }
+  out += '\n';
+  for (const auto& [pair, s] : model.infra.isl.latency_ms) {
+    out += "isl ";
+    out += std::to_string(pair.first);
+    out += '>';
+    out += std::to_string(pair.second);
+    out += ' ';
+    stats(s);
+    out += '\n';
+  }
+  out += "crt ";
+  stats(model.infra.crt.response_ms);
+  out += '\n';
+  for (const auto& [sw, s] : model.infra.load.mbps) {
+    out += "load ";
+    out += std::to_string(sw);
+    out += ' ';
+    stats(s);
+    out += '\n';
+  }
+  return out;
 }
 
 }  // namespace flowdiff::core

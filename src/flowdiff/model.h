@@ -10,6 +10,7 @@
 
 #include <memory>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "flowdiff/app_groups.h"
@@ -73,6 +74,11 @@ class Modeler {
 
   [[nodiscard]] const ModelConfig& config() const { return config_; }
   [[nodiscard]] Executor& executor() const { return *executor_; }
+  /// The pool itself, for co-owning consumers (e.g. the incremental
+  /// modeler finalizing windows on the same workers).
+  [[nodiscard]] std::shared_ptr<Executor> shared_executor() const {
+    return executor_;
+  }
 
  private:
   ModelConfig config_;
@@ -83,5 +89,18 @@ class Modeler {
 /// Index of the group in `model` best matching `members` (by overlap);
 /// -1 when nothing overlaps.
 int match_group(const BehaviorModel& model, const std::set<Ipv4>& members);
+
+/// Judges each signature component of `group` against the per-segment
+/// sub-models and fills the unstable sets. Reads only CI/DD/PC of the
+/// segments. Shared by the from-scratch build and the incremental
+/// finalize, which reconstructs the same per-segment inputs from its
+/// aggregates — keep the read set in sync with both producers.
+void analyze_group_stability(const std::vector<GroupSignatures>& per_segment,
+                             const ModelConfig& config, GroupModel& group);
+
+/// Deterministic, lossless dump of every BehaviorModel field (doubles in
+/// hexfloat). Two models are bit-identical iff their descriptions are
+/// byte-equal — the comparator the incremental-vs-oracle tests use.
+std::string describe_model(const BehaviorModel& model);
 
 }  // namespace flowdiff::core

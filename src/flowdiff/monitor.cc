@@ -56,6 +56,14 @@ struct MonitorMetrics {
       obs::Registry::global().counter("monitor.pipeline.stalls");
   obs::LatencyHistogram& pipeline_stall_ms =
       obs::Registry::global().histogram("monitor.pipeline.stall_ms", 1.0);
+  /// Windows modeled from delta-maintained aggregates vs. windows that had
+  /// to rebuild from scratch (out-of-order events, aggregate overflow,
+  /// unsupported config). fallbacks staying at zero on a clean stream is
+  /// the incremental path's health signal.
+  obs::Counter& incremental_windows =
+      obs::Registry::global().counter("monitor.incremental.windows");
+  obs::Counter& incremental_fallbacks =
+      obs::Registry::global().counter("monitor.incremental.fallbacks");
 };
 
 MonitorMetrics& metrics() {
@@ -84,6 +92,13 @@ SlidingMonitor::SlidingMonitor(MonitorConfig config)
       feed_wall_(std::chrono::steady_clock::now()),
       watchdog_(config_.watchdog) {
   if (config_.sanitize) sanitizer_.emplace(config_.ingest);
+  // Built from the Modeler's own config (post special-node resolution) and
+  // its executor, so the incremental finalize fans out on the same pool and
+  // sees exactly the config the from-scratch oracle uses.
+  if (config_.incremental) {
+    inc_.emplace(flowdiff_.modeler().config(),
+                 flowdiff_.modeler().shared_executor());
+  }
   if (pipelined()) {
     pipeline_thread_ = std::thread([this] { pipeline_loop(); });
   }
@@ -122,6 +137,7 @@ void SlidingMonitor::ingest_event(const of::ControlEvent& event) {
     close_window(window_start_ + config_.window);
   }
   current_.append(event);
+  if (inc_) inc_->feed(inc_state_, event);
 }
 
 void SlidingMonitor::feed(const of::ControlLog& log) { feed(log.events()); }
@@ -269,20 +285,48 @@ void SlidingMonitor::close_window(SimTime window_end) {
   }
   if (window_log.empty()) {
     scratch_ = std::move(window_log);  // Idle window: nothing to model.
-    return;
+    return;  // inc_state_ was never fed, so it is still fresh.
   }
-  PendingWindow pending{std::move(window_log), begin, window_end, quality,
-                        feed_wall_, std::chrono::steady_clock::now()};
+  PendingWindow pending;
+  pending.log = std::move(window_log);
+  pending.begin = begin;
+  pending.end = window_end;
+  pending.quality = quality;
+  if (inc_) pending.inc = std::move(inc_state_);
+  pending.arrival_wall = feed_wall_;
+  pending.close_wall = std::chrono::steady_clock::now();
   if (pipelined()) {
-    // The pipeline thread owns the log from here; scratch reuse only
-    // applies to the synchronous path.
+    // The pipeline thread owns the log and aggregates from here; refill the
+    // feed side's scratch storage from the recycling pools the pipeline
+    // thread feeds (empty pools just mean a fresh allocation, as during
+    // warmup while the first windows are still in flight).
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (!log_pool_.empty()) {
+        scratch_ = std::move(log_pool_.back());
+        log_pool_.pop_back();
+      }
+      if (inc_ && !state_pool_.empty()) {
+        inc_state_ = std::move(state_pool_.back());
+        state_pool_.pop_back();
+      }
+    }
+    // Moving a struct copies its scalar members, so the moved-from state
+    // still carries stale flags; pooled entries arrive reset, but reset
+    // again unconditionally — it is a cheap no-op on clean state.
+    if (inc_) inc_state_.reset();
     enqueue_window(std::move(pending));
     return;
   }
   process_window(std::move(pending));
-  // process_window read the log in place; take the storage back.
+  // process_window read the log and aggregates in place; take the storage
+  // back (cleared, capacity intact) as the next window's scratch.
   scratch_ = std::move(pending.log);
   scratch_.clear();
+  if (inc_) {
+    pending.inc.reset();
+    inc_state_ = std::move(pending.inc);
+  }
 }
 
 void SlidingMonitor::enqueue_window(PendingWindow pending) {
@@ -337,6 +381,18 @@ void SlidingMonitor::pipeline_loop() {
     {
       const std::lock_guard<std::mutex> lock(mu_);
       processing_ = false;
+      // process_window reads the pending storage in place (never moves it),
+      // so the retired window's log and aggregates are safe to recycle
+      // here — cleared, capacity intact — for the feed thread to pick up
+      // at its next close. Before this, pipelined mode allocated fresh
+      // window storage every cycle while the synchronous path reused its
+      // scratch; monitor_pipeline_test exercises the handoff under TSan.
+      pending.log.clear();
+      log_pool_.push_back(std::move(pending.log));
+      if (inc_) {
+        pending.inc.reset();
+        state_pool_.push_back(std::move(pending.inc));
+      }
       if (queue_.empty()) queue_idle_.notify_all();
     }
   }
@@ -379,7 +435,18 @@ void SlidingMonitor::process_window(PendingWindow&& pending) {
   metrics().latency_ingest.observe(latency.ingest_ms);
   metrics().latency_queue.observe(latency.queue_ms);
 
-  BehaviorModel model = flowdiff_.model(window_log);
+  // Delta-maintained fast path: when the feed side kept the window's
+  // aggregates valid, finalize them instead of rebuilding from the raw log.
+  // Bit-identical by construction (incremental_model.h); any window the
+  // stream could not represent falls back to the from-scratch oracle.
+  const bool use_incremental = inc_ && inc_->ready(pending.inc);
+  if (inc_) {
+    (use_incremental ? metrics().incremental_windows
+                     : metrics().incremental_fallbacks)
+        .inc();
+  }
+  BehaviorModel model = use_incremental ? inc_->finalize(pending.inc)
+                                        : flowdiff_.model(window_log);
   const auto model_done = std::chrono::steady_clock::now();
   latency.model_ms = wall_ms(wall_start, model_done);
   metrics().latency_model.observe(latency.model_ms);

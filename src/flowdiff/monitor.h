@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "flowdiff/flowdiff.h"
+#include "flowdiff/incremental_model.h"
 #include "flowdiff/provenance.h"
 #include "ingest/sanitizer.h"
 #include "obs/watchdog.h"
@@ -64,6 +65,13 @@ struct MonitorConfig {
   /// Contributing components listed per family in a provenance record,
   /// ranked by their share of the family's divergence.
   std::size_t provenance_top_k = 5;
+  /// Maintain per-window signature aggregates incrementally at feed time
+  /// (core::IncrementalModeler) so a closing window only runs the cheap
+  /// finalize instead of the full from-scratch model build. Bit-identical
+  /// to the from-scratch path by construction; windows the incremental
+  /// state cannot represent (out-of-order events, aggregate overflow,
+  /// unsupported config) fall back to core::Modeler automatically.
+  bool incremental = true;
   /// > 0 enables pipelined window processing: a closed window's model+diff
   /// runs on a dedicated pipeline thread while feed() keeps ingesting the
   /// next window. The value bounds the closed-windows-in-flight backlog;
@@ -234,6 +242,10 @@ class SlidingMonitor {
     SimTime begin = 0;
     SimTime end = 0;
     ingest::StreamQuality quality;
+    /// The window's delta-maintained aggregates (moved off the feed side at
+    /// close). process_window finalizes these when ready; the raw log stays
+    /// the fallback input and the audit/metrics source either way.
+    IncrementalWindowState inc;
     /// Detection-latency clock edges (steady_clock, the tracing-span
     /// clock): when the window's newest event arrived at feed(), and when
     /// the window closed. process_window adds the model/diff/decide edges.
@@ -261,6 +273,12 @@ class SlidingMonitor {
 
   MonitorConfig config_;
   FlowDiff flowdiff_;
+  /// Engaged when config_.incremental and the model config supports exact
+  /// delta maintenance; shares the Modeler's executor pool.
+  std::optional<IncrementalModeler> inc_;
+  /// Aggregates of the window currently being fed. Touched by the feed
+  /// thread only; moved into the PendingWindow at close.
+  IncrementalWindowState inc_state_;
   /// Engaged when config_.sanitize; feed() pushes raw arrivals through it
   /// and ingest_event() consumes the restored stream.
   std::optional<ingest::StreamSanitizer> sanitizer_;
@@ -306,6 +324,13 @@ class SlidingMonitor {
   bool processing_ = false;  ///< Pipeline thread is inside process_window.
   bool stop_ = false;
   std::uint64_t stalls_ = 0;
+  /// Pipeline-mode storage recycling (guarded by mu_): the pipeline thread
+  /// returns each processed window's cleared log / aggregate storage here,
+  /// and the feed thread refills scratch_ / inc_state_ from the pools at
+  /// the next close — steady-state pipelined windowing then allocates
+  /// nothing per window, matching the synchronous path's scratch reuse.
+  std::vector<of::ControlLog> log_pool_;
+  std::vector<IncrementalWindowState> state_pool_;
   std::thread pipeline_thread_;
 };
 

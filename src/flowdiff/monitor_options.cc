@@ -57,6 +57,7 @@ MonitorConfig MonitorOptions::monitor_config() const {
   config.rolling_baseline = rolling_baseline;
   config.sanitize = sanitize;
   if (lateness) config.ingest.lateness_horizon = *lateness;
+  config.incremental = incremental;
   config.pipeline_depth = pipeline_depth;
   config.max_audits = max_audits;
   config.max_provenance = max_provenance;

@@ -19,7 +19,12 @@ double HistogramSnapshot::quantile(double q) const {
   for (std::size_t i = 0; i < counts.size(); ++i) {
     seen += counts[i];
     if (static_cast<double>(seen) >= target) {
-      return origin + bin_width * (static_cast<double>(i) + 0.5);
+      // Bin midpoint, clamped to the observed range: at tiny counts the
+      // midpoint of a wide bin can land outside [min, max] (e.g. two
+      // observations in one bin reporting p99 above the larger one), and a
+      // quantile must never exceed the extremes actually seen.
+      const double mid = origin + bin_width * (static_cast<double>(i) + 0.5);
+      return std::clamp(mid, min, max);
     }
   }
   return max;

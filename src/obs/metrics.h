@@ -109,8 +109,9 @@ struct HistogramSnapshot {
   }
 
   /// Approximate quantile from the fixed-width bins (midpoint of the bin
-  /// where the cumulative count crosses q); exporters and the time-series
-  /// sampler share this.
+  /// where the cumulative count crosses q, clamped to [min, max] so sparse
+  /// histograms never report a quantile beyond an observed value);
+  /// exporters and the time-series sampler share this.
   [[nodiscard]] double quantile(double q) const;
 };
 

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <string>
 #include <vector>
+
+#include "flowdiff/diff.h"
 
 namespace flowdiff::core {
 namespace {
@@ -212,6 +215,73 @@ TEST(Classify, SlowdownWithoutFanInStaysNonAdversarial) {
           << "adversarial class scored too close to the benign diagnosis";
     }
   }
+}
+
+TEST(DdMean, NothingDownstreamDependsOnMeanMs) {
+  // DelayDistributionSig::mean_ms is informational only: its doc long
+  // claimed a (biased) bin-origin weighting while the code always used bin
+  // midpoints. Pin here that the ambiguity never mattered — perturbing
+  // mean_ms arbitrarily in both models changes not a single byte of the
+  // diff, the dependency matrix, or the ranked diagnosis, so no consumer
+  // ever depended on the value (biased or not).
+  auto chain_model = [](SimDuration proc) {
+    const Ipv4 a(10, 0, 0, 1), b(10, 0, 0, 2), c(10, 0, 0, 3);
+    ParsedLog log;
+    log.begin = 0;
+    for (int i = 0; i < 40; ++i) {
+      const auto sport = static_cast<std::uint16_t>(40000 + i);
+      FlowOccurrence in;
+      in.key = of::FlowKey{a, b, sport, 80, of::Proto::kTcp};
+      in.first_ts = i * kSecond;
+      FlowOccurrence out;
+      out.key = of::FlowKey{b, c, sport, 80, of::Proto::kTcp};
+      out.first_ts = i * kSecond + proc;
+      log.occurrences.push_back(in);
+      log.occurrences.push_back(out);
+    }
+    std::sort(log.occurrences.begin(), log.occurrences.end(),
+              [](const FlowOccurrence& x, const FlowOccurrence& y) {
+                return x.first_ts < y.first_ts;
+              });
+    log.end = 40 * kSecond + proc;
+    BehaviorModel m;
+    m.begin = log.begin;
+    m.end = log.end;
+    GroupModel g;
+    AppSignatureConfig config;
+    config.min_edge_flows = 3;
+    g.sig = extract_group_signatures(log, {a, b, c}, config);
+    m.groups.push_back(std::move(g));
+    m.infra = extract_infra_signatures(log);
+    return m;
+  };
+  auto outputs = [](const BehaviorModel& base, const BehaviorModel& cur) {
+    const auto changes = diff_models(base, cur, DiffThresholds{});
+    std::string out = build_dependency_matrix(changes).render();
+    for (const auto& c : changes) {
+      out += to_string(c.kind) + std::string("|") + c.description + "|" +
+             std::to_string(c.magnitude) + "\n";
+    }
+    for (const auto& score : classify(build_dependency_matrix(changes))) {
+      out += to_string(score.cls) + std::string("=") +
+             std::to_string(score.score) + "\n";
+    }
+    return out;
+  };
+  BehaviorModel base = chain_model(50 * kMillisecond);
+  BehaviorModel cur = chain_model(130 * kMillisecond);  // DD peak shift.
+  ASSERT_FALSE(base.groups[0].sig.dd.per_pair.empty());
+  const std::string before = outputs(base, cur);
+  EXPECT_NE(before.find("DD"), std::string::npos);
+  for (auto* model : {&base, &cur}) {
+    for (auto& group : model->groups) {
+      for (auto& [pair, dd] : group.sig.dd.per_pair) {
+        dd.mean_ms = dd.mean_ms * -417.0 + 1e9;  // Garbage the value.
+      }
+    }
+  }
+  EXPECT_EQ(outputs(base, cur), before)
+      << "a diff/diagnosis consumer reads DelayDistributionSig::mean_ms";
 }
 
 }  // namespace

@@ -90,6 +90,45 @@ TEST(MonitorPipeline, StallCounterStaysZeroWithRoomyBacklog) {
                                                  "needs depth > windows";
 }
 
+TEST(MonitorPipeline, IdleBusyAlternationRecyclesStorageSafely) {
+  // Regression for the pipeline-mode scratch recycling handoff: the
+  // pipeline thread returns each retired window's log/aggregate storage to
+  // mu_-guarded pools the feed thread refills its scratch from at the next
+  // close. Idle windows skip the handoff entirely (they are retired on the
+  // feed thread before reaching the pipeline), so alternating idle and
+  // busy windows at depth >= 2 exercises every branch of the ownership
+  // transfer — the TSan CI leg reruns this suite to prove the handoff is
+  // race-free, and the transcript must match the synchronous path exactly.
+  exp::LabExperiment lab{exp::LabExperimentConfig{}};
+  const of::ControlLog log = lab.run_window();
+  // Stretch the stream so only every other window holds events: an event
+  // in window w moves to window 2w, leaving every odd window idle.
+  const SimDuration window = 5 * kSecond;
+  std::vector<of::ControlEvent> stretched;
+  stretched.reserve(log.size());
+  for (const auto& event : log.events()) {
+    const SimTime w = event.ts / window;
+    stretched.push_back(event);
+    stretched.back().ts = event.ts + w * window;
+  }
+
+  MonitorConfig sync_config = lab_monitor_config(lab, 0);
+  SlidingMonitor sync(sync_config);
+  sync.feed(stretched);
+  sync.flush();
+  ASSERT_GE(sync.windows_processed(), 3u) << "stretch produced too few "
+                                             "busy windows to alternate";
+
+  for (const std::size_t depth : {std::size_t{2}, std::size_t{4}}) {
+    SlidingMonitor pipelined(lab_monitor_config(lab, depth));
+    pipelined.feed(stretched);
+    pipelined.flush();
+    EXPECT_EQ(render_monitor_transcript(pipelined),
+              render_monitor_transcript(sync))
+        << "depth=" << depth;
+  }
+}
+
 TEST(MonitorPipeline, DestructionWithoutFlushJoinsCleanly) {
   const of::ControlLog log = lab_log();
   exp::LabExperiment lab{exp::LabExperimentConfig{}};

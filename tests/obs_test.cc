@@ -117,6 +117,26 @@ TEST_F(ObsTest, HistogramTracksSumMinMaxAndBins) {
   EXPECT_EQ(snap.counts[2], 1u);
 }
 
+TEST_F(ObsTest, QuantileNeverLeavesObservedRange) {
+  // Regression: at tiny counts the midpoint of a wide bin used to escape
+  // the observed range — two samples of 8.2 and 13.4 in 5 ms bins
+  // reported p50 = 7.5 and p99 = 12.5... and with both in one bin, p99
+  // above the larger observation. Quantiles now clamp to [min, max].
+  LatencyHistogram& h = Registry::global().histogram("test.quant", 5.0);
+  h.observe(8.2);
+  h.observe(13.4);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_DOUBLE_EQ(snap.quantile(0.5), 8.2);   // Bin [5,10) midpoint 7.5.
+  EXPECT_DOUBLE_EQ(snap.quantile(0.99), 12.5);  // Bin [10,15) midpoint.
+  EXPECT_GE(snap.quantile(0.99), snap.min);
+  EXPECT_LE(snap.quantile(0.99), snap.max);
+
+  LatencyHistogram& one = Registry::global().histogram("test.quant1", 5.0);
+  one.observe(12.0);  // Single sample: every quantile IS that sample.
+  EXPECT_DOUBLE_EQ(one.snapshot().quantile(0.5), 12.0);
+  EXPECT_DOUBLE_EQ(one.snapshot().quantile(0.99), 12.0);
+}
+
 TEST_F(ObsTest, HistogramFirstRegistrationWins) {
   LatencyHistogram& first = Registry::global().histogram("test.width", 5.0);
   LatencyHistogram& again = Registry::global().histogram("test.width", 99.0);

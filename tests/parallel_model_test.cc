@@ -69,9 +69,12 @@ TEST(ParallelModel, RepeatedParallelBuildsAreStable) {
 }
 
 /// One alarm/audit transcript of a monitor run, for sequence comparison.
+/// `incremental = false` forces every window through the from-scratch
+/// model build (the oracle mode the identity tests compare against).
 std::vector<std::string> monitor_transcript(std::size_t pipeline_depth,
                                             int workers,
-                                            bool sanitize = false) {
+                                            bool sanitize = false,
+                                            bool incremental = true) {
   MonitorConfig config;
   config.flowdiff.parallelism = workers;
   config.window = kSecond;
@@ -79,6 +82,7 @@ std::vector<std::string> monitor_transcript(std::size_t pipeline_depth,
   config.pipeline_depth = pipeline_depth;
   config.sample_metrics = false;
   config.sanitize = sanitize;
+  config.incremental = incremental;
   auto monitor = std::make_unique<SlidingMonitor>(config);
   monitor->feed(scenario().current);
   monitor->flush();
@@ -109,6 +113,28 @@ TEST(ParallelModel, PipelinedMonitorMatchesSynchronousSequence) {
     for (const int workers : {0, 2}) {
       EXPECT_EQ(monitor_transcript(depth, workers), sync)
           << "pipeline_depth=" << depth << " workers=" << workers;
+    }
+  }
+}
+
+TEST(ParallelModel, IncrementalMatchesFromScratchOracle) {
+  // The incremental-vs-oracle identity contract, end to end: delta-
+  // maintained window modeling must reproduce the from-scratch build's
+  // DiffReports, audits, and provenance byte for byte at every worker
+  // count and pipeline depth, with and without the ingest sanitizer.
+  const std::vector<std::string> oracle =
+      monitor_transcript(0, 0, /*sanitize=*/false, /*incremental=*/false);
+  ASSERT_FALSE(oracle.empty());
+  for (const bool sanitize : {false, true}) {
+    for (const std::size_t depth : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{4}}) {
+      for (const int workers : {0, 2}) {
+        EXPECT_EQ(monitor_transcript(depth, workers, sanitize,
+                                     /*incremental=*/true),
+                  oracle)
+            << "incremental diverged from oracle at pipeline_depth=" << depth
+            << " workers=" << workers << " sanitize=" << sanitize;
+      }
     }
   }
 }

@@ -98,6 +98,12 @@ if [[ "$skip_asan" -eq 0 ]]; then
   echo "== ASan: serve daemon (ctest -L serve) =="
   ctest --test-dir "$repo/build-ci-asan" --output-on-failure -j "$jobs" \
     --no-tests=error -L serve
+  # Delta-maintained window modeling: the pools recycling window storage
+  # between feed and pipeline threads are exactly where a stale pointer
+  # would hide.
+  echo "== ASan: incremental window modeling (ctest -L incremental) =="
+  ctest --test-dir "$repo/build-ci-asan" --output-on-failure -j "$jobs" \
+    --no-tests=error -L incremental
 fi
 
 if [[ "$skip_ubsan" -eq 0 ]]; then
@@ -116,6 +122,12 @@ if [[ "$skip_ubsan" -eq 0 ]]; then
   echo "== UBSan: serve daemon + alarm provenance (ctest -L serve/provenance) =="
   ctest --test-dir "$repo/build-ci-ubsan" --output-on-failure -j "$jobs" \
     --no-tests=error -L 'serve|provenance'
+  # The incremental modeler's streaming aggregates (histogram binning,
+  # running sums, per-segment re-bucketing) are arithmetic-dense; UBSan
+  # guards the oracle-identity sweep's math.
+  echo "== UBSan: incremental window modeling (ctest -L incremental) =="
+  ctest --test-dir "$repo/build-ci-ubsan" --output-on-failure -j "$jobs" \
+    --no-tests=error -L incremental
   echo "== UBSan: corruption sweep bench (quick) =="
   "$repo/build-ci-ubsan/bench/corruption_sweep" --quick
   echo "== UBSan: attack sweep bench (quick) =="
@@ -126,7 +138,7 @@ fi
 if [[ "$skip_tsan" -eq 0 ]]; then
   echo "== TSan: build + concurrency tests (FLOWDIFF_SANITIZE=thread) =="
   run_suite "$repo/build-ci-tsan" \
-    "--tests=^(ExecutorTest|ParallelModel|MonitorPipeline|SlidingMonitor|ObsTest|TimeseriesTest|FlightRecorderTest)\." \
+    "--tests=^(ExecutorTest|ParallelModel|MonitorPipeline|IncrementalModel|SlidingMonitor|ObsTest|TimeseriesTest|FlightRecorderTest)\." \
     -DFLOWDIFF_SANITIZE=thread
   # The scrape path is where a torn window commit would surface as a data
   # race: the serve thread reading monitor state while feed/pipeline
@@ -145,6 +157,12 @@ if [[ "$skip_tsan" -eq 0 ]]; then
   echo "== TSan: serve daemon (ctest -L serve) =="
   ctest --test-dir "$repo/build-ci-tsan" --output-on-failure -j "$jobs" \
     --no-tests=error -L serve
+  # Incremental window state moves feed thread -> pending queue -> pipeline
+  # thread -> recycling pool -> feed thread; the idle/busy alternation test
+  # drives that handoff under TSan.
+  echo "== TSan: incremental window modeling (ctest -L incremental) =="
+  ctest --test-dir "$repo/build-ci-tsan" --output-on-failure -j "$jobs" \
+    --no-tests=error -L incremental
 fi
 
 echo "CI passed."

@@ -131,6 +131,13 @@ void print_help(std::FILE* out) {
       "  --lateness SEC   sanitizer reorder horizon in seconds (default 1; "
       "implies\n"
       "                   --sanitize; rejected without it or >= --window)\n"
+      "  --no-incremental rebuild every window's model from scratch instead "
+      "of\n"
+      "                   maintaining signature aggregates incrementally at "
+      "feed\n"
+      "                   time (on by default; output is bit-identical — "
+      "this is\n"
+      "                   the A/B oracle switch for timing comparisons)\n"
       "  --listen ADDR:PORT  serve the live telemetry plane over HTTP "
       "(/metrics\n"
       "                   /healthz /series /recorder /audits /provenance "
@@ -207,7 +214,8 @@ void print_serve_help(std::FILE* out) {
       "identical\n"
       "                             to `flowdiff monitor` on the same "
       "log)\n"
-      "monitor knobs: --window --rolling --pipeline --sanitize --lateness\n"
+      "monitor knobs: --window --rolling --pipeline --sanitize --lateness "
+      "--no-incremental\n"
       "  --services --task (see `flowdiff help`); each shard gets the "
       "same\n"
       "  configuration. --workers sizes the cross-tenant pool.\n"
